@@ -1,0 +1,82 @@
+"""E9 (ablation) — shared vs. per-PE data transform.
+
+The paper's first contribution is hoisting the data-transform stage out of the
+PEs (Section IV-E).  This ablation sweeps m and the PE count and quantifies
+what that single architectural change buys: LUT/register savings and the
+resulting power-efficiency improvement, at identical throughput.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.core.design_point import evaluate_design
+from repro.reporting import format_table
+
+
+def _ablation_rows(network):
+    rows = []
+    for m, pes in ((2, 16), (2, 43), (3, 28), (4, 19)):
+        shared = evaluate_design(
+            network, m=m, parallel_pes=pes, shared_data_transform=True, include_pipeline_depth=False
+        )
+        replicated = evaluate_design(
+            network, m=m, parallel_pes=pes, shared_data_transform=False, include_pipeline_depth=False
+        )
+        rows.append(
+            {
+                "m": m,
+                "PEs": pes,
+                "shared_LUTs": shared.resources.luts,
+                "replicated_LUTs": replicated.resources.luts,
+                "LUT_saving_%": 100.0 * (1 - shared.resources.luts / replicated.resources.luts),
+                "shared_GOPS/W": shared.power_efficiency,
+                "replicated_GOPS/W": replicated.power_efficiency,
+                "power_eff_gain_x": shared.power_efficiency / replicated.power_efficiency,
+                "throughput_ratio": shared.throughput_gops / replicated.throughput_gops,
+            }
+        )
+    return rows
+
+
+def test_shared_transform_ablation(vgg16, benchmark):
+    rows = benchmark(_ablation_rows, vgg16)
+    emit("E9 — ablation: shared vs per-PE data transform", format_table(rows))
+
+    for row in rows:
+        # Same algorithm, same PE count: throughput is untouched (the data
+        # transform is not the bottleneck stage), resources and power improve.
+        assert row["throughput_ratio"] == pytest.approx(1.0, rel=1e-6)
+        assert row["LUT_saving_%"] > 15.0
+        assert row["power_eff_gain_x"] > 1.05
+
+    # The savings grow with the PE count (the transform is amortised over P)
+    # and with m (larger tiles have more expensive transforms).
+    by_key = {(row["m"], row["PEs"]): row for row in rows}
+    assert by_key[(2, 43)]["LUT_saving_%"] > by_key[(2, 16)]["LUT_saving_%"] - 1.0
+    assert by_key[(4, 19)]["LUT_saving_%"] > by_key[(2, 16)]["LUT_saving_%"]
+
+
+def test_shared_transform_relative_overhead(vgg16, benchmark):
+    """Section IV-C's 1.5x vs 2.33x transform-overhead comparison for
+    F(2x2, 3x3) with 16 PEs."""
+    from repro.core.complexity import (
+        implementation_transform_complexity,
+        spatial_multiplications,
+    )
+    from repro.winograd.op_count import count_transform_ops
+
+    def ratios():
+        counts = count_transform_ops(2, 3)
+        spatial = spatial_multiplications(vgg16)
+        shared = implementation_transform_complexity(vgg16, 2, parallel_pes=16) / spatial
+        per_pe = (vgg16.total_conv_nhwck / 4 * (counts.beta + counts.delta)) / spatial
+        return shared, per_pe
+
+    shared_ratio, per_pe_ratio = benchmark(ratios)
+    emit(
+        "E9 — relative transform overhead vs spatial multiplications (m=2, 16 PEs)",
+        f"shared data transform: {shared_ratio:.2f}x (paper 1.5x)\n"
+        f"per-PE data transform: {per_pe_ratio:.2f}x (paper 2.33x)",
+    )
+    assert shared_ratio < per_pe_ratio
+    assert per_pe_ratio / shared_ratio > 1.3

@@ -1,0 +1,60 @@
+"""Figure 1 — multiplication complexity vs. output tile size m (E1).
+
+Regenerates the per-group multiplication counts of VGG16-D for spatial
+convolution and F(m x m, 3 x 3), m = 2..7, i.e. the bars of Fig. 1, and checks
+the published values for the bars the paper labels explicitly.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.core.complexity import multiplication_complexity, spatial_multiplications
+from repro.reporting import format_table
+
+M_VALUES = (2, 3, 4, 5, 6, 7)
+
+#: The Fig. 1 bar heights (in 1e9 multiplications) as printed in the paper.
+PUBLISHED_FIG1 = {
+    ("Conv1", 1): 1.936, ("Conv2", 1): 2.775, ("Conv3", 1): 4.624, ("Conv4", 1): 4.624, ("Conv5", 1): 1.387,
+    ("Conv1", 2): 0.861, ("Conv2", 2): 1.233, ("Conv3", 2): 2.055, ("Conv4", 2): 2.055, ("Conv5", 2): 0.617,
+    ("Conv1", 3): 0.598, ("Conv2", 3): 0.857, ("Conv3", 3): 1.428, ("Conv4", 3): 1.428, ("Conv5", 3): 0.429,
+    ("Conv1", 4): 0.484, ("Conv2", 4): 0.694, ("Conv3", 4): 1.156, ("Conv4", 4): 1.156, ("Conv5", 4): 0.347,
+    ("Conv1", 5): 0.422, ("Conv2", 5): 0.604, ("Conv3", 5): 1.007, ("Conv4", 5): 1.007, ("Conv5", 5): 0.302,
+    ("Conv1", 6): 0.383, ("Conv2", 6): 0.549, ("Conv3", 6): 0.915, ("Conv4", 6): 0.915, ("Conv5", 6): 0.274,
+    ("Conv1", 7): 0.356, ("Conv2", 7): 0.510, ("Conv3", 7): 0.849, ("Conv4", 7): 0.849, ("Conv5", 7): 0.255,
+}
+
+
+def _fig1_rows(network):
+    rows = []
+    for group, layers in network.conv_groups().items():
+        row = {"group": group, "spatial_x1e9": spatial_multiplications(layers) / 1e9}
+        for m in M_VALUES:
+            row[f"F({m}x{m})_x1e9"] = multiplication_complexity(layers, m) / 1e9
+        rows.append(row)
+    return rows
+
+
+def test_fig1_reproduction(vgg16, benchmark):
+    rows = benchmark(_fig1_rows, vgg16)
+    emit(
+        "Figure 1 — multiplication complexity Om per VGG16-D conv group (x1e9)",
+        format_table(rows, precision=3),
+    )
+    by_group = {row["group"]: row for row in rows}
+    for (group, m), published in PUBLISHED_FIG1.items():
+        column = "spatial_x1e9" if m == 1 else f"F({m}x{m})_x1e9"
+        assert by_group[group][column] == pytest.approx(published, abs=0.002), (group, m)
+
+
+def test_fig1_quadratic_decrease(vgg16, benchmark):
+    """The headline trend: Om decreases as (m+r-1)^2 / m^2 relative to spatial."""
+
+    def ratios():
+        spatial = spatial_multiplications(vgg16)
+        return [multiplication_complexity(vgg16, m) / spatial for m in M_VALUES]
+
+    measured = benchmark(ratios)
+    expected = [((m + 2) ** 2) / (9 * m * m) for m in M_VALUES]
+    for measured_ratio, expected_ratio in zip(measured, expected):
+        assert measured_ratio == pytest.approx(expected_ratio, rel=1e-9)

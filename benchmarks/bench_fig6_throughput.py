@@ -1,0 +1,63 @@
+"""Figure 6 — throughput vs. m and multiplier budget (E4).
+
+Regenerates the nine-point-per-budget throughput sweep of Fig. 6 (spatial plus
+F(m x m, 3 x 3) for m = 2..7 at 256, 512 and 1024 multipliers, 200 MHz) and
+checks every published bar.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.baselines import FIG6_PUBLISHED_GOPS
+from repro.core.throughput import ideal_throughput_gops
+from repro.reporting import format_table
+
+BUDGETS = (256, 512, 1024)
+METHODS = ("spatial", 2, 3, 4, 5, 6, 7)
+
+
+def _fig6_rows():
+    rows = []
+    for method in METHODS:
+        row = {"method": "Spatial Conv" if method == "spatial" else f"F({method}x{method},3x3)"}
+        for budget in BUDGETS:
+            if method == "spatial":
+                value = ideal_throughput_gops(1, 3, budget, fractional_pes=False)
+            else:
+                value = ideal_throughput_gops(method, 3, budget, fractional_pes=True)
+            row[f"{budget}_mult_GOPS"] = value
+            row[f"{budget}_paper"] = FIG6_PUBLISHED_GOPS[(method, budget)]
+        rows.append(row)
+    return rows
+
+
+def test_fig6_reproduction(benchmark):
+    rows = benchmark(_fig6_rows)
+    emit("Figure 6 — throughput variation with m and number of multipliers (200 MHz)", format_table(rows, precision=2))
+    for row, method in zip(rows, METHODS):
+        for budget in BUDGETS:
+            measured = row[f"{budget}_mult_GOPS"]
+            published = row[f"{budget}_paper"]
+            tolerance = 0.02 if method == "spatial" else 0.005
+            assert measured == pytest.approx(published, rel=tolerance), (method, budget)
+
+
+def test_fig6_scaling_laws(benchmark):
+    """The two observations of Section IV-D: throughput scales linearly with
+    the multiplier budget and quadratically (via m^2/(m+r-1)^2) with m."""
+
+    def scaling():
+        linear = [
+            ideal_throughput_gops(4, 3, budget) / ideal_throughput_gops(4, 3, 256)
+            for budget in BUDGETS
+        ]
+        per_m = [ideal_throughput_gops(m, 3, 1024) for m in range(2, 8)]
+        return linear, per_m
+
+    linear, per_m = benchmark(scaling)
+    assert linear == pytest.approx([1.0, 2.0, 4.0], rel=1e-9)
+    assert all(b > a for a, b in zip(per_m, per_m[1:]))
+    # Ratio between consecutive m follows (m+1)^2 (m+2)^2 / (m^2 (m+3)^2).
+    for m, (a, b) in zip(range(2, 7), zip(per_m, per_m[1:])):
+        expected = ((m + 1) ** 2 / (m + 3) ** 2) / (m ** 2 / (m + 2) ** 2)
+        assert b / a == pytest.approx(expected, rel=1e-9)

@@ -1,0 +1,85 @@
+"""E8 (extension) — roofline analysis of the proposed designs.
+
+Checks the paper's double-buffering assumption ("enough memory bandwidth is
+available", Section V-B): for each proposed design, computes the operational
+intensity of every VGG16-D layer and the attainable throughput at the
+Virtex-7's DRAM bandwidth, reporting which layers would be bandwidth-bound.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.core.proposed import PROPOSED_CONFIGS
+from repro.core.roofline import roofline_report
+from repro.hw import virtex7_485t
+from repro.reporting import format_table
+
+
+def _reports(network):
+    device = virtex7_485t()
+    return {
+        m: roofline_report(network, m=m, parallel_pes=config["parallel_pes"], device=device)
+        for m, config in sorted(PROPOSED_CONFIGS.items())
+    }
+
+
+def test_roofline_reports(vgg16, benchmark):
+    reports = benchmark(_reports, vgg16)
+    for m, report in reports.items():
+        rows = [
+            {
+                "layer": layer.layer_name,
+                "ops/byte": layer.operational_intensity,
+                "compute_GOPS": layer.compute_roof_gops,
+                "bandwidth_GOPS": layer.bandwidth_roof_gops,
+                "attainable_GOPS": layer.attainable_gops,
+                "bound": "compute" if layer.compute_bound else "bandwidth",
+            }
+            for layer in report.layers
+        ]
+        emit(f"E8 — roofline, proposed m={m} (peak {report.peak_gops:.0f} GOPS)", format_table(rows, precision=1))
+
+    # Operational intensity grows with depth: conv1_1 is the only layer at risk
+    # of being bandwidth bound at the default 12.8 GB/s.
+    for m, report in reports.items():
+        bound = set(report.bandwidth_bound_layers)
+        assert bound <= {"conv1_1", "conv1_2"}, (m, bound)
+        # Deeper layers are strongly compute bound.
+        deep = [layer for layer in report.layers if layer.layer_name.startswith("conv5")]
+        assert all(layer.compute_bound for layer in deep)
+
+    # Higher m -> higher compute roof -> never *more* compute-bound layers.
+    fractions = [reports[m].attainable_fraction() for m in sorted(reports)]
+    assert all(0.5 < fraction <= 1.0 for fraction in fractions)
+
+
+def test_roofline_bandwidth_sensitivity(vgg16, benchmark):
+    """Sweeping DRAM bandwidth shows where the double-buffering assumption breaks."""
+    from repro.hw.device import FpgaDevice
+
+    def sweep():
+        results = {}
+        for bandwidth in (2.0, 6.0, 12.8, 25.6, 102.4):
+            device = FpgaDevice(
+                name=f"virtex7-{bandwidth}",
+                luts=303_600,
+                registers=607_200,
+                dsp_slices=2_800,
+                bram_kbits=37_080,
+                dram_bandwidth_gbps=bandwidth,
+            )
+            report = roofline_report(vgg16, m=4, parallel_pes=19, device=device)
+            results[bandwidth] = report.attainable_fraction()
+        return results
+
+    fractions = benchmark(sweep)
+    emit(
+        "E8 — attainable fraction of peak vs DRAM bandwidth (m=4, 19 PEs)",
+        "\n".join(f"{bw:5.1f} GB/s : {fraction * 100:5.1f}%" for bw, fraction in fractions.items()),
+    )
+    values = [fractions[bw] for bw in sorted(fractions)]
+    assert all(b >= a for a, b in zip(values, values[1:]))
+    # With ample bandwidth every layer becomes compute bound; at realistic
+    # DDR bandwidths only the 3-channel conv1_1 stays bandwidth bound.
+    assert values[-1] == pytest.approx(1.0)
+    assert values[0] < values[-1]

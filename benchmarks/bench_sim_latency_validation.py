@@ -1,0 +1,65 @@
+"""E7 (extension) — cycle-level simulator validation of Eq. (9).
+
+The Table II latencies are produced by the analytical model of Eq. (9); this
+benchmark runs the behavioural engine simulator on down-scaled layers for the
+three proposed configurations and shows that (a) the simulated outputs equal
+direct convolution and (b) the simulated cycle counts equal the analytical
+prediction, which is what justifies using Eq. (9) for the full-size VGG16-D
+numbers.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.nn import ConvLayer
+from repro.reporting import format_table
+from repro.sim import EngineSimConfig, validate_layer
+
+LAYERS = [
+    ConvLayer("vgg_like_28x28", in_channels=8, out_channels=12, height=28, width=28, padding=1),
+    ConvLayer("edge_tiles_19x23", in_channels=5, out_channels=7, height=19, width=23, padding=1),
+    ConvLayer("deep_channels_10x10", in_channels=24, out_channels=6, height=10, width=10, padding=1),
+]
+
+
+def _validate_all(m, parallel_pes):
+    config = EngineSimConfig(m=m, r=3, parallel_pes=parallel_pes)
+    return [validate_layer(layer, config, seed=7) for layer in LAYERS]
+
+
+@pytest.mark.parametrize("m,parallel_pes", [(2, 6), (3, 4), (4, 3)])
+def test_simulator_validates_eq9(m, parallel_pes, benchmark):
+    validations = benchmark(_validate_all, m, parallel_pes)
+    rows = [
+        {
+            "layer": validation.layer_name,
+            "m": m,
+            "PEs": parallel_pes,
+            "sim_cycles": validation.simulated_cycles,
+            "eq9_cycles": validation.analytical_cycles,
+            "cycle_err_%": validation.cycle_error_pct,
+            "max_abs_err": validation.max_abs_error,
+        }
+        for validation in validations
+    ]
+    emit(f"E7 — simulator vs Eq. (9), F({m}x{m},3x3), {parallel_pes} PEs", format_table(rows, precision=3))
+    for validation in validations:
+        assert validation.numerically_correct
+        assert validation.simulated_cycles == validation.analytical_cycles
+
+
+def test_simulator_throughput_scales_with_pes(benchmark):
+    """Doubling the PE count halves the simulated runtime (until K < P)."""
+    layer = ConvLayer("scaling", in_channels=4, out_channels=16, height=16, width=16, padding=1)
+
+    def cycles():
+        few = validate_layer(layer, EngineSimConfig(m=2, parallel_pes=2), functional=False)
+        many = validate_layer(layer, EngineSimConfig(m=2, parallel_pes=4), functional=False)
+        return few.simulated_cycles, many.simulated_cycles
+
+    few_cycles, many_cycles = benchmark(cycles)
+    emit(
+        "E7 — PE scaling",
+        f"2 PEs: {few_cycles} cycles, 4 PEs: {many_cycles} cycles, speedup {few_cycles / many_cycles:.2f}x",
+    )
+    assert few_cycles / many_cycles == pytest.approx(2.0, rel=0.05)

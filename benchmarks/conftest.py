@@ -1,0 +1,37 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark module regenerates one of the paper's tables or figures: it
+computes the same rows/series the paper reports, prints them next to the
+published values (so ``pytest benchmarks/ --benchmark-only -s`` doubles as a
+reproduction report) and uses ``pytest-benchmark`` to time the underlying
+model evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import vgg16_d
+
+
+def pytest_configure(config):
+    # Benchmarks double as reproduction reports; always echo their tables.
+    config.option.capture = "no"
+
+
+@pytest.fixture(scope="session")
+def vgg16():
+    """The paper's workload (VGG16-D), shared across benchmark modules."""
+    return vgg16_d()
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(2019)
+
+
+def emit(title: str, body: str) -> None:
+    """Print a clearly delimited report block."""
+    separator = "=" * max(len(title), 20)
+    print(f"\n{separator}\n{title}\n{separator}\n{body}\n")

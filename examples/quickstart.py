@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: reproduce the paper's headline results in a few lines.
+
+Evaluates the three proposed Winograd engine configurations (F(2x2,3x3),
+F(3x3,3x3), F(4x4,3x3)) on VGG16-D, prints the Table II style comparison
+against the Podili et al. [3] and Qiu et al. [12] baselines and the abstract's
+headline improvement factors.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import headline_claims, performance_table, vgg16_d
+from repro.reporting import format_table
+
+
+def main() -> None:
+    network = vgg16_d()
+    print(f"Workload: {network.name}, convolutional FLOPs = "
+          f"{network.total_conv_flops / 1e9:.2f} GOPs\n")
+
+    designs = performance_table(network)
+    rows = []
+    for design in designs:
+        rows.append(
+            {
+                "design": design.name,
+                "m": design.m,
+                "multipliers": design.multipliers,
+                "PEs": design.parallel_pes,
+                "latency_ms": design.total_latency_ms,
+                "throughput_GOPS": design.throughput_gops,
+                "GOPS/mult": design.multiplier_efficiency,
+                "power_W": design.power_watts,
+                "GOPS/W": design.power_efficiency,
+            }
+        )
+    print(format_table(rows, title="Table II (reproduced): VGG16-D performance comparison"))
+
+    claims = headline_claims(network)
+    print("\nHeadline claims (model vs. paper):")
+    print(f"  throughput improvement over [3]    : {claims.throughput_improvement:.2f}x  (paper: 4.75x)")
+    print(f"  power-efficiency improvement (m=2) : {claims.power_efficiency_improvement_m2:.2f}x  (paper: 1.44x)")
+    print(f"  multiplier ratio (m=4 vs [3])      : {claims.multiplier_ratio:.2f}x  (paper: 2.67x)")
+    print(f"  LUT savings at m=4, 19 PEs         : {claims.lut_savings_pct:.1f}%   (paper: 53.6%)")
+    print(f"  best multiplier efficiency          : {claims.multiplier_efficiency_best:.2f} GOPS/mult (paper: 1.60)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Roofline analysis of the proposed designs (extension experiment E8).
+
+The paper assumes the memory system can always keep the engine's double
+buffers full.  This example quantifies that assumption: for each proposed
+design it computes the compute roof, the operational intensity of every
+VGG16-D layer and the attainable throughput at the Virtex-7's DRAM bandwidth,
+reporting which layers (if any) become bandwidth bound.
+
+Run with:  python examples/roofline_analysis.py
+"""
+
+from repro import roofline_report, vgg16_d
+from repro.core.proposed import PROPOSED_CONFIGS
+from repro.hw import virtex7_485t
+from repro.reporting import format_table
+
+
+def main() -> None:
+    network = vgg16_d()
+    device = virtex7_485t()
+    for m, config in sorted(PROPOSED_CONFIGS.items()):
+        report = roofline_report(
+            network, m=m, parallel_pes=config["parallel_pes"], device=device
+        )
+        rows = [
+            {
+                "layer": layer.layer_name,
+                "ops_per_byte": layer.operational_intensity,
+                "compute_roof_GOPS": layer.compute_roof_gops,
+                "bandwidth_roof_GOPS": layer.bandwidth_roof_gops,
+                "attainable_GOPS": layer.attainable_gops,
+                "bound": "compute" if layer.compute_bound else "bandwidth",
+            }
+            for layer in report.layers
+        ]
+        title = (
+            f"Roofline, proposed m={m} (P={config['parallel_pes']}, peak "
+            f"{report.peak_gops:.0f} GOPS, DRAM {report.bandwidth_gbps} GB/s)"
+        )
+        print(format_table(rows, title=title))
+        status = "compute bound" if report.all_compute_bound else (
+            "bandwidth bound on: " + ", ".join(report.bandwidth_bound_layers)
+        )
+        print(f"  -> double-buffering assumption: {status}\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Design-space exploration on VGG16-D (the paper's Section III study).
+
+Sweeps the output tile size m = 2..7 and several multiplier budgets, prints
+the multiplication-complexity / transform-complexity trade-off behind
+Figs. 1-3, the throughput scaling of Fig. 6 and the Pareto-optimal
+configurations for throughput vs. power.
+
+Run with:  python examples/vgg16_design_space.py
+"""
+
+from repro import (
+    complexity_breakdown,
+    explore,
+    ideal_throughput_gops,
+    pareto_front,
+    vgg16_d,
+)
+from repro.core import SweepSpec
+from repro.reporting import bar_chart, format_table
+
+
+def main() -> None:
+    network = vgg16_d()
+
+    # ------------------------------------------------------------------ #
+    # Section III: complexity trade-off
+    # ------------------------------------------------------------------ #
+    rows = []
+    previous = None
+    for m in range(2, 8):
+        breakdown = complexity_breakdown(network, m)
+        row = {
+            "m": m,
+            "ewise_mults_G": breakdown.winograd_multiplications / 1e9,
+            "mult_saving_x": breakdown.multiplication_saving_factor,
+            "transform_MFLOPs": breakdown.transform_ops / 1e6,
+        }
+        if previous is not None:
+            row["mult_decrease_%"] = 100.0 * (
+                1 - breakdown.winograd_multiplications / previous.winograd_multiplications
+            )
+            row["transform_increase_%"] = 100.0 * (
+                breakdown.transform_ops / previous.transform_ops - 1
+            )
+        rows.append(row)
+        previous = breakdown
+    print(format_table(rows, title="Complexity trade-off on VGG16-D (Figs. 1-3)"))
+    print()
+
+    # ------------------------------------------------------------------ #
+    # Fig. 6: throughput vs. m and multiplier budget
+    # ------------------------------------------------------------------ #
+    budgets = (256, 512, 1024)
+    for budget in budgets:
+        series = {
+            f"F({m}x{m},3x3)": ideal_throughput_gops(m, 3, budget) for m in range(2, 8)
+        }
+        series["spatial"] = ideal_throughput_gops(1, 3, budget, fractional_pes=False)
+        print(bar_chart(series, title=f"Throughput at 200 MHz, {budget} multipliers (GOPS)"))
+        print()
+
+    # ------------------------------------------------------------------ #
+    # Pareto frontier: throughput vs. power on the Virtex-7
+    # ------------------------------------------------------------------ #
+    points = explore(network, SweepSpec(m_values=(2, 3, 4, 5, 6)))
+    front = pareto_front(points, [("throughput_gops", True), ("power_watts", False)])
+    rows = [
+        {
+            "design": point.name,
+            "throughput_GOPS": point.throughput_gops,
+            "power_W": point.power_watts,
+            "GOPS/W": point.power_efficiency,
+            "LUTs": point.resources.luts,
+        }
+        for point in sorted(front, key=lambda p: p.throughput_gops)
+    ]
+    print(format_table(rows, title="Pareto-optimal designs (throughput vs. power) on Virtex-7"))
+
+
+if __name__ == "__main__":
+    main()

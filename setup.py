@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in fully
+offline environments where the ``wheel`` package (required by PEP 660 editable
+builds) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,110 @@
+"""repro — Design space exploration and optimization of Winograd fast
+convolution engines for CNNs on FPGAs.
+
+A complete Python reproduction of Ahmad & Pasha, "Towards Design Space
+Exploration and Optimization of Fast Algorithms for Convolutional Neural
+Networks (CNNs) on FPGAs", DATE 2019.
+
+Subpackages
+-----------
+``repro.winograd``
+    Winograd minimal-filtering algorithms: exact transform generation,
+    canonical matrices, tiled fast convolution, operator counting.
+``repro.nn``
+    CNN workload substrate: layer/network descriptors (VGG-16, AlexNet,
+    ResNet), reference convolutions, functional forward passes.
+``repro.hw``
+    FPGA hardware models: devices, PE/engine resource estimation, power,
+    frequency, buffers.
+``repro.sim``
+    Cycle-level behavioural simulator of the proposed engine.
+``repro.core``
+    The paper's contribution: complexity/throughput models (Eqs. 4-10),
+    design-space exploration, Pareto/roofline analysis, proposed designs and
+    comparison tables.
+``repro.baselines``
+    Podili et al. [3], Qiu et al. [12] and spatial-convolution baselines,
+    plus the paper's published table/figure values.
+``repro.reporting``
+    Text tables, CSV export and ASCII figures used by the benchmark harness.
+
+Quickstart
+----------
+>>> from repro import vgg16_d, proposed_designs
+>>> designs = proposed_designs(vgg16_d())
+>>> round(designs[-1].throughput_gops, 1)
+1094.4
+"""
+
+from .core import (
+    DesignPoint,
+    HeadlineClaims,
+    SweepSpec,
+    best_by,
+    complexity_breakdown,
+    evaluate_design,
+    explore,
+    headline_claims,
+    ideal_throughput_gops,
+    multiplication_complexity,
+    network_latency,
+    optimize,
+    pareto_front,
+    performance_table,
+    proposed_designs,
+    resource_table,
+    roofline_report,
+    sweep_multiplier_budgets,
+    sweep_tile_sizes,
+    transform_complexity,
+)
+from .hw import EngineConfig, FpgaDevice, PowerModel, build_engine, virtex7_485t
+from .nn import Network, alexnet, resnet18, vgg, vgg16_d
+from .sim import EngineSimConfig, WinogradEngineSim
+from .winograd import WinogradConv2D, get_transform, winograd_conv2d
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # winograd
+    "get_transform",
+    "WinogradConv2D",
+    "winograd_conv2d",
+    # nn
+    "Network",
+    "vgg",
+    "vgg16_d",
+    "alexnet",
+    "resnet18",
+    # hw
+    "FpgaDevice",
+    "virtex7_485t",
+    "EngineConfig",
+    "build_engine",
+    "PowerModel",
+    # sim
+    "EngineSimConfig",
+    "WinogradEngineSim",
+    # core
+    "multiplication_complexity",
+    "transform_complexity",
+    "complexity_breakdown",
+    "network_latency",
+    "ideal_throughput_gops",
+    "DesignPoint",
+    "evaluate_design",
+    "SweepSpec",
+    "explore",
+    "sweep_tile_sizes",
+    "sweep_multiplier_budgets",
+    "best_by",
+    "pareto_front",
+    "roofline_report",
+    "optimize",
+    "proposed_designs",
+    "performance_table",
+    "resource_table",
+    "headline_claims",
+    "HeadlineClaims",
+]

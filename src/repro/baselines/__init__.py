@@ -1,0 +1,36 @@
+"""Baseline accelerator models the paper compares against.
+
+* Podili et al. [3] (ASAP 2017) — the state-of-the-art Winograd engine with a
+  per-PE data transform, in original and multiplier-normalised form.
+* Qiu et al. [12] (FPGA 2016) — the embedded 16-bit accelerator, as published
+  reference values plus a parametric spatial model.
+* A plain spatial-convolution engine — the ``m = 1`` anchor of the DSE plots.
+* The paper's own published Table/Figure values, for EXPERIMENTS.md.
+"""
+
+from .podili import podili_design, podili_normalized_design, reference_style_design
+from .published import (
+    FIG2_PUBLISHED_MFLOPS,
+    FIG3_PUBLISHED,
+    FIG6_PUBLISHED_GOPS,
+    TABLE1_PUBLISHED,
+    TABLE2_PUBLISHED,
+    VIRTEX7_AVAILABLE,
+)
+from .qiu import qiu_parametric_design, qiu_published_design
+from .spatial import spatial_engine_design
+
+__all__ = [
+    "podili_design",
+    "podili_normalized_design",
+    "reference_style_design",
+    "qiu_published_design",
+    "qiu_parametric_design",
+    "spatial_engine_design",
+    "TABLE1_PUBLISHED",
+    "TABLE2_PUBLISHED",
+    "FIG2_PUBLISHED_MFLOPS",
+    "FIG3_PUBLISHED",
+    "FIG6_PUBLISHED_GOPS",
+    "VIRTEX7_AVAILABLE",
+]

@@ -1,0 +1,101 @@
+"""Analytical model of the Podili et al. [3] Winograd engine (ASAP 2017).
+
+The paper's main comparator: a pipelined ``F(2x2, 3x3)`` engine in which
+every PE contains its own data-transform stage.  Its performance obeys the
+same Eqs. (8)-(10) as the proposed design (the paper itself computes the [3]
+and [3]-normalised columns of Table II that way), so this module evaluates it
+with the shared-data-transform flag turned *off* and ``m`` fixed to 2, plus a
+"normalised" variant scaled to the proposed design's multiplier count.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.design_point import DesignPoint, evaluate_design
+from ..hw.calibration import Calibration, DEFAULT_CALIBRATION
+from ..hw.device import FpgaDevice, stratix_v_gt, virtex7_485t
+from ..nn.model import Network
+
+__all__ = ["podili_design", "podili_normalized_design", "reference_style_design"]
+
+
+def podili_design(
+    network: Network,
+    device: Optional[FpgaDevice] = None,
+    frequency_mhz: float = 200.0,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> DesignPoint:
+    """The original [3] configuration: F(2x2, 3x3), 16 PEs, 256 multipliers."""
+    device = device or stratix_v_gt()
+    return evaluate_design(
+        network,
+        m=2,
+        r=3,
+        parallel_pes=16,
+        frequency_mhz=frequency_mhz,
+        shared_data_transform=False,
+        device=device,
+        calibration=calibration,
+        include_pipeline_depth=False,
+        name="podili-asap17",
+    )
+
+
+def podili_normalized_design(
+    network: Network,
+    multipliers: int = 688,
+    device: Optional[FpgaDevice] = None,
+    frequency_mhz: float = 200.0,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> DesignPoint:
+    """The [3]a column of Table II: the [3] architecture scaled to ``multipliers``.
+
+    The paper normalises [3] to the multiplier count of its own m=2 design
+    (688 multipliers, 43 PEs) to separate the architectural contribution from
+    the larger resource budget.
+    """
+    device = device or virtex7_485t()
+    parallel_pes = multipliers // 16  # 16 multipliers per F(2x2, 3x3) PE
+    return evaluate_design(
+        network,
+        m=2,
+        r=3,
+        parallel_pes=parallel_pes,
+        frequency_mhz=frequency_mhz,
+        shared_data_transform=False,
+        device=device,
+        calibration=calibration,
+        include_pipeline_depth=False,
+        name="podili-normalized",
+    )
+
+
+def reference_style_design(
+    network: Network,
+    m: int,
+    parallel_pes: int,
+    r: int = 3,
+    device: Optional[FpgaDevice] = None,
+    frequency_mhz: float = 200.0,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> DesignPoint:
+    """A [3]-style (per-PE data transform) engine at arbitrary ``m`` and ``P``.
+
+    Used by Table I ("Design based on [3]") and by the shared-transform
+    ablation: same algorithm and PE count as the proposed design but without
+    the hoisted data-transform stage.
+    """
+    device = device or virtex7_485t()
+    return evaluate_design(
+        network,
+        m=m,
+        r=r,
+        parallel_pes=parallel_pes,
+        frequency_mhz=frequency_mhz,
+        shared_data_transform=False,
+        device=device,
+        calibration=calibration,
+        include_pipeline_depth=False,
+        name=f"reference-style-m{m}-P{parallel_pes}",
+    )

@@ -1,0 +1,92 @@
+"""Model of the Qiu et al. [12] embedded-FPGA accelerator (FPGA 2016).
+
+[12] is a 16-bit fixed-point, im2col/line-buffer style accelerator on a Zynq
+XC7Z045 running at 150 MHz with 780 multipliers.  The paper uses it as an
+"older implementation" reference row in Table II; its figures are measured
+numbers from the original publication rather than outputs of the analytical
+model, so this module exposes them directly (clearly marked as published
+values) and additionally provides a parametric spatial-convolution model of
+the same machine so it can participate in sweeps on other workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.design_point import DesignPoint
+from ..core.throughput import LatencyReport
+from ..hw.calibration import DEFAULT_CALIBRATION, Calibration
+from ..hw.device import FpgaDevice, zynq_7045
+from ..hw.resources import ResourceEstimate
+from ..nn.model import Network
+from .published import TABLE2_PUBLISHED
+from .spatial import spatial_engine_design
+
+__all__ = ["qiu_published_design", "qiu_parametric_design"]
+
+
+def qiu_published_design(network: Network) -> DesignPoint:
+    """The [12] column of Table II, reproduced from its published figures.
+
+    The returned :class:`DesignPoint` carries the published latencies,
+    throughput and power; resource fields hold only the multiplier count.
+    Only meaningful for VGG16-D (the workload [12] reports).
+    """
+    published = TABLE2_PUBLISHED["qiu_fpga16"]
+    group_latency = {
+        f"Conv{i}": published[f"conv{i}_ms"] for i in range(1, 6)
+    }
+    latency = LatencyReport(
+        m=1,
+        r=3,
+        parallel_pes=float("nan"),
+        frequency_mhz=published["frequency_mhz"],
+        pipeline_depth=0,
+        group_latency_ms=group_latency,
+        total_latency_ms=published["overall_latency_ms"],
+        spatial_ops=int(network.total_conv_flops),
+    )
+    multipliers = int(published["multipliers"])
+    return DesignPoint(
+        name="qiu-fpga16",
+        m=1,
+        r=3,
+        parallel_pes=0,
+        multipliers=multipliers,
+        frequency_mhz=published["frequency_mhz"],
+        shared_data_transform=False,
+        device_name=zynq_7045().name,
+        precision="fixed16",
+        latency=latency,
+        throughput_gops=published["throughput_gops"],
+        multiplier_efficiency=published["multiplier_efficiency"],
+        resources=ResourceEstimate(multipliers=multipliers),
+        power_watts=published["power_w"],
+        power_efficiency=published["power_efficiency"],
+        spatial_multiplications=float(network.total_conv_macs),
+        winograd_multiplications=float(network.total_conv_macs),
+        implementation_transform_ops=0.0,
+        workload_name=network.name,
+    )
+
+
+def qiu_parametric_design(
+    network: Network,
+    device: Optional[FpgaDevice] = None,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> DesignPoint:
+    """A parametric spatial-convolution machine with [12]'s budget and clock.
+
+    780 multipliers at 150 MHz with 16-bit arithmetic, evaluated through the
+    same analytical pipeline as every other design so that [12]-class
+    machines can be swept on arbitrary workloads.
+    """
+    device = device or zynq_7045()
+    return spatial_engine_design(
+        network,
+        multipliers=int(TABLE2_PUBLISHED["qiu_fpga16"]["multipliers"]),
+        frequency_mhz=TABLE2_PUBLISHED["qiu_fpga16"]["frequency_mhz"],
+        device=device,
+        calibration=calibration,
+        name="qiu-parametric",
+    )

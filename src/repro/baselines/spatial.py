@@ -1,0 +1,50 @@
+"""Spatial (direct) convolution engine baseline.
+
+The "Spatial Conv" series of Figs. 1 and 6: an engine made of plain
+multiply-accumulate PEs, each computing one output pixel per cycle from
+``r x r`` multipliers.  In this library's terms it is simply the degenerate
+minimal algorithm ``F(1 x 1, r x r)`` — the transforms collapse to (near)
+identities and the element-wise stage is the ``r^2``-multiplier dot product —
+so it is evaluated through the same design-point pipeline as every Winograd
+configuration, which keeps all comparisons internally consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.design_point import DesignPoint, evaluate_design
+from ..hw.calibration import Calibration, DEFAULT_CALIBRATION
+from ..hw.device import FpgaDevice, virtex7_485t
+from ..nn.model import Network
+
+__all__ = ["spatial_engine_design"]
+
+
+def spatial_engine_design(
+    network: Network,
+    multipliers: int,
+    frequency_mhz: float = 200.0,
+    r: int = 3,
+    device: Optional[FpgaDevice] = None,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    name: str = "spatial",
+) -> DesignPoint:
+    """Evaluate a spatial-convolution engine with ``multipliers`` MAC units.
+
+    Each PE consumes ``r^2`` multipliers and produces one output pixel per
+    cycle, so ``P = floor(mT / r^2)`` — Eq. (8) with ``m = 1``.
+    """
+    device = device or virtex7_485t()
+    return evaluate_design(
+        network,
+        m=1,
+        r=r,
+        multiplier_budget=multipliers,
+        frequency_mhz=frequency_mhz,
+        shared_data_transform=True,
+        device=device,
+        calibration=calibration,
+        include_pipeline_depth=False,
+        name=name,
+    )

@@ -1,0 +1,85 @@
+"""The paper's primary contribution: DSE and the optimised Winograd engine.
+
+Implements the analytical complexity models of Section III (Eqs. 4-7), the
+latency/throughput models of Section IV-D (Eqs. 8-10), design-point
+evaluation and design-space sweeps, Pareto and roofline analysis, the three
+proposed designs of Section V and the Table I / Table II comparison builders.
+"""
+
+from .comparison import HeadlineClaims, headline_claims, performance_table, resource_table
+from .complexity import (
+    ComplexityBreakdown,
+    complexity_breakdown,
+    implementation_transform_complexity,
+    multiplication_complexity,
+    multiplication_reduction,
+    spatial_multiplications,
+    transform_complexity,
+)
+from .design_point import DesignPoint, evaluate_design
+from .design_space import (
+    SweepSpec,
+    best_by,
+    explore,
+    sweep_multiplier_budgets,
+    sweep_tile_sizes,
+)
+from .pareto import Objective, dominates, pareto_front, pareto_rank
+from .proposed import PROPOSED_CONFIGS, OptimizationResult, optimize, proposed_designs
+from .roofline import (
+    LayerRoofline,
+    RooflineReport,
+    layer_operational_intensity,
+    roofline_report,
+)
+from .throughput import (
+    LatencyReport,
+    ideal_throughput_gops,
+    layer_cycles,
+    layer_latency_seconds,
+    multiplier_efficiency,
+    network_latency,
+    parallel_pes,
+    throughput_gops,
+)
+
+__all__ = [
+    "multiplication_complexity",
+    "transform_complexity",
+    "implementation_transform_complexity",
+    "spatial_multiplications",
+    "complexity_breakdown",
+    "ComplexityBreakdown",
+    "multiplication_reduction",
+    "parallel_pes",
+    "layer_cycles",
+    "layer_latency_seconds",
+    "network_latency",
+    "LatencyReport",
+    "throughput_gops",
+    "ideal_throughput_gops",
+    "multiplier_efficiency",
+    "DesignPoint",
+    "evaluate_design",
+    "SweepSpec",
+    "explore",
+    "sweep_tile_sizes",
+    "sweep_multiplier_budgets",
+    "best_by",
+    "Objective",
+    "dominates",
+    "pareto_front",
+    "pareto_rank",
+    "roofline_report",
+    "RooflineReport",
+    "LayerRoofline",
+    "layer_operational_intensity",
+    "PROPOSED_CONFIGS",
+    "proposed_designs",
+    "optimize",
+    "OptimizationResult",
+    "performance_table",
+    "resource_table",
+    "headline_claims",
+    "HeadlineClaims",
+]

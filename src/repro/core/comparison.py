@@ -1,0 +1,121 @@
+"""Comparison tables: the reproduction's version of Tables I and II.
+
+Assembles design points (proposed designs plus baselines) into structured
+comparison records, computes the headline ratios the paper's abstract quotes
+(4.75x throughput, 1.44x power efficiency, 53.6 % LUT savings, 2.67x
+multipliers) and exposes them to the benchmark harness and EXPERIMENTS.md
+generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..baselines.podili import podili_design, podili_normalized_design, reference_style_design
+from ..baselines.qiu import qiu_published_design
+from ..hw.calibration import Calibration, DEFAULT_CALIBRATION
+from ..hw.device import FpgaDevice, virtex7_485t
+from ..nn.model import Network
+from .design_point import DesignPoint
+from .proposed import PROPOSED_CONFIGS, proposed_designs
+
+__all__ = ["HeadlineClaims", "performance_table", "resource_table", "headline_claims"]
+
+
+def performance_table(
+    network: Network,
+    device: Optional[FpgaDevice] = None,
+    frequency_mhz: float = 200.0,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> List[DesignPoint]:
+    """Build the full Table II line-up: [12], [3], [3]a and the three proposed designs."""
+    device = device or virtex7_485t()
+    points: List[DesignPoint] = [
+        qiu_published_design(network),
+        podili_design(network, frequency_mhz=frequency_mhz, calibration=calibration),
+        podili_normalized_design(
+            network, device=device, frequency_mhz=frequency_mhz, calibration=calibration
+        ),
+    ]
+    points.extend(
+        proposed_designs(
+            network, device=device, frequency_mhz=frequency_mhz, calibration=calibration
+        )
+    )
+    return points
+
+
+def resource_table(
+    network: Network,
+    m: int = 4,
+    parallel_pes: Optional[int] = None,
+    device: Optional[FpgaDevice] = None,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> Dict[str, DesignPoint]:
+    """Build the Table I comparison: reference-[3]-style vs. proposed, same m and P."""
+    device = device or virtex7_485t()
+    if parallel_pes is None:
+        parallel_pes = PROPOSED_CONFIGS.get(m, {}).get("parallel_pes")
+        if parallel_pes is None:
+            raise ValueError(f"no default PE count for m={m}; pass parallel_pes explicitly")
+    reference = reference_style_design(
+        network, m=m, parallel_pes=parallel_pes, device=device, calibration=calibration
+    )
+    proposed = [
+        point
+        for point in proposed_designs(network, device=device, calibration=calibration)
+        if point.m == m
+    ][0]
+    return {"reference_design": reference, "proposed_design": proposed}
+
+
+@dataclass(frozen=True)
+class HeadlineClaims:
+    """The abstract's headline ratios, as reproduced by the models."""
+
+    throughput_improvement: float
+    power_efficiency_improvement_m2: float
+    multiplier_ratio: float
+    lut_savings_pct: float
+    multiplier_efficiency_best: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "throughput_improvement": self.throughput_improvement,
+            "power_efficiency_improvement_m2": self.power_efficiency_improvement_m2,
+            "multiplier_ratio": self.multiplier_ratio,
+            "lut_savings_pct": self.lut_savings_pct,
+            "multiplier_efficiency_best": self.multiplier_efficiency_best,
+        }
+
+
+def headline_claims(
+    network: Network,
+    device: Optional[FpgaDevice] = None,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> HeadlineClaims:
+    """Reproduce the abstract's claims from the analytical models.
+
+    * throughput improvement — proposed m=4 vs. the original [3] (4.75x in the paper);
+    * power-efficiency improvement — proposed m=2 vs. [3] (1.44x);
+    * multiplier ratio — proposed m=4 vs. [3] (2.67x);
+    * LUT savings — proposed vs. reference-style design at m=4, 19 PEs (53.6 %).
+    """
+    device = device or virtex7_485t()
+    podili = podili_design(network, calibration=calibration)
+    proposed = proposed_designs(network, device=device, calibration=calibration)
+    by_m = {point.m: point for point in proposed}
+    table1 = resource_table(network, m=4, device=device, calibration=calibration)
+    lut_savings = 100.0 * (
+        1.0
+        - table1["proposed_design"].resources.luts
+        / table1["reference_design"].resources.luts
+    )
+    return HeadlineClaims(
+        throughput_improvement=by_m[4].throughput_gops / podili.throughput_gops,
+        power_efficiency_improvement_m2=by_m[2].power_efficiency / podili.power_efficiency,
+        multiplier_ratio=by_m[4].multipliers / podili.multipliers,
+        lut_savings_pct=lut_savings,
+        multiplier_efficiency_best=by_m[4].multiplier_efficiency,
+    )

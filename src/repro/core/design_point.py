@@ -1,0 +1,191 @@
+"""Design points: one fully evaluated engine configuration on one workload.
+
+A :class:`DesignPoint` ties together everything the paper reports about a
+configuration — the minimal-algorithm parameters, the PE count, the modelled
+resources and power, and the Table II performance metrics (latency per group,
+throughput, multiplier efficiency, power efficiency) — so the design-space
+exploration, the Pareto analysis and the benchmark harness all speak the same
+vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..hw.calibration import Calibration, DEFAULT_CALIBRATION
+from ..hw.device import FpgaDevice, virtex7_485t
+from ..hw.engine import EngineConfig, EngineModel, build_engine
+from ..hw.power import PowerModel
+from ..hw.resources import ResourceEstimate
+from ..nn.model import Network
+from .complexity import (
+    implementation_transform_complexity,
+    multiplication_complexity,
+    spatial_multiplications,
+)
+from .throughput import LatencyReport, network_latency
+
+__all__ = ["DesignPoint", "evaluate_design"]
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """A fully evaluated accelerator design.
+
+    Attributes map one-to-one onto the rows of the paper's Table II plus the
+    Section III complexity quantities for the same configuration.
+    """
+
+    name: str
+    m: int
+    r: int
+    parallel_pes: int
+    multipliers: int
+    frequency_mhz: float
+    shared_data_transform: bool
+    device_name: str
+    precision: str
+
+    # Performance
+    latency: LatencyReport
+    throughput_gops: float
+    multiplier_efficiency: float
+
+    # Physical
+    resources: ResourceEstimate
+    power_watts: float
+    power_efficiency: float
+
+    # Complexity
+    spatial_multiplications: float
+    winograd_multiplications: float
+    implementation_transform_ops: float
+
+    # Provenance
+    engine: Optional[EngineModel] = field(default=None, compare=False, repr=False)
+    workload_name: str = ""
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_latency_ms(self) -> float:
+        """Overall latency for the workload in milliseconds."""
+        return self.latency.total_latency_ms
+
+    @property
+    def group_latency_ms(self) -> Dict[str, float]:
+        """Per-group latency in milliseconds (Conv1..Conv5 for VGG16-D)."""
+        return self.latency.group_latency_ms
+
+    @property
+    def multiplication_saving_factor(self) -> float:
+        """Spatial / Winograd multiplication ratio for this ``m``."""
+        return self.spatial_multiplications / self.winograd_multiplications
+
+    def speedup_over(self, other: "DesignPoint") -> float:
+        """Throughput ratio of this design over ``other``."""
+        return self.throughput_gops / other.throughput_gops
+
+    def power_efficiency_over(self, other: "DesignPoint") -> float:
+        """Power-efficiency ratio of this design over ``other``."""
+        return self.power_efficiency / other.power_efficiency
+
+    def summary_row(self) -> Dict[str, float]:
+        """Flat dict used by the reporting layer for Table II style output."""
+        row: Dict[str, float] = {
+            "m": self.m,
+            "r": self.r,
+            "multipliers": self.multipliers,
+            "pes": self.parallel_pes,
+            "frequency_mhz": self.frequency_mhz,
+            "latency_ms": self.total_latency_ms,
+            "throughput_gops": self.throughput_gops,
+            "multiplier_efficiency": self.multiplier_efficiency,
+            "power_w": self.power_watts,
+            "power_efficiency": self.power_efficiency,
+            "luts": self.resources.luts,
+            "registers": self.resources.registers,
+            "dsp_slices": self.resources.dsp_slices,
+        }
+        for group, value in sorted(self.group_latency_ms.items()):
+            row[f"latency_{group.lower()}_ms"] = value
+        return row
+
+
+def evaluate_design(
+    network: Network,
+    m: int,
+    r: int = 3,
+    parallel_pes: Optional[int] = None,
+    multiplier_budget: Optional[int] = None,
+    frequency_mhz: float = 200.0,
+    shared_data_transform: bool = True,
+    device: Optional[FpgaDevice] = None,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    include_pipeline_depth: bool = True,
+    name: Optional[str] = None,
+) -> DesignPoint:
+    """Evaluate one engine configuration on one workload.
+
+    Either ``parallel_pes`` or ``multiplier_budget`` may be given; when both
+    are omitted the PE count is derived from the device's DSP budget
+    (Eq. (8)).
+
+    Returns a :class:`DesignPoint` carrying performance, resource, power and
+    complexity metrics.
+    """
+    device = device or virtex7_485t()
+    if parallel_pes is None and multiplier_budget is not None:
+        per_pe = (m + r - 1) ** 2
+        parallel_pes = multiplier_budget // per_pe
+        if parallel_pes < 1:
+            raise ValueError(
+                f"multiplier budget {multiplier_budget} cannot host one F({m},{r}) PE"
+            )
+    config = EngineConfig(
+        m=m,
+        r=r,
+        parallel_pes=parallel_pes,
+        shared_data_transform=shared_data_transform,
+        frequency_mhz=frequency_mhz,
+    )
+    engine = build_engine(config, device=device, calibration=calibration)
+
+    pipeline_depth = engine.pipeline_depth if include_pipeline_depth else 0
+    latency = network_latency(
+        network,
+        m=m,
+        pes=engine.parallel_pes,
+        frequency_mhz=frequency_mhz,
+        r=r,
+        pipeline_depth=pipeline_depth,
+    )
+    throughput = latency.throughput_gops
+    power_model = PowerModel(calibration.power)
+    power = power_model.total_watts(engine.resources, frequency_mhz)
+
+    point_name = name or f"F({m}x{m},{r}x{r})-P{engine.parallel_pes}"
+    return DesignPoint(
+        name=point_name,
+        m=m,
+        r=r,
+        parallel_pes=engine.parallel_pes,
+        multipliers=engine.total_multipliers,
+        frequency_mhz=frequency_mhz,
+        shared_data_transform=shared_data_transform,
+        device_name=device.name,
+        precision=config.precision.name,
+        latency=latency,
+        throughput_gops=throughput,
+        multiplier_efficiency=throughput / engine.total_multipliers,
+        resources=engine.resources,
+        power_watts=power,
+        power_efficiency=throughput / power,
+        spatial_multiplications=float(spatial_multiplications(network)),
+        winograd_multiplications=multiplication_complexity(network, m),
+        implementation_transform_ops=implementation_transform_complexity(
+            network, m, engine.parallel_pes
+        ),
+        engine=engine,
+        workload_name=network.name,
+    )

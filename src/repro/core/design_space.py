@@ -1,0 +1,139 @@
+"""Design-space exploration driver.
+
+The paper explores the space spanned by the output tile size ``m``, the
+multiplier budget ``mT`` (equivalently the PE count ``P``) and the clock
+frequency, looking for the configurations with the best throughput, resource
+efficiency and power efficiency (Section III plus the Fig. 6 sweep).  This
+module runs those sweeps over arbitrary workloads and devices and returns
+fully evaluated :class:`~repro.core.design_point.DesignPoint` objects ready
+for Pareto analysis, ranking and reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from ..hw.calibration import Calibration, DEFAULT_CALIBRATION
+from ..hw.device import FpgaDevice, virtex7_485t
+from ..nn.model import Network
+from .design_point import DesignPoint, evaluate_design
+
+__all__ = ["SweepSpec", "explore", "sweep_tile_sizes", "sweep_multiplier_budgets", "best_by"]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Specification of a design-space sweep.
+
+    Attributes
+    ----------
+    m_values:
+        Output tile sizes to evaluate.
+    multiplier_budgets:
+        Multiplier budgets ``mT``; ``None`` entries mean "use the whole
+        device's DSP budget".
+    frequencies_mhz:
+        Clock frequencies to evaluate.
+    shared_data_transform:
+        Architecture variant(s) to include.
+    r:
+        Kernel size (3 throughout the paper).
+    """
+
+    m_values: Sequence[int] = (2, 3, 4, 5, 6, 7)
+    multiplier_budgets: Sequence[Optional[int]] = (None,)
+    frequencies_mhz: Sequence[float] = (200.0,)
+    shared_data_transform: Sequence[bool] = (True,)
+    r: int = 3
+
+
+def explore(
+    network: Network,
+    spec: SweepSpec = SweepSpec(),
+    device: Optional[FpgaDevice] = None,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    skip_infeasible: bool = True,
+) -> List[DesignPoint]:
+    """Evaluate every configuration of ``spec`` on ``network``.
+
+    Parameters
+    ----------
+    skip_infeasible:
+        Drop configurations that cannot host a single PE within the given
+        multiplier budget or that exceed the device's DSP capacity; when
+        ``False`` such configurations raise instead.
+    """
+    device = device or virtex7_485t()
+    points: List[DesignPoint] = []
+    for m in spec.m_values:
+        for budget in spec.multiplier_budgets:
+            for frequency in spec.frequencies_mhz:
+                for shared in spec.shared_data_transform:
+                    try:
+                        point = evaluate_design(
+                            network,
+                            m=m,
+                            r=spec.r,
+                            multiplier_budget=budget,
+                            frequency_mhz=frequency,
+                            shared_data_transform=shared,
+                            device=device,
+                            calibration=calibration,
+                        )
+                    except ValueError:
+                        if skip_infeasible:
+                            continue
+                        raise
+                    if skip_infeasible and not point.resources.fits(device):
+                        continue
+                    points.append(point)
+    return points
+
+
+def sweep_tile_sizes(
+    network: Network,
+    m_values: Sequence[int] = (2, 3, 4, 5, 6, 7),
+    device: Optional[FpgaDevice] = None,
+    frequency_mhz: float = 200.0,
+    r: int = 3,
+) -> List[DesignPoint]:
+    """Sweep the output tile size with the full device multiplier budget."""
+    spec = SweepSpec(m_values=m_values, frequencies_mhz=(frequency_mhz,), r=r)
+    return explore(network, spec, device=device)
+
+
+def sweep_multiplier_budgets(
+    network: Network,
+    m: int,
+    budgets: Sequence[int],
+    device: Optional[FpgaDevice] = None,
+    frequency_mhz: float = 200.0,
+    r: int = 3,
+) -> List[DesignPoint]:
+    """Sweep multiplier budgets for a fixed tile size (one Fig. 6 series)."""
+    spec = SweepSpec(
+        m_values=(m,),
+        multiplier_budgets=tuple(budgets),
+        frequencies_mhz=(frequency_mhz,),
+        r=r,
+    )
+    return explore(network, spec, device=device)
+
+
+def best_by(points: Iterable[DesignPoint], metric: str, maximize: bool = True) -> DesignPoint:
+    """Pick the best design point by a named metric.
+
+    ``metric`` is any numeric attribute of :class:`DesignPoint`, e.g.
+    ``"throughput_gops"``, ``"power_efficiency"``, ``"multiplier_efficiency"``
+    or ``"total_latency_ms"`` (use ``maximize=False`` for latency).
+    """
+    points = list(points)
+    if not points:
+        raise ValueError("no design points to choose from")
+    try:
+        keyed = [(getattr(point, metric), point) for point in points]
+    except AttributeError as error:
+        raise ValueError(f"unknown metric {metric!r}") from error
+    keyed.sort(key=lambda pair: pair[0], reverse=maximize)
+    return keyed[0][1]

@@ -1,0 +1,117 @@
+"""Pareto-frontier extraction over design points.
+
+The paper's Section III discussion is, in essence, a two-objective trade-off
+(multiplication savings vs. transform overhead; throughput vs. resources /
+power).  This module provides a small generic multi-objective Pareto filter
+over :class:`~repro.core.design_point.DesignPoint` collections so the DSE can
+report the non-dominated configurations for any metric combination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple, Union
+
+from .design_point import DesignPoint
+
+__all__ = ["Objective", "dominates", "pareto_front", "pareto_rank"]
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One optimisation objective: a design-point metric and a direction."""
+
+    metric: str
+    maximize: bool = True
+
+    def value(self, point: DesignPoint) -> float:
+        try:
+            return float(getattr(point, self.metric))
+        except AttributeError as error:
+            raise ValueError(f"unknown metric {self.metric!r}") from error
+
+    def better(self, a: float, b: float) -> bool:
+        """Whether value ``a`` is strictly better than ``b``."""
+        return a > b if self.maximize else a < b
+
+    def no_worse(self, a: float, b: float) -> bool:
+        """Whether value ``a`` is at least as good as ``b``."""
+        return a >= b if self.maximize else a <= b
+
+
+ObjectiveLike = Union[Objective, str, Tuple[str, bool]]
+
+
+def _normalize(objectives: Sequence[ObjectiveLike]) -> List[Objective]:
+    normalized: List[Objective] = []
+    for objective in objectives:
+        if isinstance(objective, Objective):
+            normalized.append(objective)
+        elif isinstance(objective, str):
+            normalized.append(Objective(objective, True))
+        else:
+            metric, maximize = objective
+            normalized.append(Objective(metric, maximize))
+    if not normalized:
+        raise ValueError("at least one objective is required")
+    return normalized
+
+
+def dominates(
+    a: DesignPoint, b: DesignPoint, objectives: Sequence[ObjectiveLike]
+) -> bool:
+    """Whether design ``a`` Pareto-dominates design ``b``.
+
+    ``a`` dominates ``b`` when it is no worse in every objective and strictly
+    better in at least one.
+    """
+    objs = _normalize(objectives)
+    strictly_better = False
+    for objective in objs:
+        value_a = objective.value(a)
+        value_b = objective.value(b)
+        if not objective.no_worse(value_a, value_b):
+            return False
+        if objective.better(value_a, value_b):
+            strictly_better = True
+    return strictly_better
+
+
+def pareto_front(
+    points: Iterable[DesignPoint], objectives: Sequence[ObjectiveLike]
+) -> List[DesignPoint]:
+    """Return the non-dominated subset of ``points`` for the given objectives.
+
+    The result preserves the input ordering of the surviving points.
+    """
+    points = list(points)
+    front: List[DesignPoint] = []
+    for candidate in points:
+        if any(dominates(other, candidate, objectives) for other in points if other is not candidate):
+            continue
+        front.append(candidate)
+    return front
+
+
+def pareto_rank(
+    points: Iterable[DesignPoint], objectives: Sequence[ObjectiveLike]
+) -> Dict[str, int]:
+    """Assign a Pareto rank (0 = frontier) to every design point by name.
+
+    Iteratively peels fronts, as in NSGA-style non-dominated sorting.  Useful
+    for ordering a large sweep for presentation.
+    """
+    remaining = list(points)
+    ranks: Dict[str, int] = {}
+    rank = 0
+    while remaining:
+        front = pareto_front(remaining, objectives)
+        if not front:  # safety: should not happen with a finite set
+            for point in remaining:
+                ranks[point.name] = rank
+            break
+        for point in front:
+            ranks[point.name] = rank
+        remaining = [point for point in remaining if point not in front]
+        rank += 1
+    return ranks

@@ -1,0 +1,113 @@
+"""The paper's proposed designs and a small configuration optimizer.
+
+Section V evaluates three concrete instances of the proposed architecture on
+the Virtex-7 device at 200 MHz:
+
+==========  ====  ====================  =====
+design      m, r  multipliers (mT)      PEs P
+==========  ====  ====================  =====
+proposed-2  2, 3  688                   43
+proposed-3  3, 3  700                   28
+proposed-4  4, 3  684                   19
+==========  ====  ====================  =====
+
+:func:`proposed_designs` evaluates exactly those three points on a workload;
+:func:`optimize` searches the ``(m, P)`` space for the configuration that
+maximises a chosen metric under device constraints — the procedure the paper
+describes informally in Section III-C ("for m >= 5 ... it is infeasible").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..hw.calibration import Calibration, DEFAULT_CALIBRATION
+from ..hw.device import FpgaDevice, virtex7_485t
+from ..nn.model import Network
+from .design_point import DesignPoint, evaluate_design
+from .design_space import SweepSpec, best_by, explore
+
+__all__ = ["PROPOSED_CONFIGS", "proposed_designs", "optimize"]
+
+
+#: The three implemented configurations of Table II: m -> (multipliers, PEs).
+PROPOSED_CONFIGS: Dict[int, Dict[str, int]] = {
+    2: {"multipliers": 688, "parallel_pes": 43},
+    3: {"multipliers": 700, "parallel_pes": 28},
+    4: {"multipliers": 684, "parallel_pes": 19},
+}
+
+
+def proposed_designs(
+    network: Network,
+    device: Optional[FpgaDevice] = None,
+    frequency_mhz: float = 200.0,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    include_pipeline_depth: bool = False,
+) -> List[DesignPoint]:
+    """Evaluate the paper's three proposed designs on ``network``.
+
+    ``include_pipeline_depth=False`` matches the paper's Table II numbers,
+    which neglect the (sub-microsecond) pipeline-fill term of Eq. (9).
+    """
+    device = device or virtex7_485t()
+    points = []
+    for m, config in sorted(PROPOSED_CONFIGS.items()):
+        points.append(
+            evaluate_design(
+                network,
+                m=m,
+                r=3,
+                parallel_pes=config["parallel_pes"],
+                frequency_mhz=frequency_mhz,
+                shared_data_transform=True,
+                device=device,
+                calibration=calibration,
+                include_pipeline_depth=include_pipeline_depth,
+                name=f"proposed-m{m}",
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Outcome of :func:`optimize`: the winner plus the explored space."""
+
+    best: DesignPoint
+    explored: List[DesignPoint]
+    metric: str
+
+    @property
+    def ranking(self) -> List[DesignPoint]:
+        """All feasible points sorted best-first by the optimisation metric."""
+        reverse = self.metric not in ("total_latency_ms", "power_watts")
+        return sorted(
+            self.explored, key=lambda p: getattr(p, self.metric), reverse=reverse
+        )
+
+
+def optimize(
+    network: Network,
+    metric: str = "throughput_gops",
+    m_values: Sequence[int] = (2, 3, 4, 5, 6, 7),
+    device: Optional[FpgaDevice] = None,
+    frequency_mhz: float = 200.0,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> OptimizationResult:
+    """Search the tile-size space for the best design under device constraints.
+
+    Every candidate uses the maximum PE count its multiplier budget allows
+    (Eq. (8) with the device's full DSP budget).  ``metric`` may be any
+    numeric :class:`DesignPoint` attribute; latency and power are minimised,
+    everything else is maximised.
+    """
+    device = device or virtex7_485t()
+    spec = SweepSpec(m_values=tuple(m_values), frequencies_mhz=(frequency_mhz,))
+    explored = explore(network, spec, device=device, calibration=calibration)
+    if not explored:
+        raise ValueError("no feasible design point found on the given device")
+    maximize = metric not in ("total_latency_ms", "power_watts")
+    best = best_by(explored, metric, maximize=maximize)
+    return OptimizationResult(best=best, explored=explored, metric=metric)

@@ -1,0 +1,131 @@
+"""Roofline analysis of Winograd convolution engines.
+
+The paper's Table II assumes "enough memory bandwidth is available to refill
+both buffers without having to wait for more input data" (Section V-B).  The
+roofline model makes that assumption checkable: for each design point it
+computes
+
+* the compute roof — the engine's peak spatial-equivalent throughput
+  (Eq. (10) with the pipeline-fill term dropped),
+* the operational intensity of each layer — spatial-equivalent operations per
+  byte moved from external memory (inputs read once, outputs written once,
+  weights amortised), and
+* the attainable throughput ``min(peak, bandwidth * intensity)``.
+
+If the attainable throughput equals the compute roof for every VGG16-D layer
+at the device's DRAM bandwidth, the paper's double-buffering assumption is
+consistent; otherwise the model reports which layers are bandwidth-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..hw.device import FpgaDevice, virtex7_485t
+from ..nn.layers import ConvLayer
+from ..nn.model import Network
+
+__all__ = ["LayerRoofline", "RooflineReport", "layer_operational_intensity", "roofline_report"]
+
+
+def layer_operational_intensity(
+    layer: ConvLayer,
+    bytes_per_element: int = 4,
+    include_weights: bool = True,
+    tile_reuse: bool = True,
+) -> float:
+    """Spatial-equivalent operations per byte of external traffic for a layer.
+
+    Traffic model: the input feature map is read once, the output feature map
+    is written once, and the weights are read once per layer (their transforms
+    are computed on the fly or stored at equal size).  ``tile_reuse=False``
+    models a naive engine without a line buffer, where each input pixel is
+    re-read for every overlapping tile row it participates in.
+    """
+    input_elems = layer.batch * layer.in_channels * layer.height * layer.width
+    output_elems = layer.batch * layer.out_channels * layer.output_height * layer.output_width
+    weight_elems = layer.weight_count if include_weights else 0
+    if not tile_reuse:
+        # Without a line buffer every r-row band is re-fetched ~r times.
+        input_elems *= layer.kernel_size
+    traffic_bytes = (input_elems + output_elems + weight_elems) * bytes_per_element
+    return layer.flops / traffic_bytes
+
+
+@dataclass(frozen=True)
+class LayerRoofline:
+    """Roofline evaluation of one layer on one engine configuration."""
+
+    layer_name: str
+    operational_intensity: float
+    compute_roof_gops: float
+    bandwidth_roof_gops: float
+
+    @property
+    def attainable_gops(self) -> float:
+        return min(self.compute_roof_gops, self.bandwidth_roof_gops)
+
+    @property
+    def compute_bound(self) -> bool:
+        return self.compute_roof_gops <= self.bandwidth_roof_gops
+
+
+@dataclass(frozen=True)
+class RooflineReport:
+    """Roofline evaluation of a whole network."""
+
+    device_name: str
+    bandwidth_gbps: float
+    peak_gops: float
+    layers: List[LayerRoofline]
+
+    @property
+    def all_compute_bound(self) -> bool:
+        """True when no layer is limited by memory bandwidth."""
+        return all(layer.compute_bound for layer in self.layers)
+
+    @property
+    def bandwidth_bound_layers(self) -> List[str]:
+        return [layer.layer_name for layer in self.layers if not layer.compute_bound]
+
+    def attainable_fraction(self) -> float:
+        """Mean ratio of attainable to peak throughput across layers."""
+        if not self.layers:
+            return 1.0
+        return sum(l.attainable_gops for l in self.layers) / (self.peak_gops * len(self.layers))
+
+
+def roofline_report(
+    network: Network,
+    m: int,
+    parallel_pes: int,
+    frequency_mhz: float = 200.0,
+    r: int = 3,
+    device: Optional[FpgaDevice] = None,
+    bytes_per_element: int = 4,
+    only_kernel_size: Optional[int] = 3,
+) -> RooflineReport:
+    """Roofline analysis of ``network`` on an ``F(m x m, r x r)`` engine."""
+    device = device or virtex7_485t()
+    peak_gops = 2.0 * r * r * m * m * parallel_pes * frequency_mhz * 1e6 / 1e9
+    bandwidth = device.dram_bandwidth_gbps
+    layers: List[LayerRoofline] = []
+    for layer in network.conv_layers:
+        if only_kernel_size is not None and layer.kernel_size != only_kernel_size:
+            continue
+        intensity = layer_operational_intensity(layer, bytes_per_element)
+        layers.append(
+            LayerRoofline(
+                layer_name=layer.name,
+                operational_intensity=intensity,
+                compute_roof_gops=peak_gops,
+                bandwidth_roof_gops=bandwidth * intensity,
+            )
+        )
+    return RooflineReport(
+        device_name=device.name,
+        bandwidth_gbps=bandwidth,
+        peak_gops=peak_gops,
+        layers=layers,
+    )

@@ -1,0 +1,74 @@
+"""FPGA hardware modelling substrate.
+
+Device library, per-operator arithmetic costs, datapath/PE/engine resource
+models, buffer and bandwidth sizing, power and clock-frequency models — the
+pieces that replace RTL synthesis in this laptop-scale reproduction.
+"""
+
+from .arithmetic import OperatorCost, OperatorLibrary, Precision
+from .buffers import BufferConfig, BufferEstimate, required_bandwidth_gbps, size_buffers
+from .calibration import (
+    Calibration,
+    DEFAULT_CALIBRATION,
+    PowerCalibration,
+    ResourceCalibration,
+)
+from .datapath import (
+    StageDatapath,
+    adder_tree_depth,
+    datapath_from_network,
+    datapath_from_op_count,
+)
+from .device import (
+    DEVICES,
+    FpgaDevice,
+    get_device,
+    stratix_v_gt,
+    virtex7_485t,
+    virtex7_690t,
+    zynq_7045,
+)
+from .engine import EngineConfig, EngineModel, build_engine, max_parallel_pes
+from .frequency import TimingEstimate, achievable_frequency, estimate_fmax
+from .pe import PEModel, build_pe
+from .power import PowerBreakdown, PowerModel
+from .resources import ResourceEstimate, Utilization, utilization
+
+__all__ = [
+    "FpgaDevice",
+    "DEVICES",
+    "get_device",
+    "virtex7_485t",
+    "virtex7_690t",
+    "zynq_7045",
+    "stratix_v_gt",
+    "Precision",
+    "OperatorCost",
+    "OperatorLibrary",
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "ResourceCalibration",
+    "PowerCalibration",
+    "ResourceEstimate",
+    "Utilization",
+    "utilization",
+    "StageDatapath",
+    "adder_tree_depth",
+    "datapath_from_op_count",
+    "datapath_from_network",
+    "PEModel",
+    "build_pe",
+    "EngineConfig",
+    "EngineModel",
+    "build_engine",
+    "max_parallel_pes",
+    "BufferConfig",
+    "BufferEstimate",
+    "size_buffers",
+    "required_bandwidth_gbps",
+    "PowerBreakdown",
+    "PowerModel",
+    "TimingEstimate",
+    "estimate_fmax",
+    "achievable_frequency",
+]

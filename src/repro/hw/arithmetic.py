@@ -1,0 +1,148 @@
+"""Arithmetic operator cost models.
+
+Maps individual datapath operators (floating-point or fixed-point adders,
+multipliers, shifters, constant multipliers) onto FPGA resources and pipeline
+latencies.  The transform stages of a Winograd engine consist purely of the
+"cheap" operators, while the element-wise stage uses general multipliers —
+this split is exactly what gives the proposed design its resource advantage,
+so the cost model keeps the two families clearly separate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .calibration import DEFAULT_CALIBRATION, ResourceCalibration
+from .resources import ResourceEstimate
+
+__all__ = ["OperatorCost", "OperatorLibrary", "Precision"]
+
+
+@dataclass(frozen=True)
+class Precision:
+    """Numeric precision of the datapath.
+
+    ``float32`` reproduces the paper's setting ("single precision floats
+    without any quantization"); ``fixed16`` models the 16-bit fixed-point
+    datapath of Qiu et al. [12] for cross-comparison.
+    """
+
+    name: str
+    bits: int
+    is_float: bool
+
+    @classmethod
+    def float32(cls) -> "Precision":
+        return cls(name="float32", bits=32, is_float=True)
+
+    @classmethod
+    def fixed16(cls) -> "Precision":
+        return cls(name="fixed16", bits=16, is_float=False)
+
+    @classmethod
+    def from_name(cls, name: str) -> "Precision":
+        table = {"float32": cls.float32(), "fixed16": cls.fixed16()}
+        if name not in table:
+            raise ValueError(f"unknown precision {name!r}; known: {sorted(table)}")
+        return table[name]
+
+
+@dataclass(frozen=True)
+class OperatorCost:
+    """Resources and latency of one datapath operator instance."""
+
+    luts: float
+    registers: float
+    dsp_slices: int
+    latency_cycles: int
+    is_multiplier: bool = False
+
+    def as_estimate(self) -> ResourceEstimate:
+        return ResourceEstimate(
+            luts=self.luts,
+            registers=self.registers,
+            dsp_slices=self.dsp_slices,
+            multipliers=1 if self.is_multiplier else 0,
+        )
+
+
+class OperatorLibrary:
+    """Per-operator costs for a given precision and calibration.
+
+    The library scales the calibrated fp32 coefficients by operand width for
+    other precisions, which keeps fixed-point baselines roughly comparable
+    without a second calibration pass.
+    """
+
+    def __init__(
+        self,
+        precision: Precision = Precision.float32(),
+        calibration: ResourceCalibration = DEFAULT_CALIBRATION.resources,
+    ) -> None:
+        self.precision = precision
+        self.calibration = calibration
+        self._width_scale = precision.bits / calibration.data_width_bits
+
+    # ------------------------------------------------------------------ #
+    def adder(self) -> OperatorCost:
+        """Adder/subtractor in a transform stage."""
+        return OperatorCost(
+            luts=self.calibration.luts_per_transform_add * self._width_scale,
+            registers=self.calibration.registers_per_word * self._width_scale,
+            dsp_slices=0,
+            latency_cycles=1,
+        )
+
+    def accumulator(self) -> OperatorCost:
+        """Channel accumulator at a PE output."""
+        return OperatorCost(
+            luts=self.calibration.luts_per_accumulator * self._width_scale,
+            registers=self.calibration.registers_per_word * self._width_scale,
+            dsp_slices=0,
+            latency_cycles=1,
+        )
+
+    def shifter(self) -> OperatorCost:
+        """Power-of-two constant scaling (exponent adjustment / wiring)."""
+        return OperatorCost(
+            luts=self.calibration.luts_per_shift,
+            registers=0.0,
+            dsp_slices=0,
+            latency_cycles=0,
+        )
+
+    def constant_multiplier(self) -> OperatorCost:
+        """Non-trivial constant multiplier in a transform stage."""
+        return OperatorCost(
+            luts=self.calibration.luts_per_constant_mult * self._width_scale,
+            registers=self.calibration.registers_per_word * self._width_scale,
+            dsp_slices=self.calibration.dsps_per_constant_mult,
+            latency_cycles=1,
+        )
+
+    def multiplier(self) -> OperatorCost:
+        """General (data x data) multiplier of the element-wise stage."""
+        dsps = self.calibration.dsps_per_multiplier
+        if not self.precision.is_float:
+            # A 16x16 fixed-point multiply fits in a single DSP slice.
+            dsps = 1
+        return OperatorCost(
+            luts=self.calibration.luts_per_multiplier * self._width_scale,
+            registers=self.calibration.registers_per_word * self._width_scale,
+            dsp_slices=dsps,
+            latency_cycles=3 if self.precision.is_float else 1,
+            is_multiplier=True,
+        )
+
+    # ------------------------------------------------------------------ #
+    def costs(self) -> Dict[str, OperatorCost]:
+        """All operator costs keyed by the op kinds used in dataflow graphs."""
+        return {
+            "add": self.adder(),
+            "sub": self.adder(),
+            "accumulate": self.accumulator(),
+            "shift": self.shifter(),
+            "cmul": self.constant_multiplier(),
+            "mul": self.multiplier(),
+        }

@@ -1,0 +1,135 @@
+"""On-chip buffer sizing and external memory bandwidth model.
+
+The paper's system (Fig. 7) keeps the current image tile rows and the
+transformed kernels in on-chip buffers, double-buffered so that computation
+never waits for data ("assuming that double buffering is employed at both
+image and kernel buffers and enough memory bandwidth is available",
+Section V-B).  This module sizes those buffers in block RAM and computes the
+external bandwidth needed to sustain the engine at full rate — the quantity
+the roofline model checks the double-buffering assumption against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nn.layers import ConvLayer
+from .resources import ResourceEstimate
+
+__all__ = ["BufferConfig", "BufferEstimate", "size_buffers", "required_bandwidth_gbps"]
+
+
+@dataclass(frozen=True)
+class BufferConfig:
+    """Buffering policy of the engine.
+
+    Attributes
+    ----------
+    double_buffered:
+        Use ping-pong buffers on image and kernel storage (the paper's
+        assumption).
+    line_buffer_rows:
+        Number of image rows held per channel slice; the data-transform stage
+        needs ``m + r - 1`` rows plus ``m`` rows of look-ahead to keep the
+        pipeline fed.
+    data_width_bits:
+        Width of one stored element.
+    """
+
+    double_buffered: bool = True
+    line_buffer_rows: int = 0
+    data_width_bits: int = 32
+
+
+@dataclass(frozen=True)
+class BufferEstimate:
+    """Sizing result for one layer/engine combination (in kilobits and BRAM)."""
+
+    image_kbits: float
+    kernel_kbits: float
+    accumulator_kbits: float
+    total_kbits: float
+    bram_blocks_36k: int
+
+    def as_resources(self) -> ResourceEstimate:
+        """Express the buffers as a :class:`ResourceEstimate` contribution."""
+        return ResourceEstimate(bram_kbits=self.total_kbits)
+
+
+def size_buffers(
+    layer: ConvLayer,
+    m: int,
+    parallel_pes: int,
+    config: BufferConfig = BufferConfig(),
+) -> BufferEstimate:
+    """Size the image, kernel and accumulation buffers for one layer.
+
+    * Image buffer: ``m + r - 1`` rows of the (padded) input, all channels,
+      doubled when ping-pong buffering is on.
+    * Kernel buffer: the transformed kernels of the ``P`` kernels currently
+      resident, for all input channels (``P * C * (m + r - 1)^2`` words),
+      doubled for ping-pong.
+    * Accumulators: ``P`` output tiles of ``m x m`` words.
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    if parallel_pes < 1:
+        raise ValueError("parallel_pes must be >= 1")
+    r = layer.kernel_size
+    tile = m + r - 1
+    rows = config.line_buffer_rows or (tile + m)
+    width = layer.width + 2 * layer.padding
+    word_bits = config.data_width_bits
+    factor = 2 if config.double_buffered else 1
+
+    image_bits = rows * width * layer.in_channels * word_bits * factor
+    kernel_bits = parallel_pes * layer.in_channels * tile * tile * word_bits * factor
+    accumulator_bits = parallel_pes * m * m * word_bits
+
+    total_bits = image_bits + kernel_bits + accumulator_bits
+    total_kbits = total_bits / 1024.0
+    bram_blocks = int(-(-total_bits // (36 * 1024)))
+    return BufferEstimate(
+        image_kbits=image_bits / 1024.0,
+        kernel_kbits=kernel_bits / 1024.0,
+        accumulator_kbits=accumulator_bits / 1024.0,
+        total_kbits=total_kbits,
+        bram_blocks_36k=bram_blocks,
+    )
+
+
+def required_bandwidth_gbps(
+    layer: ConvLayer,
+    m: int,
+    parallel_pes: int,
+    frequency_mhz: float,
+    data_width_bits: int = 32,
+    reuse_input_across_kernels: bool = True,
+) -> float:
+    """External bandwidth needed to keep the engine busy on ``layer``.
+
+    The engine consumes one ``(m+r-1)^2`` input tile per cycle (shared by all
+    PEs when input reuse is on) and produces ``P * m^2`` outputs per cycle,
+    accumulated over ``C`` cycles before being written back.  Kernels are
+    loaded once per layer and amortised over the whole feature map, so their
+    steady-state contribution is negligible and ignored here.
+
+    Returns gigabytes per second.
+    """
+    if frequency_mhz <= 0:
+        raise ValueError("frequency must be positive")
+    r = layer.kernel_size
+    tile = m + r - 1
+    bytes_per_word = data_width_bits / 8.0
+
+    # Effective new input words per cycle: a tile advances by m columns, so
+    # only m * tile words are newly read (the rest come from the line buffer).
+    input_words_per_cycle = m * tile
+    if not reuse_input_across_kernels:
+        input_words_per_cycle *= parallel_pes
+
+    # Outputs: P * m^2 words per tile, written once per C cycles.
+    output_words_per_cycle = parallel_pes * m * m / max(1, layer.in_channels)
+
+    words_per_second = (input_words_per_cycle + output_words_per_cycle) * frequency_mhz * 1e6
+    return words_per_second * bytes_per_word / 1e9

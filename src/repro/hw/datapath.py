@@ -1,0 +1,140 @@
+"""Datapath construction: from operator counts to resources and pipeline depth.
+
+A Winograd engine stage (data transform, element-wise multiply, inverse
+transform) is a fully spatial arithmetic network — one hardware operator per
+operation in the tile's dataflow graph — so its resource cost is the sum of
+its operator costs and its pipeline depth is the depth of the operator DAG.
+This module performs that mapping for both representations used in the
+library:
+
+* an :class:`~repro.winograd.op_count.OpCount` (aggregate counts, used by the
+  fast analytical models), and
+* a :class:`~repro.winograd.strength_reduction.MatVecNetwork` (an explicit
+  operator DAG, used when a more faithful depth estimate is wanted).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..winograd.op_count import OpCount
+from ..winograd.strength_reduction import MatVecNetwork
+from .arithmetic import OperatorLibrary, Precision
+from .calibration import DEFAULT_CALIBRATION, ResourceCalibration
+from .resources import ResourceEstimate
+
+__all__ = ["StageDatapath", "datapath_from_op_count", "datapath_from_network", "adder_tree_depth"]
+
+
+def adder_tree_depth(terms: int) -> int:
+    """Depth of a balanced adder tree combining ``terms`` operands."""
+    if terms <= 1:
+        return 0
+    return math.ceil(math.log2(terms))
+
+
+@dataclass(frozen=True)
+class StageDatapath:
+    """Resources and timing of one fully spatial pipeline stage.
+
+    Attributes
+    ----------
+    name:
+        Stage label (``"data_transform"``, ``"ewise_mult"``, ...).
+    resources:
+        Aggregate resource estimate of the stage's operators.
+    pipeline_depth:
+        Number of register stages the stage contributes to the engine
+        pipeline (``Dp`` in Eq. (9) is the sum over stages).
+    operator_count:
+        Total number of arithmetic operators instantiated.
+    """
+
+    name: str
+    resources: ResourceEstimate
+    pipeline_depth: int
+    operator_count: int
+
+
+def datapath_from_op_count(
+    name: str,
+    ops: OpCount,
+    precision: Precision = Precision.float32(),
+    calibration: ResourceCalibration = DEFAULT_CALIBRATION.resources,
+    depth_hint: Optional[int] = None,
+) -> StageDatapath:
+    """Build a stage datapath from aggregate operator counts.
+
+    The pipeline depth defaults to a balanced-tree estimate over the stage's
+    additions (each 1-D transform application is a small adder tree); callers
+    that know the real structure can pass ``depth_hint``.
+    """
+    library = OperatorLibrary(precision, calibration)
+    costs = library.costs()
+    resources = ResourceEstimate()
+    resources = resources + costs["add"].as_estimate().scaled(ops.additions)
+    resources = resources + costs["shift"].as_estimate().scaled(ops.shift_multiplications)
+    resources = resources + costs["cmul"].as_estimate().scaled(ops.constant_multiplications)
+    resources = resources + costs["mul"].as_estimate().scaled(ops.general_multiplications)
+
+    if depth_hint is not None:
+        depth = depth_hint
+    else:
+        depth = 0
+        if ops.general_multiplications:
+            depth += costs["mul"].latency_cycles
+        if ops.additions:
+            # Each output of a transform is an adder tree over at most the
+            # input-tile width; use the average fan-in as a balanced estimate.
+            depth += max(1, adder_tree_depth(max(2, ops.additions // max(1, ops.flops // 8))))
+        if ops.constant_multiplications:
+            depth += costs["cmul"].latency_cycles
+    operator_count = ops.flops
+    return StageDatapath(
+        name=name,
+        resources=resources,
+        pipeline_depth=max(depth, 1) if operator_count else 0,
+        operator_count=operator_count,
+    )
+
+
+def datapath_from_network(
+    name: str,
+    networks: Iterable[MatVecNetwork],
+    precision: Precision = Precision.float32(),
+    calibration: ResourceCalibration = DEFAULT_CALIBRATION.resources,
+) -> StageDatapath:
+    """Build a stage datapath from explicit strength-reduced networks.
+
+    ``networks`` is typically the row- and column-pass networks of one 2-D
+    transform.  The depth is the longest chain of add/sub/cmul operations
+    through any single network (shifts are wiring and add no latency).
+    """
+    library = OperatorLibrary(precision, calibration)
+    costs = library.costs()
+    resources = ResourceEstimate()
+    total_ops = 0
+    max_depth = 0
+    for network in networks:
+        resources = resources + costs["add"].as_estimate().scaled(network.adder_count)
+        resources = resources + costs["shift"].as_estimate().scaled(network.shift_count)
+        resources = resources + costs["cmul"].as_estimate().scaled(network.multiplier_count)
+        total_ops += network.adder_count + network.shift_count + network.multiplier_count
+
+        # Longest dependency chain through the network's DAG.
+        produced_depth = {}
+        depth_here = 0
+        for op in network.operations:
+            latency = 0 if op.kind == "shift" else 1
+            input_depth = max((produced_depth.get(name, 0) for name in op.inputs), default=0)
+            produced_depth[op.output] = input_depth + latency
+            depth_here = max(depth_here, produced_depth[op.output])
+        max_depth = max(max_depth, depth_here)
+    return StageDatapath(
+        name=name,
+        resources=resources,
+        pipeline_depth=max_depth,
+        operator_count=total_ops,
+    )

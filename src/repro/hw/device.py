@@ -1,0 +1,135 @@
+"""FPGA device library.
+
+The paper synthesises its designs on a Xilinx Virtex-7 device whose available
+resources are listed in Table I (303,600 LUTs / 607,200 registers / 2,800 DSP
+slices — the XC7VX485T), compares against Podili et al. [3] on an Altera
+Stratix V GT and against Qiu et al. [12] on a Xilinx Zynq XC7Z045.  This
+module captures those devices (plus a couple of convenient extras) as plain
+dataclasses the rest of the models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["FpgaDevice", "DEVICES", "get_device", "virtex7_485t", "virtex7_690t", "zynq_7045", "stratix_v_gt"]
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Available resources of one FPGA device.
+
+    Attributes
+    ----------
+    name:
+        Marketing / part name.
+    luts:
+        Number of 6-input look-up tables (Altera ALMs are converted to an
+        equivalent LUT count for comparability).
+    registers:
+        Number of flip-flops.
+    dsp_slices:
+        Number of DSP slices (DSP48E1 for Xilinx 7-series; variable-precision
+        DSP blocks for Stratix V).
+    bram_kbits:
+        Total block-RAM capacity in kilobits.
+    max_frequency_mhz:
+        A practical upper bound on achievable clock frequency for heavily
+        pipelined arithmetic datapaths on this device.
+    dram_bandwidth_gbps:
+        Peak external memory bandwidth in gigabytes per second (used by the
+        roofline and buffer models).
+    """
+
+    name: str
+    luts: int
+    registers: int
+    dsp_slices: int
+    bram_kbits: int
+    max_frequency_mhz: float = 400.0
+    dram_bandwidth_gbps: float = 12.8
+
+    def __post_init__(self) -> None:
+        if min(self.luts, self.registers, self.dsp_slices, self.bram_kbits) < 0:
+            raise ValueError("device resources must be non-negative")
+        if self.max_frequency_mhz <= 0 or self.dram_bandwidth_gbps <= 0:
+            raise ValueError("frequency and bandwidth must be positive")
+
+    @property
+    def bram_bytes(self) -> int:
+        """Block-RAM capacity in bytes."""
+        return self.bram_kbits * 1024 // 8
+
+
+def virtex7_485t() -> FpgaDevice:
+    """Xilinx Virtex-7 XC7VX485T — matches the 'Available resources' row of Table I."""
+    return FpgaDevice(
+        name="xc7vx485t",
+        luts=303_600,
+        registers=607_200,
+        dsp_slices=2_800,
+        bram_kbits=37_080,
+        max_frequency_mhz=400.0,
+        dram_bandwidth_gbps=12.8,
+    )
+
+
+def virtex7_690t() -> FpgaDevice:
+    """Xilinx Virtex-7 XC7VX690T — a larger member of the same family."""
+    return FpgaDevice(
+        name="xc7vx690t",
+        luts=433_200,
+        registers=866_400,
+        dsp_slices=3_600,
+        bram_kbits=52_920,
+        max_frequency_mhz=400.0,
+        dram_bandwidth_gbps=12.8,
+    )
+
+
+def zynq_7045() -> FpgaDevice:
+    """Xilinx Zynq XC7Z045 — the device used by Qiu et al. [12]."""
+    return FpgaDevice(
+        name="xc7z045",
+        luts=218_600,
+        registers=437_200,
+        dsp_slices=900,
+        bram_kbits=19_200,
+        max_frequency_mhz=250.0,
+        dram_bandwidth_gbps=4.2,
+    )
+
+
+def stratix_v_gt() -> FpgaDevice:
+    """Altera Stratix V GT — the device used by Podili et al. [3].
+
+    ALM counts are converted to an approximate 6-LUT equivalent (1 ALM ~ 2
+    LUTs) so that utilisation numbers remain loosely comparable with the
+    Xilinx parts.
+    """
+    return FpgaDevice(
+        name="stratix-v-gt",
+        luts=235_000 * 2,
+        registers=940_000,
+        dsp_slices=256 * 4,
+        bram_kbits=41_000,
+        max_frequency_mhz=450.0,
+        dram_bandwidth_gbps=12.8,
+    )
+
+
+DEVICES: Dict[str, FpgaDevice] = {
+    device.name: device
+    for device in (virtex7_485t(), virtex7_690t(), zynq_7045(), stratix_v_gt())
+}
+
+
+def get_device(name: str) -> FpgaDevice:
+    """Look up a device by name (see :data:`DEVICES` for the known names)."""
+    try:
+        return DEVICES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; known devices: {sorted(DEVICES)}"
+        ) from None

@@ -1,0 +1,166 @@
+"""Processing-element (PE) model for 2-D Winograd convolution engines.
+
+A PE implements the 2-D minimal algorithm ``F(m x m, r x r)`` for one kernel:
+it receives a transformed data tile ``U`` (shared or computed locally,
+depending on the architecture), multiplies it element-wise with its own
+transformed kernel ``V``, applies the 2-D inverse transform and accumulates
+the ``m x m`` result over input channels (Fig. 5 of the paper).
+
+Two architectural variants are modelled, differing only in whether the data
+transform is instantiated *inside* each PE:
+
+* ``include_data_transform=False`` — the paper's **proposed** design, where a
+  single shared data-transform stage feeds all PEs (Fig. 7);
+* ``include_data_transform=True``  — the **reference** design of Podili et
+  al. [3], where every PE recomputes the same data transform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..winograd.op_count import OpCount, TransformOpCounts, count_transform_ops
+from .arithmetic import OperatorLibrary, Precision
+from .calibration import DEFAULT_CALIBRATION, ResourceCalibration
+from .datapath import StageDatapath, adder_tree_depth, datapath_from_op_count
+from .resources import ResourceEstimate
+
+__all__ = ["PEModel", "build_pe"]
+
+
+@dataclass(frozen=True)
+class PEModel:
+    """Resource/timing model of one processing element.
+
+    Attributes
+    ----------
+    m, r:
+        Minimal-algorithm parameters.
+    include_data_transform:
+        Whether the data-transform stage is replicated inside the PE.
+    multipliers:
+        General multipliers in the element-wise stage: ``(m + r - 1)^2``.
+    stages:
+        Per-stage datapaths keyed by stage name.
+    resources:
+        Total resources of the PE (stages + per-PE overhead).
+    pipeline_depth:
+        Register stages contributed to the engine pipeline by this PE.
+    outputs_per_cycle:
+        Output pixels produced per clock cycle: ``m^2``.
+    """
+
+    m: int
+    r: int
+    include_data_transform: bool
+    multipliers: int
+    stages: Dict[str, StageDatapath]
+    resources: ResourceEstimate
+    pipeline_depth: int
+    outputs_per_cycle: int
+
+    @property
+    def luts(self) -> float:
+        return self.resources.luts
+
+    @property
+    def registers(self) -> float:
+        return self.resources.registers
+
+    @property
+    def dsp_slices(self) -> int:
+        return self.resources.dsp_slices
+
+
+def build_pe(
+    m: int,
+    r: int = 3,
+    include_data_transform: bool = False,
+    precision: Precision = Precision.float32(),
+    calibration: ResourceCalibration = DEFAULT_CALIBRATION.resources,
+    op_counts: TransformOpCounts = None,
+    prefer_canonical: bool = True,
+) -> PEModel:
+    """Build the PE model for ``F(m x m, r x r)``.
+
+    Parameters
+    ----------
+    m, r:
+        Minimal-algorithm parameters.
+    include_data_transform:
+        Replicate the data transform inside the PE (reference-[3] style).
+    precision:
+        Datapath precision (fp32 reproduces the paper).
+    calibration:
+        Per-operator resource calibration.
+    op_counts:
+        Optional pre-computed transform operator counts (useful when studying
+        non-default interpolation points); derived from the registered
+        transform otherwise.
+    prefer_canonical:
+        Use published transform matrices when available.
+    """
+    if op_counts is None:
+        op_counts = count_transform_ops(m, r, prefer_canonical)
+    n = m + r - 1
+    library = OperatorLibrary(precision, calibration)
+
+    stages: Dict[str, StageDatapath] = {}
+
+    if include_data_transform:
+        stages["data_transform"] = datapath_from_op_count(
+            "data_transform",
+            op_counts.data,
+            precision,
+            calibration,
+            depth_hint=2 * adder_tree_depth(n),
+        )
+
+    # Element-wise multiplication: n^2 general multiplications per cycle.
+    ewise_ops = OpCount(general_multiplications=n * n)
+    stages["ewise_mult"] = datapath_from_op_count(
+        "ewise_mult",
+        ewise_ops,
+        precision,
+        calibration,
+        depth_hint=library.multiplier().latency_cycles,
+    )
+
+    stages["inverse_transform"] = datapath_from_op_count(
+        "inverse_transform",
+        op_counts.inverse,
+        precision,
+        calibration,
+        depth_hint=2 * adder_tree_depth(n),
+    )
+
+    # Channel accumulation: one accumulator per output pixel of the tile.
+    accumulator_cost = library.accumulator()
+    accumulator_resources = accumulator_cost.as_estimate().scaled(m * m)
+    stages["accumulate"] = StageDatapath(
+        name="accumulate",
+        resources=accumulator_resources,
+        pipeline_depth=accumulator_cost.latency_cycles,
+        operator_count=m * m,
+    )
+
+    total = ResourceEstimate(
+        luts=calibration.luts_pe_overhead,
+        registers=calibration.registers_pe_overhead,
+    )
+    depth = 0
+    for stage in stages.values():
+        total = total + stage.resources
+        depth += stage.pipeline_depth + calibration.register_stages_per_transform
+
+    return PEModel(
+        m=m,
+        r=r,
+        include_data_transform=include_data_transform,
+        multipliers=n * n,
+        stages=stages,
+        resources=total,
+        pipeline_depth=depth,
+        outputs_per_cycle=m * m,
+    )

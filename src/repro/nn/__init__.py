@@ -1,0 +1,54 @@
+"""CNN workload substrate: layer descriptors, reference networks and numerics.
+
+Provides the layer/network descriptions (VGG, AlexNet, ResNet) whose shapes
+drive the design-space exploration, together with NumPy reference convolutions
+and a functional forward-pass runner used to validate the Winograd datapath.
+"""
+
+from .alexnet import alexnet
+from .inference import InferenceResult, generate_weights, max_pool2d, relu, run_forward
+from .layers import ConvLayer, FullyConnectedLayer, InputSpec, PoolLayer
+from .model import Layer, Network
+from .reference import conv_output_shape, direct_conv2d, im2col, im2col_conv2d
+from .resnet import basic_block_layers, resnet18, resnet34
+from .vgg import VGG_CONFIGS, vgg, vgg16_d, vgg16_group_workloads
+from .workloads import (
+    LayerWorkload,
+    group_workloads,
+    layer_workload,
+    network_workloads,
+    total_spatial_operations,
+    winograd_eligible_layers,
+)
+
+__all__ = [
+    "ConvLayer",
+    "PoolLayer",
+    "FullyConnectedLayer",
+    "InputSpec",
+    "Network",
+    "Layer",
+    "vgg",
+    "vgg16_d",
+    "vgg16_group_workloads",
+    "VGG_CONFIGS",
+    "alexnet",
+    "resnet18",
+    "resnet34",
+    "basic_block_layers",
+    "direct_conv2d",
+    "im2col",
+    "im2col_conv2d",
+    "conv_output_shape",
+    "run_forward",
+    "generate_weights",
+    "InferenceResult",
+    "relu",
+    "max_pool2d",
+    "LayerWorkload",
+    "layer_workload",
+    "network_workloads",
+    "group_workloads",
+    "total_spatial_operations",
+    "winograd_eligible_layers",
+]

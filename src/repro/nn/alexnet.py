@@ -1,0 +1,98 @@
+"""AlexNet (Krizhevsky et al., 2012) workload description.
+
+Included as an additional exploration workload: unlike VGG, AlexNet mixes
+kernel sizes (11x11, 5x5, 3x3), which makes it a useful stress case for the
+design-space exploration — Winograd ``F(m x m, 3 x 3)`` engines only apply to
+its later layers, and the DSE has to report which layers fall back to spatial
+convolution.
+"""
+
+from __future__ import annotations
+
+from .layers import ConvLayer, FullyConnectedLayer, InputSpec, PoolLayer
+from .model import Network
+
+__all__ = ["alexnet"]
+
+
+def alexnet(batch: int = 1) -> Network:
+    """Build the single-tower AlexNet layer stack."""
+    spec = InputSpec(batch=batch, channels=3, height=227, width=227)
+    network = Network(name="alexnet", input_spec=spec)
+    network.add(
+        ConvLayer(
+            name="conv1",
+            in_channels=3,
+            out_channels=96,
+            height=227,
+            width=227,
+            kernel_size=11,
+            stride=4,
+            padding=0,
+            batch=batch,
+            group="Conv1",
+        )
+    )
+    network.add(PoolLayer("pool1", channels=96, height=55, width=55, pool_size=3, stride=2, batch=batch))
+    network.add(
+        ConvLayer(
+            name="conv2",
+            in_channels=96,
+            out_channels=256,
+            height=27,
+            width=27,
+            kernel_size=5,
+            stride=1,
+            padding=2,
+            batch=batch,
+            group="Conv2",
+        )
+    )
+    network.add(PoolLayer("pool2", channels=256, height=27, width=27, pool_size=3, stride=2, batch=batch))
+    network.add(
+        ConvLayer(
+            name="conv3",
+            in_channels=256,
+            out_channels=384,
+            height=13,
+            width=13,
+            kernel_size=3,
+            stride=1,
+            padding=1,
+            batch=batch,
+            group="Conv3",
+        )
+    )
+    network.add(
+        ConvLayer(
+            name="conv4",
+            in_channels=384,
+            out_channels=384,
+            height=13,
+            width=13,
+            kernel_size=3,
+            stride=1,
+            padding=1,
+            batch=batch,
+            group="Conv4",
+        )
+    )
+    network.add(
+        ConvLayer(
+            name="conv5",
+            in_channels=384,
+            out_channels=256,
+            height=13,
+            width=13,
+            kernel_size=3,
+            stride=1,
+            padding=1,
+            batch=batch,
+            group="Conv5",
+        )
+    )
+    network.add(PoolLayer("pool5", channels=256, height=13, width=13, pool_size=3, stride=2, batch=batch))
+    network.add(FullyConnectedLayer("fc6", 256 * 6 * 6, 4096, batch=batch))
+    network.add(FullyConnectedLayer("fc7", 4096, 4096, batch=batch))
+    network.add(FullyConnectedLayer("fc8", 4096, 1000, batch=batch))
+    return network

@@ -1,0 +1,172 @@
+"""Functional forward-pass execution of a network description.
+
+The design-space exploration itself only needs layer shapes, but the
+reproduction also validates the *numerics* of the Winograd datapath
+end-to-end: this module runs the convolutional part of a network on real
+tensors with either the spatial or the Winograd backend, so tests can assert
+the two agree on entire (down-scaled) networks, not just single tiles.
+
+Weights are generated deterministically from a seed; pooling and ReLU are
+applied where the network description says so; fully-connected layers are
+skipped by default since they are irrelevant to the convolution engine being
+studied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..winograd.fast_conv import WinogradConv2D
+from .layers import ConvLayer, FullyConnectedLayer, PoolLayer
+from .model import Network
+from .reference import direct_conv2d, im2col_conv2d
+
+__all__ = ["InferenceResult", "generate_weights", "run_forward", "max_pool2d", "relu"]
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear activation."""
+    return np.maximum(x, 0.0)
+
+
+def max_pool2d(x: np.ndarray, pool_size: int, stride: int) -> np.ndarray:
+    """Max pooling over the two trailing dimensions of ``(N, C, H, W)``."""
+    batch, channels, height, width = x.shape
+    out_h = (height - pool_size) // stride + 1
+    out_w = (width - pool_size) // stride + 1
+    output = np.full((batch, channels, out_h, out_w), -np.inf, dtype=x.dtype)
+    for dy in range(pool_size):
+        for dx in range(pool_size):
+            window = x[:, :, dy : dy + stride * out_h : stride, dx : dx + stride * out_w : stride]
+            np.maximum(output, window, out=output)
+    return output
+
+
+def avg_pool2d(x: np.ndarray, pool_size: int, stride: int) -> np.ndarray:
+    """Average pooling over the two trailing dimensions of ``(N, C, H, W)``."""
+    batch, channels, height, width = x.shape
+    out_h = (height - pool_size) // stride + 1
+    out_w = (width - pool_size) // stride + 1
+    output = np.zeros((batch, channels, out_h, out_w), dtype=x.dtype)
+    for dy in range(pool_size):
+        for dx in range(pool_size):
+            output += x[:, :, dy : dy + stride * out_h : stride, dx : dx + stride * out_w : stride]
+    return output / (pool_size * pool_size)
+
+
+def generate_weights(network: Network, seed: int = 0, scale: float = 0.1) -> Dict[str, np.ndarray]:
+    """Deterministic pseudo-random weights for every conv layer of a network."""
+    rng = np.random.default_rng(seed)
+    weights: Dict[str, np.ndarray] = {}
+    for layer in network.conv_layers:
+        weights[layer.name] = scale * rng.standard_normal(
+            (layer.out_channels, layer.in_channels, layer.kernel_size, layer.kernel_size)
+        )
+    return weights
+
+
+@dataclass
+class InferenceResult:
+    """Output of :func:`run_forward`.
+
+    Attributes
+    ----------
+    output:
+        The tensor produced after the last executed layer.
+    layer_outputs:
+        Optional per-layer activations (only kept when requested).
+    backend:
+        Which convolution backend produced the result.
+    """
+
+    output: np.ndarray
+    backend: str
+    layer_outputs: Dict[str, np.ndarray] = field(default_factory=dict)
+
+
+def _convolve(
+    layer: ConvLayer,
+    activation: np.ndarray,
+    weights: np.ndarray,
+    backend: str,
+    m: int,
+) -> np.ndarray:
+    if backend == "direct":
+        return direct_conv2d(activation, weights, stride=layer.stride, padding=layer.padding)
+    if backend == "im2col":
+        return im2col_conv2d(activation, weights, stride=layer.stride, padding=layer.padding)
+    if backend == "winograd":
+        if layer.stride != 1:
+            # Winograd minimal filtering assumes unit stride; fall back.
+            return direct_conv2d(activation, weights, stride=layer.stride, padding=layer.padding)
+        if layer.kernel_size == 1:
+            # Pointwise convolutions gain nothing from Winograd.
+            return direct_conv2d(activation, weights, stride=layer.stride, padding=layer.padding)
+        op = WinogradConv2D(m=m, r=layer.kernel_size)
+        return op(activation, weights, padding=layer.padding)
+    raise ValueError(f"unknown backend {backend!r}; use 'direct', 'im2col' or 'winograd'")
+
+
+def run_forward(
+    network: Network,
+    input_tensor: Optional[np.ndarray] = None,
+    weights: Optional[Dict[str, np.ndarray]] = None,
+    backend: str = "direct",
+    m: int = 4,
+    apply_relu: bool = True,
+    keep_layer_outputs: bool = False,
+    stop_after: Optional[str] = None,
+    seed: int = 0,
+) -> InferenceResult:
+    """Run the convolutional part of ``network`` on real data.
+
+    Parameters
+    ----------
+    network:
+        The network description to execute.
+    input_tensor:
+        Input of shape matching ``network.input_spec``; random data is
+        generated when omitted.
+    weights:
+        Per-layer kernels from :func:`generate_weights`; generated when omitted.
+    backend:
+        ``"direct"``, ``"im2col"`` or ``"winograd"``.
+    m:
+        Output tile size used by the Winograd backend.
+    apply_relu:
+        Apply ReLU after each convolution (as VGG does).
+    keep_layer_outputs:
+        Store every layer's activation in the result (memory heavy).
+    stop_after:
+        Stop once the layer with this name has been executed.
+    seed:
+        Seed for generated inputs/weights.
+    """
+    rng = np.random.default_rng(seed)
+    if input_tensor is None:
+        input_tensor = rng.standard_normal(network.input_spec.shape)
+    input_tensor = np.asarray(input_tensor, dtype=np.float64)
+    if weights is None:
+        weights = generate_weights(network, seed=seed)
+
+    activation = input_tensor
+    layer_outputs: Dict[str, np.ndarray] = {}
+    for layer in network.layers:
+        if isinstance(layer, ConvLayer):
+            activation = _convolve(layer, activation, weights[layer.name], backend, m)
+            if apply_relu:
+                activation = relu(activation)
+        elif isinstance(layer, PoolLayer):
+            pool = max_pool2d if layer.mode == "max" else avg_pool2d
+            activation = pool(activation, layer.pool_size, layer.stride)
+        elif isinstance(layer, FullyConnectedLayer):
+            # The accelerator under study targets convolutional layers only.
+            break
+        if keep_layer_outputs:
+            layer_outputs[layer.name] = activation
+        if stop_after is not None and layer.name == stop_after:
+            break
+    return InferenceResult(output=activation, backend=backend, layer_outputs=layer_outputs)

@@ -1,0 +1,210 @@
+"""Layer descriptors for CNN workload modelling.
+
+The design-space exploration does not need trained weights — it needs the
+*shape* of each layer: batch ``N``, spatial dimensions ``H x W``, input
+channels ``C``, output channels (kernels) ``K`` and kernel size ``r`` — the
+``NHWCK`` product that appears in Eqs. (4), (5), (7) and (9) of the paper.
+These descriptors capture exactly that, plus enough metadata (padding, stride,
+pooling) to compute the shapes of downstream layers and to run a functional
+forward pass when numerical validation is wanted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = ["ConvLayer", "PoolLayer", "FullyConnectedLayer", "InputSpec"]
+
+
+@dataclass(frozen=True)
+class InputSpec:
+    """Shape of the tensor entering a network: ``(N, C, H, W)``."""
+
+    batch: int = 1
+    channels: int = 3
+    height: int = 224
+    width: int = 224
+
+    def __post_init__(self) -> None:
+        for name in ("batch", "channels", "height", "width"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+    @property
+    def shape(self) -> Tuple[int, int, int, int]:
+        return (self.batch, self.channels, self.height, self.width)
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """A convolutional layer described by its workload parameters.
+
+    Attributes follow the paper's notation: input feature map ``H x W x C``,
+    ``K`` kernels of ``r x r`` pixels, batch size ``N``.  ``padding`` and
+    ``stride`` use the conventional meaning; VGG convolutions are
+    ``r=3, padding=1, stride=1`` so output spatial dimensions equal the input.
+    """
+
+    name: str
+    in_channels: int
+    out_channels: int
+    height: int
+    width: int
+    kernel_size: int = 3
+    stride: int = 1
+    padding: int = 1
+    batch: int = 1
+    group: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.in_channels < 1 or self.out_channels < 1:
+            raise ValueError("channel counts must be >= 1")
+        if self.height < 1 or self.width < 1:
+            raise ValueError("spatial dimensions must be >= 1")
+        if self.kernel_size < 1:
+            raise ValueError("kernel_size must be >= 1")
+        if self.stride < 1:
+            raise ValueError("stride must be >= 1")
+        if self.padding < 0:
+            raise ValueError("padding must be >= 0")
+        if self.batch < 1:
+            raise ValueError("batch must be >= 1")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def output_height(self) -> int:
+        """Output feature-map height."""
+        return (self.height + 2 * self.padding - self.kernel_size) // self.stride + 1
+
+    @property
+    def output_width(self) -> int:
+        """Output feature-map width."""
+        return (self.width + 2 * self.padding - self.kernel_size) // self.stride + 1
+
+    @property
+    def output_shape(self) -> Tuple[int, int, int, int]:
+        """``(N, K, H_out, W_out)``."""
+        return (self.batch, self.out_channels, self.output_height, self.output_width)
+
+    # Workload metrics --------------------------------------------------- #
+    @property
+    def nhwck(self) -> int:
+        """The paper's ``N * H * W * C * K`` workload product.
+
+        Uses the *output* spatial dimensions, which is what determines the
+        number of output pixels that must be produced (for the VGG layers with
+        ``padding=1`` the two coincide).
+        """
+        return (
+            self.batch
+            * self.output_height
+            * self.output_width
+            * self.in_channels
+            * self.out_channels
+        )
+
+    @property
+    def output_pixels(self) -> int:
+        """Number of output pixels per kernel: ``N * H_out * W_out``."""
+        return self.batch * self.output_height * self.output_width
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate operations of a direct (spatial) convolution."""
+        return self.nhwck * self.kernel_size * self.kernel_size
+
+    @property
+    def flops(self) -> int:
+        """Floating-point operations counting multiply and add separately."""
+        return 2 * self.macs
+
+    @property
+    def weight_count(self) -> int:
+        """Number of kernel weights ``K * C * r * r``."""
+        return self.out_channels * self.in_channels * self.kernel_size * self.kernel_size
+
+    def with_batch(self, batch: int) -> "ConvLayer":
+        """Return a copy of this layer with a different batch size."""
+        return ConvLayer(
+            name=self.name,
+            in_channels=self.in_channels,
+            out_channels=self.out_channels,
+            height=self.height,
+            width=self.width,
+            kernel_size=self.kernel_size,
+            stride=self.stride,
+            padding=self.padding,
+            batch=batch,
+            group=self.group,
+        )
+
+
+@dataclass(frozen=True)
+class PoolLayer:
+    """A max/average pooling layer (only shape propagation is needed)."""
+
+    name: str
+    channels: int
+    height: int
+    width: int
+    pool_size: int = 2
+    stride: int = 2
+    mode: str = "max"
+    batch: int = 1
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("max", "avg"):
+            raise ValueError("mode must be 'max' or 'avg'")
+        if self.pool_size < 1 or self.stride < 1:
+            raise ValueError("pool_size and stride must be >= 1")
+
+    @property
+    def output_height(self) -> int:
+        return (self.height - self.pool_size) // self.stride + 1
+
+    @property
+    def output_width(self) -> int:
+        return (self.width - self.pool_size) // self.stride + 1
+
+    @property
+    def output_shape(self) -> Tuple[int, int, int, int]:
+        return (self.batch, self.channels, self.output_height, self.output_width)
+
+    @property
+    def flops(self) -> int:
+        """Comparison/accumulation operations (negligible next to conv layers)."""
+        return (
+            self.batch
+            * self.channels
+            * self.output_height
+            * self.output_width
+            * self.pool_size
+            * self.pool_size
+        )
+
+
+@dataclass(frozen=True)
+class FullyConnectedLayer:
+    """A fully-connected layer, included for complete network descriptions."""
+
+    name: str
+    in_features: int
+    out_features: int
+    batch: int = 1
+
+    def __post_init__(self) -> None:
+        if self.in_features < 1 or self.out_features < 1:
+            raise ValueError("feature counts must be >= 1")
+
+    @property
+    def macs(self) -> int:
+        return self.batch * self.in_features * self.out_features
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.macs
+
+    @property
+    def weight_count(self) -> int:
+        return self.in_features * self.out_features

@@ -1,0 +1,163 @@
+"""Network container: an ordered collection of layer descriptors.
+
+A :class:`Network` is what the design-space exploration, the throughput model
+and the benchmark harness consume.  It offers convenient views of the
+convolutional workload (per layer, per named group, or total) that map
+directly onto the quantities in the paper's equations and tables:  Table II
+reports latency per VGG16 "group layer" (Conv1..Conv5) which is exactly
+:meth:`Network.conv_groups`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from .layers import ConvLayer, FullyConnectedLayer, InputSpec, PoolLayer
+
+Layer = Union[ConvLayer, PoolLayer, FullyConnectedLayer]
+
+__all__ = ["Network", "Layer"]
+
+
+@dataclass
+class Network:
+    """An ordered CNN description.
+
+    Parameters
+    ----------
+    name:
+        Network identifier (e.g. ``"vgg16-d"``).
+    input_spec:
+        Shape of the input tensor.
+    layers:
+        Ordered layer descriptors.
+    """
+
+    name: str
+    input_spec: InputSpec
+    layers: List[Layer] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # Collection behaviour
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def add(self, layer: Layer) -> "Network":
+        """Append a layer and return ``self`` for chaining."""
+        self.layers.append(layer)
+        return self
+
+    def layer(self, name: str) -> Layer:
+        """Look a layer up by name."""
+        for candidate in self.layers:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no layer named {name!r} in network {self.name!r}")
+
+    # ------------------------------------------------------------------ #
+    # Convolutional views
+    # ------------------------------------------------------------------ #
+    @property
+    def conv_layers(self) -> List[ConvLayer]:
+        """All convolutional layers in network order."""
+        return [layer for layer in self.layers if isinstance(layer, ConvLayer)]
+
+    def conv_groups(self) -> Dict[str, List[ConvLayer]]:
+        """Convolutional layers grouped by their ``group`` attribute.
+
+        Layers without a group are collected under their own name so nothing
+        is silently dropped.  Ordering follows first appearance.
+        """
+        groups: Dict[str, List[ConvLayer]] = {}
+        for layer in self.conv_layers:
+            key = layer.group or layer.name
+            groups.setdefault(key, []).append(layer)
+        return groups
+
+    # ------------------------------------------------------------------ #
+    # Workload metrics
+    # ------------------------------------------------------------------ #
+    @property
+    def total_conv_macs(self) -> int:
+        """Total multiply-accumulates of all convolutional layers."""
+        return sum(layer.macs for layer in self.conv_layers)
+
+    @property
+    def total_conv_flops(self) -> int:
+        """Total FLOPs (2 x MACs) of all convolutional layers."""
+        return sum(layer.flops for layer in self.conv_layers)
+
+    @property
+    def total_conv_nhwck(self) -> int:
+        """Sum of the ``NHWCK`` products of all convolutional layers."""
+        return sum(layer.nhwck for layer in self.conv_layers)
+
+    @property
+    def total_weights(self) -> int:
+        """Total weight count (conv + fully connected)."""
+        total = 0
+        for layer in self.layers:
+            if isinstance(layer, (ConvLayer, FullyConnectedLayer)):
+                total += layer.weight_count
+        return total
+
+    def kernel_sizes(self) -> Tuple[int, ...]:
+        """Distinct convolution kernel sizes present in the network."""
+        return tuple(sorted({layer.kernel_size for layer in self.conv_layers}))
+
+    def uniform_kernel_size(self) -> Optional[int]:
+        """The single kernel size if all conv layers share one, else ``None``.
+
+        The paper chooses VGG16-D exactly because all layers use 3x3 kernels,
+        so one engine configuration serves the whole network.
+        """
+        sizes = self.kernel_sizes()
+        return sizes[0] if len(sizes) == 1 else None
+
+    def with_batch(self, batch: int) -> "Network":
+        """Return a copy of the network with every conv layer re-batched."""
+        rebatched: List[Layer] = []
+        for layer in self.layers:
+            if isinstance(layer, ConvLayer):
+                rebatched.append(layer.with_batch(batch))
+            else:
+                rebatched.append(layer)
+        spec = InputSpec(
+            batch=batch,
+            channels=self.input_spec.channels,
+            height=self.input_spec.height,
+            width=self.input_spec.width,
+        )
+        return Network(name=self.name, input_spec=spec, layers=rebatched)
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> str:
+        """Multi-line human-readable summary of the network."""
+        lines = [f"Network {self.name!r} — input {self.input_spec.shape}"]
+        for layer in self.layers:
+            if isinstance(layer, ConvLayer):
+                lines.append(
+                    f"  conv {layer.name:12s} {layer.in_channels:4d}->{layer.out_channels:<4d} "
+                    f"{layer.height}x{layer.width} k={layer.kernel_size} "
+                    f"macs={layer.macs / 1e6:9.1f}M"
+                )
+            elif isinstance(layer, PoolLayer):
+                lines.append(
+                    f"  pool {layer.name:12s} {layer.channels:4d}       "
+                    f"{layer.height}x{layer.width}->{layer.output_height}x{layer.output_width}"
+                )
+            else:
+                lines.append(
+                    f"  fc   {layer.name:12s} {layer.in_features}->{layer.out_features} "
+                    f"macs={layer.macs / 1e6:9.1f}M"
+                )
+        lines.append(
+            f"  total conv MACs: {self.total_conv_macs / 1e9:.2f} G, "
+            f"FLOPs: {self.total_conv_flops / 1e9:.2f} G, weights: {self.total_weights / 1e6:.1f} M"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Reference (spatial) convolution implementations.
+
+The "spatial convolution" of the paper's Eq. (1) is the ground truth every
+fast algorithm is validated against, and it is also the baseline whose
+arithmetic complexity (``m = 1`` in Eq. (4)) anchors the DSE plots.  Two
+implementations are provided:
+
+* :func:`direct_conv2d` — a literal, loop-free but otherwise direct
+  implementation via sliding-window summation;
+* :func:`im2col_conv2d` — the im2col + GEMM formulation most software
+  frameworks (and several FPGA accelerators, e.g. the paper's reference [12])
+  use, provided both as a second cross-check and as a performance-relevant
+  software baseline.
+
+Both accept ``(N, C, H, W)`` feature maps and ``(K, C, r, r)`` kernel banks
+and return ``(N, K, H_out, W_out)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["direct_conv2d", "im2col", "im2col_conv2d", "conv_output_shape"]
+
+
+def conv_output_shape(
+    height: int, width: int, kernel_size: int, stride: int = 1, padding: int = 0
+) -> Tuple[int, int]:
+    """Output spatial dimensions of a convolution."""
+    out_h = (height + 2 * padding - kernel_size) // stride + 1
+    out_w = (width + 2 * padding - kernel_size) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise ValueError("kernel does not fit inside the padded input")
+    return out_h, out_w
+
+
+def _validate_inputs(feature_map: np.ndarray, kernels: np.ndarray) -> None:
+    if feature_map.ndim != 4:
+        raise ValueError(f"feature map must be (N, C, H, W), got {feature_map.shape}")
+    if kernels.ndim != 4:
+        raise ValueError(f"kernels must be (K, C, r, r), got {kernels.shape}")
+    if kernels.shape[2] != kernels.shape[3]:
+        raise ValueError("only square kernels are supported")
+    if feature_map.shape[1] != kernels.shape[1]:
+        raise ValueError(
+            f"channel mismatch: feature map has {feature_map.shape[1]}, "
+            f"kernels have {kernels.shape[1]}"
+        )
+
+
+def direct_conv2d(
+    feature_map: np.ndarray,
+    kernels: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Direct spatial convolution (correlation), the paper's Eq. (1).
+
+    Parameters
+    ----------
+    feature_map:
+        Input of shape ``(N, C, H, W)``.
+    kernels:
+        Kernel bank of shape ``(K, C, r, r)``.
+    stride, padding:
+        Standard convolution hyper-parameters.
+    """
+    feature_map = np.asarray(feature_map, dtype=np.float64)
+    kernels = np.asarray(kernels, dtype=np.float64)
+    _validate_inputs(feature_map, kernels)
+    batch, channels, height, width = feature_map.shape
+    num_kernels, _, r, _ = kernels.shape
+    out_h, out_w = conv_output_shape(height, width, r, stride, padding)
+
+    if padding:
+        feature_map = np.pad(
+            feature_map, ((0, 0), (0, 0), (padding, padding), (padding, padding))
+        )
+
+    output = np.zeros((batch, num_kernels, out_h, out_w), dtype=np.float64)
+    for dy in range(r):
+        for dx in range(r):
+            # Slice the input so that element (y, x) aligns with kernel tap (dy, dx).
+            window = feature_map[
+                :, :, dy : dy + stride * out_h : stride, dx : dx + stride * out_w : stride
+            ]
+            output += np.einsum("nchw,kc->nkhw", window, kernels[:, :, dy, dx], optimize=True)
+    return output
+
+
+def im2col(
+    feature_map: np.ndarray, kernel_size: int, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Unfold an ``(N, C, H, W)`` tensor into im2col patches.
+
+    Returns an array of shape ``(N, C * r * r, H_out * W_out)`` laid out so a
+    single matrix multiplication with the reshaped kernel bank performs the
+    convolution.
+    """
+    feature_map = np.asarray(feature_map, dtype=np.float64)
+    if feature_map.ndim != 4:
+        raise ValueError(f"feature map must be (N, C, H, W), got {feature_map.shape}")
+    batch, channels, height, width = feature_map.shape
+    out_h, out_w = conv_output_shape(height, width, kernel_size, stride, padding)
+    if padding:
+        feature_map = np.pad(
+            feature_map, ((0, 0), (0, 0), (padding, padding), (padding, padding))
+        )
+    columns = np.empty(
+        (batch, channels, kernel_size, kernel_size, out_h, out_w), dtype=np.float64
+    )
+    for dy in range(kernel_size):
+        for dx in range(kernel_size):
+            columns[:, :, dy, dx, :, :] = feature_map[
+                :, :, dy : dy + stride * out_h : stride, dx : dx + stride * out_w : stride
+            ]
+    return columns.reshape(batch, channels * kernel_size * kernel_size, out_h * out_w)
+
+
+def im2col_conv2d(
+    feature_map: np.ndarray,
+    kernels: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Convolution via im2col + GEMM (used as a second reference path)."""
+    feature_map = np.asarray(feature_map, dtype=np.float64)
+    kernels = np.asarray(kernels, dtype=np.float64)
+    _validate_inputs(feature_map, kernels)
+    batch, _, height, width = feature_map.shape
+    num_kernels, channels, r, _ = kernels.shape
+    out_h, out_w = conv_output_shape(height, width, r, stride, padding)
+    columns = im2col(feature_map, r, stride, padding)
+    kernel_matrix = kernels.reshape(num_kernels, channels * r * r)
+    output = kernel_matrix @ columns  # (N, K, H_out * W_out) via broadcasting
+    return output.reshape(batch, num_kernels, out_h, out_w)

@@ -1,0 +1,131 @@
+"""ResNet (He et al., 2016) workload descriptions.
+
+ResNet-18 and ResNet-34 use 3x3 convolutions almost exclusively, which makes
+them natural additional workloads for a Winograd engine DSE (the paper cites
+ResNet as motivation for small-kernel fast algorithms).  Only the workload
+shapes are modelled — residual additions and batch normalisation contribute
+negligibly to the arithmetic the accelerator has to provide and are folded
+into the layer list as metadata-free entries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .layers import ConvLayer, FullyConnectedLayer, InputSpec, PoolLayer
+from .model import Network
+
+__all__ = ["resnet18", "resnet34", "basic_block_layers"]
+
+
+def basic_block_layers(
+    name: str,
+    in_channels: int,
+    out_channels: int,
+    size: int,
+    stride: int,
+    batch: int,
+    group: str,
+) -> List[ConvLayer]:
+    """The two 3x3 convolutions of a ResNet basic block (plus any projection).
+
+    The optional 1x1 projection convolution on the shortcut path is included
+    when the block changes resolution or channel count.
+    """
+    layers = [
+        ConvLayer(
+            name=f"{name}_conv1",
+            in_channels=in_channels,
+            out_channels=out_channels,
+            height=size,
+            width=size,
+            kernel_size=3,
+            stride=stride,
+            padding=1,
+            batch=batch,
+            group=group,
+        ),
+        ConvLayer(
+            name=f"{name}_conv2",
+            in_channels=out_channels,
+            out_channels=out_channels,
+            height=size // stride,
+            width=size // stride,
+            kernel_size=3,
+            stride=1,
+            padding=1,
+            batch=batch,
+            group=group,
+        ),
+    ]
+    if stride != 1 or in_channels != out_channels:
+        layers.append(
+            ConvLayer(
+                name=f"{name}_proj",
+                in_channels=in_channels,
+                out_channels=out_channels,
+                height=size,
+                width=size,
+                kernel_size=1,
+                stride=stride,
+                padding=0,
+                batch=batch,
+                group=group,
+            )
+        )
+    return layers
+
+
+def _build_resnet(name: str, blocks_per_stage: Sequence[int], batch: int) -> Network:
+    spec = InputSpec(batch=batch, channels=3, height=224, width=224)
+    network = Network(name=name, input_spec=spec)
+    network.add(
+        ConvLayer(
+            name="conv1",
+            in_channels=3,
+            out_channels=64,
+            height=224,
+            width=224,
+            kernel_size=7,
+            stride=2,
+            padding=3,
+            batch=batch,
+            group="Stem",
+        )
+    )
+    network.add(PoolLayer("maxpool", channels=64, height=112, width=112, pool_size=3, stride=2, batch=batch))
+
+    channels = 64
+    size = 56
+    stage_channels = (64, 128, 256, 512)
+    for stage_index, (num_blocks, out_channels) in enumerate(
+        zip(blocks_per_stage, stage_channels), start=1
+    ):
+        group = f"Stage{stage_index}"
+        for block_index in range(num_blocks):
+            stride = 2 if (block_index == 0 and stage_index > 1) else 1
+            for layer in basic_block_layers(
+                name=f"layer{stage_index}_{block_index}",
+                in_channels=channels,
+                out_channels=out_channels,
+                size=size,
+                stride=stride,
+                batch=batch,
+                group=group,
+            ):
+                network.add(layer)
+            if stride == 2:
+                size //= 2
+            channels = out_channels
+    network.add(FullyConnectedLayer("fc", 512, 1000, batch=batch))
+    return network
+
+
+def resnet18(batch: int = 1) -> Network:
+    """ResNet-18 layer stack (basic blocks: 2, 2, 2, 2)."""
+    return _build_resnet("resnet18", (2, 2, 2, 2), batch)
+
+
+def resnet34(batch: int = 1) -> Network:
+    """ResNet-34 layer stack (basic blocks: 3, 4, 6, 3)."""
+    return _build_resnet("resnet34", (3, 4, 6, 3), batch)

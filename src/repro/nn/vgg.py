@@ -1,0 +1,136 @@
+"""VGG network family (Simonyan & Zisserman, 2014) workload descriptions.
+
+The paper's entire evaluation is carried out on configuration **D** of VGG-16
+("VGG16 network D"), chosen because every convolutional layer uses 3x3
+kernels so a single ``F(m x m, 3 x 3)`` engine serves the whole network.  The
+other configurations (A, B, C, E) are provided as well so the design-space
+exploration can be exercised on the full family.
+
+Layer naming follows the usual ``convG_I`` convention and each layer carries a
+``group`` tag (``Conv1`` .. ``Conv5``) matching the rows of the paper's
+Table II and the x-axis of Fig. 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .layers import ConvLayer, FullyConnectedLayer, InputSpec, PoolLayer
+from .model import Network
+
+__all__ = ["vgg16_d", "vgg", "VGG_CONFIGS", "vgg16_group_workloads"]
+
+# Configuration table from the VGG paper: each entry is the list of conv
+# output-channel counts per block ("M" = max-pool between blocks is implicit:
+# every block is followed by a 2x2 max-pool).
+VGG_CONFIGS: Dict[str, List[List[int]]] = {
+    # VGG-11
+    "A": [[64], [128], [256, 256], [512, 512], [512, 512]],
+    # VGG-13
+    "B": [[64, 64], [128, 128], [256, 256], [512, 512], [512, 512]],
+    # VGG-16 with some 1x1 convolutions (configuration C) — the 1x1 layers are
+    # marked with a negative channel count sentinel below and handled in the
+    # builder.
+    "C": [[64, 64], [128, 128], [256, 256, -256], [512, 512, -512], [512, 512, -512]],
+    # VGG-16 (configuration D) — the paper's workload.
+    "D": [[64, 64], [128, 128], [256, 256, 256], [512, 512, 512], [512, 512, 512]],
+    # VGG-19
+    "E": [
+        [64, 64],
+        [128, 128],
+        [256, 256, 256, 256],
+        [512, 512, 512, 512],
+        [512, 512, 512, 512],
+    ],
+}
+
+
+def vgg(
+    config: str = "D",
+    batch: int = 1,
+    input_size: int = 224,
+    include_classifier: bool = True,
+) -> Network:
+    """Build a VGG network description.
+
+    Parameters
+    ----------
+    config:
+        One of ``"A"``, ``"B"``, ``"C"``, ``"D"``, ``"E"``.
+    batch:
+        Mini-batch size ``N``.
+    input_size:
+        Input spatial resolution (224 for ImageNet).
+    include_classifier:
+        Whether to append the three fully-connected layers.
+    """
+    config = config.upper()
+    if config not in VGG_CONFIGS:
+        raise ValueError(f"unknown VGG configuration {config!r}; choose from {sorted(VGG_CONFIGS)}")
+    blocks = VGG_CONFIGS[config]
+    spec = InputSpec(batch=batch, channels=3, height=input_size, width=input_size)
+    network = Network(name=f"vgg16-{config.lower()}" if config in ("C", "D") else f"vgg-{config.lower()}", input_spec=spec)
+
+    channels = 3
+    size = input_size
+    for block_index, block in enumerate(blocks, start=1):
+        group = f"Conv{block_index}"
+        for layer_index, out_channels in enumerate(block, start=1):
+            kernel_size = 3
+            padding = 1
+            if out_channels < 0:
+                # Configuration C's 1x1 convolutions.
+                out_channels = -out_channels
+                kernel_size = 1
+                padding = 0
+            network.add(
+                ConvLayer(
+                    name=f"conv{block_index}_{layer_index}",
+                    in_channels=channels,
+                    out_channels=out_channels,
+                    height=size,
+                    width=size,
+                    kernel_size=kernel_size,
+                    padding=padding,
+                    batch=batch,
+                    group=group,
+                )
+            )
+            channels = out_channels
+        network.add(
+            PoolLayer(
+                name=f"pool{block_index}",
+                channels=channels,
+                height=size,
+                width=size,
+                pool_size=2,
+                stride=2,
+                batch=batch,
+            )
+        )
+        size //= 2
+
+    if include_classifier:
+        features = channels * size * size
+        network.add(FullyConnectedLayer("fc6", features, 4096, batch=batch))
+        network.add(FullyConnectedLayer("fc7", 4096, 4096, batch=batch))
+        network.add(FullyConnectedLayer("fc8", 4096, 1000, batch=batch))
+    return network
+
+
+def vgg16_d(batch: int = 1, input_size: int = 224, include_classifier: bool = True) -> Network:
+    """VGG-16 configuration D — the workload used throughout the paper."""
+    return vgg("D", batch=batch, input_size=input_size, include_classifier=include_classifier)
+
+
+def vgg16_group_workloads(batch: int = 1) -> Dict[str, int]:
+    """``NHWCK`` workload per VGG16-D conv group (Conv1 .. Conv5).
+
+    These are the per-group totals that Eq. (9) converts into the per-group
+    latencies of Table II.
+    """
+    network = vgg16_d(batch=batch, include_classifier=False)
+    return {
+        group: sum(layer.nhwck for layer in layers)
+        for group, layers in network.conv_groups().items()
+    }

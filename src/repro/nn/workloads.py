@@ -1,0 +1,101 @@
+"""Workload statistics helpers shared by the DSE and benchmark harness.
+
+Wraps the layer/network descriptors into the aggregate quantities the paper's
+equations consume: per-layer and per-group ``NHWCK``, spatial-convolution
+operation counts ``OS`` (Eq. (10) numerator), and convenience scaling to
+mini-batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .layers import ConvLayer
+from .model import Network
+
+__all__ = [
+    "LayerWorkload",
+    "layer_workload",
+    "network_workloads",
+    "group_workloads",
+    "total_spatial_operations",
+    "winograd_eligible_layers",
+]
+
+
+@dataclass(frozen=True)
+class LayerWorkload:
+    """Workload summary of one convolutional layer.
+
+    ``spatial_ops`` counts multiply and add separately (2 ops per MAC), which
+    is the convention behind the paper's GOPS figures (e.g. VGG16-D's
+    convolutional part is ~30.7 GOPs).
+    """
+
+    name: str
+    group: Optional[str]
+    nhwck: int
+    kernel_size: int
+    macs: int
+    spatial_ops: int
+    output_pixels: int
+
+    @property
+    def gops(self) -> float:
+        """Spatial operations in units of 10^9."""
+        return self.spatial_ops / 1e9
+
+
+def layer_workload(layer: ConvLayer) -> LayerWorkload:
+    """Summarise one convolutional layer."""
+    return LayerWorkload(
+        name=layer.name,
+        group=layer.group,
+        nhwck=layer.nhwck,
+        kernel_size=layer.kernel_size,
+        macs=layer.macs,
+        spatial_ops=layer.flops,
+        output_pixels=layer.output_pixels,
+    )
+
+
+def network_workloads(network: Network) -> List[LayerWorkload]:
+    """Per-layer workload summaries for all convolutional layers."""
+    return [layer_workload(layer) for layer in network.conv_layers]
+
+
+def group_workloads(network: Network) -> Dict[str, LayerWorkload]:
+    """Aggregate workloads per conv group (VGG's Conv1..Conv5)."""
+    result: Dict[str, LayerWorkload] = {}
+    for group, layers in network.conv_groups().items():
+        kernel_sizes = {layer.kernel_size for layer in layers}
+        kernel_size = kernel_sizes.pop() if len(kernel_sizes) == 1 else 0
+        result[group] = LayerWorkload(
+            name=group,
+            group=group,
+            nhwck=sum(layer.nhwck for layer in layers),
+            kernel_size=kernel_size,
+            macs=sum(layer.macs for layer in layers),
+            spatial_ops=sum(layer.flops for layer in layers),
+            output_pixels=sum(layer.output_pixels for layer in layers),
+        )
+    return result
+
+
+def total_spatial_operations(network: Network) -> int:
+    """Total spatial-convolution operations ``OS`` of the network (Eq. (10))."""
+    return network.total_conv_flops
+
+
+def winograd_eligible_layers(network: Network, r: int = 3) -> List[ConvLayer]:
+    """Conv layers a ``F(m x m, r x r)`` engine can execute directly.
+
+    A layer qualifies when its kernel size equals ``r`` and it uses unit
+    stride (the minimal algorithms assume dense, stride-1 output tiles).
+    """
+    return [
+        layer
+        for layer in network.conv_layers
+        if layer.kernel_size == r and layer.stride == 1
+    ]

@@ -1,0 +1,13 @@
+"""Reporting helpers: plain-text tables, CSV export and ASCII figures."""
+
+from .figures import bar_chart, grouped_series
+from .tables import format_comparison, format_ratio, format_table, rows_to_csv
+
+__all__ = [
+    "format_table",
+    "rows_to_csv",
+    "format_comparison",
+    "format_ratio",
+    "bar_chart",
+    "grouped_series",
+]

@@ -1,0 +1,64 @@
+"""ASCII rendering of the paper's figures.
+
+No plotting dependencies are assumed in the offline environment, so the
+benchmark harness renders figure data as simple ASCII bar/series charts —
+enough to see the shapes (quadratic decrease of Fig. 1, the knee of Fig. 3,
+the linear-in-multipliers scaling of Fig. 6) directly in the benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+__all__ = ["bar_chart", "grouped_series"]
+
+
+def bar_chart(
+    values: Mapping[str, Number],
+    title: Optional[str] = None,
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Render a labelled horizontal bar chart."""
+    if not values:
+        return title or "(empty chart)"
+    maximum = max(float(v) for v in values.values())
+    maximum = maximum if maximum > 0 else 1.0
+    label_width = max(len(str(label)) for label in values)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in values.items():
+        bar = "#" * max(1, int(round(width * float(value) / maximum))) if value else ""
+        lines.append(f"{str(label).ljust(label_width)} | {bar} {float(value):.3f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_series(
+    series: Mapping[str, Mapping[str, Number]],
+    title: Optional[str] = None,
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Render several named series of labelled values (Fig. 1 / Fig. 6 style).
+
+    ``series`` maps series name -> {category -> value}.
+    """
+    if not series:
+        return title or "(empty chart)"
+    maximum = max(
+        (float(v) for values in series.values() for v in values.values()), default=1.0
+    )
+    maximum = maximum if maximum > 0 else 1.0
+    lines = []
+    if title:
+        lines.append(title)
+    for name, values in series.items():
+        lines.append(f"[{name}]")
+        label_width = max(len(str(label)) for label in values)
+        for label, value in values.items():
+            bar = "*" * max(1, int(round(width * float(value) / maximum))) if value else ""
+            lines.append(f"  {str(label).ljust(label_width)} | {bar} {float(value):.2f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Plain-text and CSV rendering of comparison tables and sweep results.
+
+The benchmark harness prints the same rows the paper's tables report; this
+module owns the formatting so benchmarks stay focused on producing numbers.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+Number = Union[int, float]
+Row = Mapping[str, Union[str, Number]]
+
+__all__ = ["format_table", "rows_to_csv", "format_comparison", "format_ratio"]
+
+
+def _format_cell(value: Union[str, Number], precision: int) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return str(value)
+    if value != value:  # NaN
+        return "-"
+    magnitude = abs(value)
+    if magnitude >= 1e5:
+        return f"{value:,.0f}"
+    return f"{value:.{precision}f}"
+
+
+def format_table(
+    rows: Sequence[Row],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    precision: int = 2,
+) -> str:
+    """Render rows of dicts as an aligned plain-text table."""
+    rows = list(rows)
+    if not rows:
+        return title or "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(column) for column in columns]
+    body = [[_format_cell(row.get(column, ""), precision) for column in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) for i in range(len(columns))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(columns))))
+    lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    for line in body:
+        lines.append("  ".join(line[i].rjust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def rows_to_csv(rows: Sequence[Row], columns: Optional[Sequence[str]] = None) -> str:
+    """Render rows of dicts as CSV text."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(columns), extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({key: row.get(key, "") for key in columns})
+    return buffer.getvalue()
+
+
+def format_ratio(measured: float, published: float) -> str:
+    """Render a measured/published pair as ``measured (paper published, xN.NN)``."""
+    if published == 0:
+        return f"{measured:.2f} (paper {published:.2f})"
+    return f"{measured:.2f} (paper {published:.2f}, x{measured / published:.2f})"
+
+
+def format_comparison(
+    measured: Mapping[str, Number],
+    published: Mapping[str, Number],
+    title: Optional[str] = None,
+    precision: int = 2,
+) -> str:
+    """Two-column measured-vs-published comparison for EXPERIMENTS.md."""
+    rows = []
+    for key in measured:
+        row: Dict[str, Union[str, Number]] = {"metric": key, "measured": measured[key]}
+        row["published"] = published.get(key, float("nan"))
+        published_value = published.get(key)
+        if isinstance(published_value, (int, float)) and published_value:
+            row["ratio"] = float(measured[key]) / float(published_value)
+        else:
+            row["ratio"] = float("nan")
+        rows.append(row)
+    return format_table(rows, columns=["metric", "measured", "published", "ratio"], title=title, precision=precision)

@@ -1,0 +1,23 @@
+"""Cycle-level simulation substrate for the Winograd convolution engine.
+
+Provides a small synchronous-pipeline kernel, a behavioural simulator of the
+paper's shared-data-transform engine (Fig. 7) and validation utilities that
+tie the simulated cycle counts back to the analytical latency model (Eq. 9)
+and the simulated values back to direct convolution.
+"""
+
+from .engine_sim import EngineSimConfig, SimulationResult, SimulationStats, WinogradEngineSim
+from .pipeline import Pipeline, PipelineStage
+from .validation import LayerValidation, validate_configuration, validate_layer
+
+__all__ = [
+    "Pipeline",
+    "PipelineStage",
+    "EngineSimConfig",
+    "SimulationStats",
+    "SimulationResult",
+    "WinogradEngineSim",
+    "LayerValidation",
+    "validate_layer",
+    "validate_configuration",
+]

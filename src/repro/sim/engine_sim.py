@@ -1,0 +1,246 @@
+"""Cycle-level simulation of the proposed Winograd convolution engine.
+
+This is the behavioural model of the system in Fig. 7 of the paper: an image
+buffer feeds one ``(m+r-1) x (m+r-1)`` input tile per clock cycle into a
+*single shared* data-transform stage, whose output ``U`` fans out to ``P``
+parallel PEs.  Each PE holds the filter transform ``V`` of one kernel for the
+current input channel, performs the element-wise multiplication and the 2-D
+inverse transform, and accumulates its ``m x m`` output tile over the ``C``
+input channels.  When ``K > P`` the tile walk is repeated in ``ceil(K / P)``
+kernel passes.
+
+The simulator serves two purposes:
+
+* **functional validation** — the values it produces are checked against the
+  direct-convolution reference, proving the engine's dataflow (shared
+  transform, per-PE kernels, channel accumulation) computes the right thing;
+* **timing validation** — the cycle count it reports is checked against the
+  analytical latency model of Eq. (9), closing the loop between the simulator
+  and the design-space exploration built on that equation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..nn.layers import ConvLayer
+from ..winograd.matrices import get_transform
+from ..winograd.tiling import assemble_output, extract_tiles, plan_tiles
+from ..winograd.toom_cook import WinogradTransform
+from ..winograd.transforms import data_transform, filter_transform, inverse_transform
+from .pipeline import Pipeline, PipelineStage
+
+__all__ = ["EngineSimConfig", "SimulationStats", "SimulationResult", "WinogradEngineSim"]
+
+
+@dataclass(frozen=True)
+class EngineSimConfig:
+    """Static configuration of the simulated engine."""
+
+    m: int
+    r: int = 3
+    parallel_pes: int = 4
+    frequency_mhz: float = 200.0
+    data_transform_latency: int = 2
+    ewise_latency: int = 3
+    inverse_transform_latency: int = 2
+    prefer_canonical: bool = True
+
+    def __post_init__(self) -> None:
+        if self.m < 1 or self.r < 1:
+            raise ValueError("m and r must be >= 1")
+        if self.parallel_pes < 1:
+            raise ValueError("parallel_pes must be >= 1")
+        if self.frequency_mhz <= 0:
+            raise ValueError("frequency must be positive")
+
+    @property
+    def pipeline_depth(self) -> int:
+        """Total pipeline depth ``Dp`` of the simulated engine."""
+        return (
+            self.data_transform_latency
+            + self.ewise_latency
+            + self.inverse_transform_latency
+        )
+
+    @property
+    def multipliers_per_pe(self) -> int:
+        return (self.m + self.r - 1) ** 2
+
+    @property
+    def total_multipliers(self) -> int:
+        return self.parallel_pes * self.multipliers_per_pe
+
+
+@dataclass
+class SimulationStats:
+    """Cycle-level statistics collected during a run."""
+
+    cycles: int = 0
+    tiles_processed: int = 0
+    kernel_passes: int = 0
+    data_transforms: int = 0
+    pe_operations: int = 0
+    output_tiles: int = 0
+    stage_occupancy: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def completed_tokens(self) -> int:
+        """Alias for :attr:`output_tiles` (tile/channel tokens that completed)."""
+        return self.output_tiles
+
+    @property
+    def effective_issue_rate(self) -> float:
+        """Completed tile/channel tokens per cycle (1.0 for a full pipeline)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.output_tiles / self.cycles
+
+    def latency_seconds(self, frequency_mhz: float) -> float:
+        """Wall-clock latency of the run at ``frequency_mhz``."""
+        return self.cycles / (frequency_mhz * 1e6)
+
+
+@dataclass
+class SimulationResult:
+    """Output feature map plus statistics for one simulated layer."""
+
+    output: np.ndarray
+    stats: SimulationStats
+    config: EngineSimConfig
+
+    def latency_ms(self) -> float:
+        return self.stats.latency_seconds(self.config.frequency_mhz) * 1e3
+
+
+class WinogradEngineSim:
+    """Cycle-level behavioural simulator of the proposed engine."""
+
+    def __init__(self, config: EngineSimConfig) -> None:
+        self.config = config
+        self.transform: WinogradTransform = get_transform(
+            config.m, config.r, config.prefer_canonical
+        )
+
+    # ------------------------------------------------------------------ #
+    def analytical_cycles(self, layer: ConvLayer) -> float:
+        """Eq. (9) cycle count for ``layer`` on this engine configuration.
+
+        Uses the actual tile grid (ceil of partial tiles) so it can be
+        compared one-to-one with the simulated count.
+        """
+        grid = plan_tiles(layer.height, layer.width, self.config.m, self.config.r, layer.padding)
+        kernel_passes = -(-layer.out_channels // self.config.parallel_pes)
+        issue_cycles = (
+            layer.batch * grid.tile_count * layer.in_channels * kernel_passes
+        )
+        return issue_cycles + self.config.pipeline_depth - 1
+
+    # ------------------------------------------------------------------ #
+    def run_layer(
+        self,
+        layer: ConvLayer,
+        feature_map: np.ndarray,
+        kernels: np.ndarray,
+        functional: bool = True,
+    ) -> SimulationResult:
+        """Simulate one convolutional layer.
+
+        Parameters
+        ----------
+        layer:
+            Layer descriptor (shapes, padding); must match the tensors.
+        feature_map:
+            Input tensor ``(N, C, H, W)``.
+        kernels:
+            Kernel bank ``(K, C, r, r)``.
+        functional:
+            When ``True`` the datapath values are computed and assembled into
+            the output tensor; when ``False`` only timing is simulated (the
+            output array is returned empty).
+        """
+        config = self.config
+        feature_map = np.asarray(feature_map, dtype=np.float64)
+        kernels = np.asarray(kernels, dtype=np.float64)
+        batch, channels, height, width = feature_map.shape
+        num_kernels = kernels.shape[0]
+        if (channels, height, width) != (layer.in_channels, layer.height, layer.width):
+            raise ValueError("feature map shape does not match the layer descriptor")
+        if kernels.shape != (layer.out_channels, layer.in_channels, layer.kernel_size, layer.kernel_size):
+            raise ValueError("kernel bank shape does not match the layer descriptor")
+        if layer.stride != 1:
+            raise ValueError("the Winograd engine supports stride-1 layers only")
+
+        grid = plan_tiles(height, width, config.m, config.r, layer.padding)
+        tiles = extract_tiles(feature_map, grid, padding=layer.padding)  # (N, C, ty, tx, t, t)
+
+        # Off-line filter transforms (kernel buffers V of Fig. 7).
+        transformed_kernels = filter_transform(self.transform, kernels)  # (K, C, n, n)
+
+        kernel_passes = -(-num_kernels // config.parallel_pes)
+        stats = SimulationStats(kernel_passes=kernel_passes)
+
+        # The three pipeline stages; payloads are dicts describing the tile.
+        pipeline = Pipeline(
+            [
+                PipelineStage("data_transform", config.data_transform_latency),
+                PipelineStage("ewise_mult", config.ewise_latency),
+                PipelineStage("inverse_transform", config.inverse_transform_latency),
+            ]
+        )
+
+        m = config.m
+        n = self.transform.n
+        accumulators = np.zeros(
+            (batch, num_kernels, grid.tiles_y, grid.tiles_x, m, m), dtype=np.float64
+        )
+
+        def issue_order():
+            """The image-buffer walk: kernel pass -> batch -> tile -> channel."""
+            for kernel_pass in range(kernel_passes):
+                kernel_lo = kernel_pass * config.parallel_pes
+                kernel_hi = min(kernel_lo + config.parallel_pes, num_kernels)
+                for image in range(batch):
+                    for ty in range(grid.tiles_y):
+                        for tx in range(grid.tiles_x):
+                            for channel in range(channels):
+                                yield (image, ty, tx, channel, kernel_lo, kernel_hi)
+
+        def process_token(token):
+            """Datapath work of one issued tile once it leaves the pipeline."""
+            image, ty, tx, channel, kernel_lo, kernel_hi = token
+            if not functional:
+                return token
+            tile = tiles[image, channel, ty, tx]
+            u = data_transform(self.transform, tile)
+            # All resident PEs consume the same U with their own V.
+            v = transformed_kernels[kernel_lo:kernel_hi, channel]
+            products = u[None, :, :] * v
+            outputs = inverse_transform(self.transform, products)
+            accumulators[image, kernel_lo:kernel_hi, ty, tx] += outputs
+            return token
+
+        pipeline.stages[-1].transform = process_token
+
+        issued = 0
+        for token in issue_order():
+            pipeline.push(token)
+            completed = pipeline.tick()
+            issued += 1
+            stats.data_transforms += 1
+            stats.pe_operations += token[5] - token[4]
+            stats.output_tiles += len(completed)
+        # Drain the pipeline.
+        remaining = pipeline.drain()
+        stats.output_tiles += len(remaining)
+        stats.cycles = pipeline.cycle
+        stats.tiles_processed = issued
+
+        if functional:
+            output = assemble_output(accumulators, grid)
+        else:
+            output = np.zeros((batch, num_kernels, grid.output_height, grid.output_width))
+        return SimulationResult(output=output, stats=stats, config=config)

@@ -1,0 +1,114 @@
+"""Generic cycle-driven pipeline modelling.
+
+The engine simulator needs a small, well-tested notion of a synchronous
+pipeline: stages with fixed latencies through which tokens advance one step
+per clock cycle, with perfect throughput of one token per cycle once the
+pipeline is full (the paper's engines are fully pipelined and never stall
+under the double-buffering assumption).  Tokens are opaque Python objects; a
+stage may attach a transformation applied when the token leaves it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, List, Optional, Tuple
+
+__all__ = ["PipelineStage", "Pipeline"]
+
+
+@dataclass
+class PipelineStage:
+    """One pipeline stage with a fixed latency in cycles.
+
+    Attributes
+    ----------
+    name:
+        Stage label (shows up in traces).
+    latency:
+        Number of cycles a token spends in the stage (>= 1).
+    transform:
+        Optional callable applied to the token payload when it exits.
+    """
+
+    name: str
+    latency: int = 1
+    transform: Optional[Callable[[Any], Any]] = None
+    _in_flight: Deque[Tuple[int, Any]] = field(default_factory=deque, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.latency < 1:
+            raise ValueError("stage latency must be >= 1")
+
+    def accept(self, cycle: int, token: Any) -> None:
+        """Accept a token at ``cycle`` (the engines never back-pressure)."""
+        self._in_flight.append((cycle + self.latency, token))
+
+    def retire(self, cycle: int) -> List[Any]:
+        """Return (and remove) tokens whose latency elapsed at ``cycle``."""
+        ready: List[Any] = []
+        while self._in_flight and self._in_flight[0][0] <= cycle:
+            _, token = self._in_flight.popleft()
+            if self.transform is not None:
+                token = self.transform(token)
+            ready.append(token)
+        return ready
+
+    @property
+    def occupancy(self) -> int:
+        """Tokens currently in flight in the stage."""
+        return len(self._in_flight)
+
+
+class Pipeline:
+    """A linear chain of :class:`PipelineStage` objects.
+
+    Tokens are injected with :meth:`push` (at most one per cycle, matching
+    the single shared data-transform front end) and retrieved from
+    :meth:`tick`, which advances the whole pipeline by one clock cycle.
+    """
+
+    def __init__(self, stages: List[PipelineStage]) -> None:
+        if not stages:
+            raise ValueError("pipeline needs at least one stage")
+        self.stages = stages
+        self.cycle = 0
+        self._completed: List[Any] = []
+
+    @property
+    def depth(self) -> int:
+        """Total pipeline latency in cycles."""
+        return sum(stage.latency for stage in self.stages)
+
+    @property
+    def in_flight(self) -> int:
+        """Tokens currently anywhere inside the pipeline."""
+        return sum(stage.occupancy for stage in self.stages)
+
+    def push(self, token: Any) -> None:
+        """Inject a token into the first stage at the current cycle."""
+        self.stages[0].accept(self.cycle, token)
+
+    def tick(self) -> List[Any]:
+        """Advance one clock cycle; return tokens that completed this cycle."""
+        self.cycle += 1
+        moving = None
+        for index, stage in enumerate(self.stages):
+            ready = stage.retire(self.cycle)
+            if moving:
+                for token in moving:
+                    stage.accept(self.cycle, token)
+            moving = ready
+        completed = moving or []
+        self._completed.extend(completed)
+        return completed
+
+    def drain(self, max_cycles: Optional[int] = None) -> List[Any]:
+        """Tick until the pipeline is empty; return everything that completed."""
+        drained: List[Any] = []
+        limit = max_cycles if max_cycles is not None else self.depth + self.in_flight + 4
+        for _ in range(limit):
+            if self.in_flight == 0:
+                break
+            drained.extend(self.tick())
+        return drained

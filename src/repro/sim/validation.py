@@ -1,0 +1,98 @@
+"""Cross-validation between the cycle-level simulator and the analytical models.
+
+Closes the loop that the paper leaves implicit: the latencies of Table II come
+from Eq. (9), and the simulator executes the actual dataflow cycle by cycle.
+:func:`validate_layer` runs both for a layer and reports functional error and
+cycle-count agreement; :func:`validate_configuration` sweeps several layer
+shapes for one engine configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.layers import ConvLayer
+from ..nn.reference import direct_conv2d
+from .engine_sim import EngineSimConfig, SimulationResult, WinogradEngineSim
+
+__all__ = ["LayerValidation", "validate_layer", "validate_configuration"]
+
+
+@dataclass(frozen=True)
+class LayerValidation:
+    """Result of validating one layer on one engine configuration."""
+
+    layer_name: str
+    m: int
+    parallel_pes: int
+    simulated_cycles: int
+    analytical_cycles: float
+    max_abs_error: float
+    functional: bool
+
+    @property
+    def cycle_error_pct(self) -> float:
+        """Relative disagreement between simulated and analytical cycles."""
+        if self.analytical_cycles == 0:
+            return 0.0
+        return 100.0 * abs(self.simulated_cycles - self.analytical_cycles) / self.analytical_cycles
+
+    @property
+    def numerically_correct(self) -> bool:
+        """Whether the simulated output matches the direct convolution."""
+        return (not self.functional) or self.max_abs_error < 1e-8
+
+
+def validate_layer(
+    layer: ConvLayer,
+    config: EngineSimConfig,
+    seed: int = 0,
+    functional: bool = True,
+) -> LayerValidation:
+    """Run the simulator on ``layer`` and compare against the references."""
+    rng = np.random.default_rng(seed)
+    feature_map = rng.standard_normal(
+        (layer.batch, layer.in_channels, layer.height, layer.width)
+    )
+    kernels = rng.standard_normal(
+        (layer.out_channels, layer.in_channels, layer.kernel_size, layer.kernel_size)
+    )
+    simulator = WinogradEngineSim(config)
+    result: SimulationResult = simulator.run_layer(
+        layer, feature_map, kernels, functional=functional
+    )
+    max_error = 0.0
+    if functional:
+        reference = direct_conv2d(feature_map, kernels, padding=layer.padding)
+        max_error = float(np.abs(result.output - reference).max())
+    return LayerValidation(
+        layer_name=layer.name,
+        m=config.m,
+        parallel_pes=config.parallel_pes,
+        simulated_cycles=result.stats.cycles,
+        analytical_cycles=simulator.analytical_cycles(layer),
+        max_abs_error=max_error,
+        functional=functional,
+    )
+
+
+def validate_configuration(
+    config: EngineSimConfig,
+    layers: Optional[Sequence[ConvLayer]] = None,
+    seed: int = 0,
+) -> List[LayerValidation]:
+    """Validate an engine configuration on a set of representative layers.
+
+    The default layer set covers channel counts around / above the PE count,
+    partial edge tiles and non-square feature maps.
+    """
+    if layers is None:
+        layers = [
+            ConvLayer("small", in_channels=3, out_channels=4, height=12, width=12, batch=1),
+            ConvLayer("tall", in_channels=2, out_channels=6, height=18, width=10, batch=1),
+            ConvLayer("multi_pass", in_channels=4, out_channels=9, height=8, width=8, batch=2),
+        ]
+    return [validate_layer(layer, config, seed=seed) for layer in layers]

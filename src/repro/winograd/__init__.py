@@ -1,0 +1,86 @@
+"""Winograd minimal-filtering (fast convolution) algorithms.
+
+This subpackage is the algorithmic substrate of the reproduction: exact
+generation of ``F(m, r)`` transform matrices, published canonical matrices,
+application of the transforms to tiles and feature maps, feature-map tiling,
+strength reduction of transform constants, per-tile operation counting and
+numerical-accuracy analysis.
+"""
+
+from .fast_conv import WinogradConv2D, winograd_conv2d, winograd_correlate_1d
+from .matrices import available_canonical, get_transform
+from .numerical import ErrorStats, conv_error, error_sweep, tile_error
+from .op_count import (
+    OpCount,
+    TransformOpCounts,
+    count_transform_ops,
+    count_transform_ops_for,
+    matvec_ops,
+    nested_2d_ops,
+    spatial_tile_ops,
+)
+from .points import POINT_STRATEGIES, chebyshev_like_points, default_points, integer_points
+from .strength_reduction import (
+    ConstantCost,
+    ConstantOp,
+    MatVecNetwork,
+    constant_cost,
+    csd_digits,
+    matvec_network,
+)
+from .tiling import TileGrid, assemble_output, extract_tiles, plan_tiles
+from .toom_cook import WinogradTransform, generate_transform, minimal_multiplications
+from .transforms import (
+    data_transform,
+    data_transform_1d,
+    filter_transform,
+    filter_transform_1d,
+    inverse_transform,
+    inverse_transform_1d,
+    winograd_1d,
+    winograd_tile_2d,
+)
+
+__all__ = [
+    "WinogradTransform",
+    "generate_transform",
+    "minimal_multiplications",
+    "get_transform",
+    "available_canonical",
+    "data_transform",
+    "filter_transform",
+    "inverse_transform",
+    "data_transform_1d",
+    "filter_transform_1d",
+    "inverse_transform_1d",
+    "winograd_1d",
+    "winograd_tile_2d",
+    "WinogradConv2D",
+    "winograd_conv2d",
+    "winograd_correlate_1d",
+    "TileGrid",
+    "plan_tiles",
+    "extract_tiles",
+    "assemble_output",
+    "OpCount",
+    "TransformOpCounts",
+    "count_transform_ops",
+    "count_transform_ops_for",
+    "matvec_ops",
+    "nested_2d_ops",
+    "spatial_tile_ops",
+    "ConstantCost",
+    "ConstantOp",
+    "MatVecNetwork",
+    "constant_cost",
+    "csd_digits",
+    "matvec_network",
+    "ErrorStats",
+    "tile_error",
+    "conv_error",
+    "error_sweep",
+    "default_points",
+    "integer_points",
+    "chebyshev_like_points",
+    "POINT_STRATEGIES",
+]

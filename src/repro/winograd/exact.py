@@ -1,0 +1,172 @@
+"""Exact rational linear algebra used by the Winograd transform generator.
+
+The Toom-Cook / Cook-Toom construction of Winograd minimal-filtering
+transforms requires inverting small Vandermonde-like matrices.  Doing this in
+floating point introduces rounding errors that contaminate the generated
+transform matrices and, more importantly for this reproduction, makes the
+operator counting (distinguishing "free" constants such as 0 and +/-1 from
+real constant multiplications) unreliable.  All matrix construction is
+therefore carried out over :class:`fractions.Fraction` and converted to NumPy
+arrays only at the very end.
+
+The module intentionally implements only the handful of operations the
+generator needs (multiply, transpose, inverse, identity) instead of pulling in
+a full computer-algebra system.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Sequence, Union
+
+import numpy as np
+
+Rational = Union[int, Fraction]
+Matrix = List[List[Fraction]]
+
+__all__ = [
+    "as_fraction",
+    "fraction_matrix",
+    "identity",
+    "matmul",
+    "transpose",
+    "inverse",
+    "to_numpy",
+    "from_numpy",
+    "is_power_of_two_fraction",
+]
+
+
+def as_fraction(value: Union[Rational, float, str]) -> Fraction:
+    """Convert ``value`` to an exact :class:`~fractions.Fraction`.
+
+    Floats are accepted only when they are exactly representable as dyadic
+    rationals (e.g. ``0.5``); this guards against silently importing rounding
+    error into an otherwise exact computation.
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, str):
+        return Fraction(value)
+    if isinstance(value, float):
+        fraction = Fraction(value)
+        # Every float is technically a dyadic rational; only accept the ones a
+        # human plausibly meant exactly (small power-of-two denominator), and
+        # reject decimal literals like 0.1 whose binary expansion is huge.
+        if fraction.denominator > (1 << 20):
+            raise ValueError(
+                f"float {value!r} is not an exact small dyadic rational; "
+                "pass a Fraction or string instead"
+            )
+        return fraction
+    raise TypeError(f"cannot interpret {value!r} as a rational number")
+
+
+def fraction_matrix(rows: Sequence[Sequence[Union[Rational, float, str]]]) -> Matrix:
+    """Build a matrix of :class:`Fraction` from any nested sequence of numbers."""
+    if not rows:
+        raise ValueError("matrix must have at least one row")
+    width = len(rows[0])
+    result: Matrix = []
+    for row in rows:
+        if len(row) != width:
+            raise ValueError("all rows must have the same length")
+        result.append([as_fraction(value) for value in row])
+    return result
+
+
+def identity(size: int) -> Matrix:
+    """Return the ``size`` x ``size`` identity matrix over Fractions."""
+    return [
+        [Fraction(1) if i == j else Fraction(0) for j in range(size)]
+        for i in range(size)
+    ]
+
+
+def matmul(a: Matrix, b: Matrix) -> Matrix:
+    """Exact matrix product ``a @ b``."""
+    rows_a, cols_a = len(a), len(a[0])
+    rows_b, cols_b = len(b), len(b[0])
+    if cols_a != rows_b:
+        raise ValueError(
+            f"incompatible shapes for matmul: ({rows_a}x{cols_a}) @ ({rows_b}x{cols_b})"
+        )
+    result: Matrix = []
+    for i in range(rows_a):
+        row = []
+        for j in range(cols_b):
+            acc = Fraction(0)
+            for k in range(cols_a):
+                acc += a[i][k] * b[k][j]
+            row.append(acc)
+        result.append(row)
+    return result
+
+
+def transpose(a: Matrix) -> Matrix:
+    """Exact matrix transpose."""
+    return [list(column) for column in zip(*a)]
+
+
+def inverse(a: Matrix) -> Matrix:
+    """Exact matrix inverse via Gauss-Jordan elimination with partial pivoting.
+
+    Raises
+    ------
+    ValueError
+        If the matrix is singular or not square.
+    """
+    size = len(a)
+    if any(len(row) != size for row in a):
+        raise ValueError("matrix must be square to invert")
+
+    # Augment [A | I] and reduce to [I | A^-1].
+    augmented = [list(row) + identity(size)[i] for i, row in enumerate(a)]
+    for col in range(size):
+        pivot_row = next(
+            (row for row in range(col, size) if augmented[row][col] != 0), None
+        )
+        if pivot_row is None:
+            raise ValueError("matrix is singular and cannot be inverted")
+        if pivot_row != col:
+            augmented[col], augmented[pivot_row] = augmented[pivot_row], augmented[col]
+        pivot = augmented[col][col]
+        augmented[col] = [value / pivot for value in augmented[col]]
+        for row in range(size):
+            if row == col:
+                continue
+            factor = augmented[row][col]
+            if factor == 0:
+                continue
+            augmented[row] = [
+                value - factor * pivot_value
+                for value, pivot_value in zip(augmented[row], augmented[col])
+            ]
+    return [row[size:] for row in augmented]
+
+
+def to_numpy(a: Matrix, dtype=np.float64) -> np.ndarray:
+    """Convert an exact matrix to a NumPy array of ``dtype``."""
+    return np.array([[float(value) for value in row] for row in a], dtype=dtype)
+
+
+def from_numpy(array: np.ndarray) -> Matrix:
+    """Convert a NumPy array of exactly-representable values to Fractions."""
+    return fraction_matrix(array.tolist())
+
+
+def is_power_of_two_fraction(value: Fraction) -> bool:
+    """Return ``True`` if ``abs(value)`` is an integer or inverse power of two.
+
+    Such constants can be realised in hardware as pure wiring / exponent
+    adjustment (for floating point) or shifts (for fixed point), so the
+    strength-reduction pass treats them as cheaper than general constant
+    multiplications.
+    """
+    value = abs(value)
+    if value == 0:
+        return False
+    numerator, denominator = value.numerator, value.denominator
+    return (numerator & (numerator - 1)) == 0 and (denominator & (denominator - 1)) == 0

@@ -1,0 +1,185 @@
+"""Functional Winograd convolution over full CNN feature maps.
+
+This is the software (NumPy) realisation of the algorithm the paper's hardware
+engine implements: tiled 2-D minimal filtering ``F(m x m, r x r)`` applied per
+channel and accumulated over channels, for every kernel (Eq. (1) restructured
+through Eq. (3)).  It exists so the reproduction can
+
+* verify numerically that the fast algorithm produces the same results as a
+  direct (spatial) convolution for every configuration the DSE probes, and
+* serve as the golden reference the cycle-level engine simulator is checked
+  against.
+
+The implementation favours clarity over peak NumPy throughput; it is easily
+fast enough for the layer sizes exercised by the tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .matrices import get_transform
+from .tiling import assemble_output, extract_tiles, plan_tiles
+from .toom_cook import WinogradTransform
+from .transforms import (
+    batched_data_transform,
+    batched_filter_transform,
+    batched_inverse_transform,
+)
+
+__all__ = ["WinogradConv2D", "winograd_conv2d", "winograd_correlate_1d"]
+
+
+def winograd_correlate_1d(
+    signal: np.ndarray, taps: np.ndarray, m: int, transform: Optional[WinogradTransform] = None
+) -> np.ndarray:
+    """Valid-mode 1-D correlation computed with tiled ``F(m, r)``.
+
+    Provided mainly for testing the 1-D engine building block; CNN layers use
+    :func:`winograd_conv2d`.
+    """
+    signal = np.asarray(signal, dtype=np.float64)
+    taps = np.asarray(taps, dtype=np.float64)
+    if signal.ndim != 1 or taps.ndim != 1:
+        raise ValueError("signal and taps must be 1-D")
+    r = taps.size
+    if transform is None:
+        transform = get_transform(m, r)
+    if transform.m != m or transform.r != r:
+        raise ValueError("transform parameters do not match m / taps length")
+    n = transform.n
+    out_len = signal.size - r + 1
+    if out_len < 1:
+        raise ValueError("taps longer than signal")
+    num_tiles = -(-out_len // m)
+    padded_len = (num_tiles - 1) * m + n
+    padded = np.zeros(padded_len, dtype=np.float64)
+    padded[: signal.size] = signal
+    v = taps @ transform.G.T
+    out = np.empty(num_tiles * m, dtype=np.float64)
+    for t in range(num_tiles):
+        d = padded[t * m : t * m + n]
+        u = d @ transform.BT.T
+        out[t * m : (t + 1) * m] = (u * v) @ transform.AT.T
+    return out[:out_len]
+
+
+@dataclass
+class WinogradConv2D:
+    """A reusable Winograd convolution operator for a fixed ``(m, r)``.
+
+    Mirrors the hardware engine's split into an offline filter transform and
+    an online data path: :meth:`prepare_filters` corresponds to the
+    pre-computed kernel buffers ``V`` of Fig. 7, and :meth:`__call__` runs the
+    data transform, element-wise multiplication and inverse transform stages.
+
+    Parameters
+    ----------
+    m:
+        Output tile size.
+    r:
+        Kernel size (must match the kernels passed in).
+    prefer_canonical:
+        Use published (Lavin) transform matrices when available.
+    """
+
+    m: int
+    r: int = 3
+    prefer_canonical: bool = True
+
+    def __post_init__(self) -> None:
+        self.transform = get_transform(self.m, self.r, self.prefer_canonical)
+
+    # ------------------------------------------------------------------ #
+    def prepare_filters(self, kernels: np.ndarray) -> np.ndarray:
+        """Pre-compute filter transforms ``V = G g G^T`` for a kernel bank.
+
+        Parameters
+        ----------
+        kernels:
+            Array of shape ``(K, C, r, r)``.
+
+        Returns
+        -------
+        np.ndarray
+            Transformed kernels of shape ``(K, C, n, n)``.
+        """
+        kernels = np.asarray(kernels, dtype=np.float64)
+        if kernels.ndim != 4 or kernels.shape[-2:] != (self.r, self.r):
+            raise ValueError(
+                f"kernels must have shape (K, C, {self.r}, {self.r}), got {kernels.shape}"
+            )
+        return batched_filter_transform(self.transform, kernels)
+
+    # ------------------------------------------------------------------ #
+    def __call__(
+        self,
+        feature_map: np.ndarray,
+        kernels: np.ndarray,
+        padding: int = 0,
+        transformed_filters: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Convolve a feature map with a kernel bank.
+
+        Parameters
+        ----------
+        feature_map:
+            Input of shape ``(N, C, H, W)``.
+        kernels:
+            Kernels of shape ``(K, C, r, r)``.  May be ``None`` only when
+            ``transformed_filters`` is provided.
+        padding:
+            Symmetric zero padding (VGG uses 1).
+        transformed_filters:
+            Optional pre-computed output of :meth:`prepare_filters`.
+
+        Returns
+        -------
+        np.ndarray
+            Output feature map of shape ``(N, K, H_out, W_out)``.
+        """
+        feature_map = np.asarray(feature_map, dtype=np.float64)
+        if feature_map.ndim != 4:
+            raise ValueError(f"feature map must be (N, C, H, W), got {feature_map.shape}")
+        if transformed_filters is None:
+            transformed_filters = self.prepare_filters(kernels)
+        else:
+            transformed_filters = np.asarray(transformed_filters, dtype=np.float64)
+        batch, channels, height, width = feature_map.shape
+        num_kernels, kernel_channels = transformed_filters.shape[:2]
+        if kernel_channels != channels:
+            raise ValueError(
+                f"kernel channel count {kernel_channels} does not match input {channels}"
+            )
+
+        grid = plan_tiles(height, width, self.m, self.r, padding=padding)
+        # (N, C, ty, tx, t, t)
+        tiles = extract_tiles(feature_map, grid, padding=padding)
+        # U: (N, C, ty, tx, n, n)
+        u = batched_data_transform(self.transform, tiles)
+        # Element-wise multiply against every kernel and sum over channels:
+        # result M has shape (N, K, ty, tx, n, n).
+        products = np.einsum("nctyab,kcab->nktyab", u, transformed_filters, optimize=True)
+        out_tiles = batched_inverse_transform(self.transform, products)
+        return assemble_output(out_tiles, grid)
+
+
+def winograd_conv2d(
+    feature_map: np.ndarray,
+    kernels: np.ndarray,
+    m: int,
+    padding: int = 0,
+    prefer_canonical: bool = True,
+) -> np.ndarray:
+    """One-shot tiled Winograd convolution (see :class:`WinogradConv2D`)."""
+    kernels = np.asarray(kernels, dtype=np.float64)
+    if kernels.ndim != 4:
+        raise ValueError(f"kernels must be (K, C, r, r), got {kernels.shape}")
+    r = kernels.shape[-1]
+    if kernels.shape[-2] != r:
+        raise ValueError("only square kernels are supported")
+    op = WinogradConv2D(m=m, r=r, prefer_canonical=prefer_canonical)
+    return op(feature_map, kernels, padding=padding)

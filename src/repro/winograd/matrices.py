@@ -1,0 +1,171 @@
+"""Canonical published Winograd transforms and the transform registry.
+
+Lavin & Gray ("Fast Algorithms for Convolutional Neural Networks", 2015) — the
+paper's reference [11] — published hand-tuned transform matrices for the most
+commonly used configurations.  They are numerically better conditioned and use
+slightly cheaper constants than a naively generated Cook-Toom transform, and
+the DATE'19 paper's complexity figures are based on them, so this module keeps
+them available verbatim.
+
+:func:`get_transform` is the single entry point the rest of the library uses:
+it returns a canonical matrix set when one is registered for ``(m, r)`` and
+transparently falls back to the exact generator otherwise, so every
+``F(m x m, r x r)`` configuration the design-space exploration wants to probe
+is available.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Optional, Sequence, Tuple
+
+from . import exact
+from .toom_cook import WinogradTransform, generate_transform
+
+__all__ = [
+    "canonical_f23",
+    "canonical_f43",
+    "canonical_f63",
+    "get_transform",
+    "available_canonical",
+    "clear_cache",
+]
+
+
+def _build(
+    m: int,
+    r: int,
+    at_rows: Sequence[Sequence],
+    g_rows: Sequence[Sequence],
+    bt_rows: Sequence[Sequence],
+    label: str,
+) -> WinogradTransform:
+    """Assemble and verify a transform from literal matrix rows."""
+    transform = WinogradTransform(
+        m=m,
+        r=r,
+        points=(),
+        at_exact=tuple(tuple(exact.as_fraction(v) for v in row) for row in at_rows),
+        g_exact=tuple(tuple(exact.as_fraction(v) for v in row) for row in g_rows),
+        bt_exact=tuple(tuple(exact.as_fraction(v) for v in row) for row in bt_rows),
+        label=label,
+    )
+    if not transform.verify_exact():
+        raise AssertionError(f"canonical transform F({m},{r}) failed verification")
+    return transform
+
+
+def canonical_f23() -> WinogradTransform:
+    """Lavin & Gray's ``F(2, 3)`` transform (their Section 4.1)."""
+    at = [[1, 1, 1, 0], [0, 1, -1, -1]]
+    g = [
+        [1, 0, 0],
+        [Fraction(1, 2), Fraction(1, 2), Fraction(1, 2)],
+        [Fraction(1, 2), Fraction(-1, 2), Fraction(1, 2)],
+        [0, 0, 1],
+    ]
+    bt = [
+        [1, 0, -1, 0],
+        [0, 1, 1, 0],
+        [0, -1, 1, 0],
+        [0, 1, 0, -1],
+    ]
+    return _build(2, 3, at, g, bt, "lavin")
+
+
+def canonical_f43() -> WinogradTransform:
+    """Lavin & Gray's ``F(4, 3)`` transform (their Section 4.2)."""
+    at = [
+        [1, 1, 1, 1, 1, 0],
+        [0, 1, -1, 2, -2, 0],
+        [0, 1, 1, 4, 4, 0],
+        [0, 1, -1, 8, -8, 1],
+    ]
+    g = [
+        [Fraction(1, 4), 0, 0],
+        [Fraction(-1, 6), Fraction(-1, 6), Fraction(-1, 6)],
+        [Fraction(-1, 6), Fraction(1, 6), Fraction(-1, 6)],
+        [Fraction(1, 24), Fraction(1, 12), Fraction(1, 6)],
+        [Fraction(1, 24), Fraction(-1, 12), Fraction(1, 6)],
+        [0, 0, 1],
+    ]
+    bt = [
+        [4, 0, -5, 0, 1, 0],
+        [0, -4, -4, 1, 1, 0],
+        [0, 4, -4, -1, 1, 0],
+        [0, -2, -1, 2, 1, 0],
+        [0, 2, -1, -2, 1, 0],
+        [0, 4, 0, -5, 0, 1],
+    ]
+    return _build(4, 3, at, g, bt, "lavin")
+
+
+def canonical_f63() -> WinogradTransform:
+    """The widely used ``F(6, 3)`` transform (as distributed with wincnn)."""
+    at = [
+        [1, 1, 1, 1, 1, 1, 1, 0],
+        [0, 1, -1, 2, -2, Fraction(1, 2), Fraction(-1, 2), 0],
+        [0, 1, 1, 4, 4, Fraction(1, 4), Fraction(1, 4), 0],
+        [0, 1, -1, 8, -8, Fraction(1, 8), Fraction(-1, 8), 0],
+        [0, 1, 1, 16, 16, Fraction(1, 16), Fraction(1, 16), 0],
+        [0, 1, -1, 32, -32, Fraction(1, 32), Fraction(-1, 32), 1],
+    ]
+    g = [
+        [1, 0, 0],
+        [Fraction(-2, 9), Fraction(-2, 9), Fraction(-2, 9)],
+        [Fraction(-2, 9), Fraction(2, 9), Fraction(-2, 9)],
+        [Fraction(1, 90), Fraction(1, 45), Fraction(2, 45)],
+        [Fraction(1, 90), Fraction(-1, 45), Fraction(2, 45)],
+        [Fraction(32, 45), Fraction(16, 45), Fraction(8, 45)],
+        [Fraction(32, 45), Fraction(-16, 45), Fraction(8, 45)],
+        [0, 0, 1],
+    ]
+    bt = [
+        [1, 0, Fraction(-21, 4), 0, Fraction(21, 4), 0, -1, 0],
+        [0, 1, 1, Fraction(-17, 4), Fraction(-17, 4), 1, 1, 0],
+        [0, -1, 1, Fraction(17, 4), Fraction(-17, 4), -1, 1, 0],
+        [0, Fraction(1, 2), Fraction(1, 4), Fraction(-5, 2), Fraction(-5, 4), 2, 1, 0],
+        [0, Fraction(-1, 2), Fraction(1, 4), Fraction(5, 2), Fraction(-5, 4), -2, 1, 0],
+        [0, 2, 4, Fraction(-5, 2), -5, Fraction(1, 2), 1, 0],
+        [0, -2, 4, Fraction(5, 2), -5, Fraction(-1, 2), 1, 0],
+        [0, -1, 0, Fraction(21, 4), 0, Fraction(-21, 4), 0, 1],
+    ]
+    return _build(6, 3, at, g, bt, "lavin/wincnn")
+
+
+_CANONICAL_BUILDERS = {
+    (2, 3): canonical_f23,
+    (4, 3): canonical_f43,
+    (6, 3): canonical_f63,
+}
+
+_CACHE: Dict[Tuple[int, int, bool], WinogradTransform] = {}
+
+
+def available_canonical() -> Tuple[Tuple[int, int], ...]:
+    """Configurations ``(m, r)`` for which a published canonical transform exists."""
+    return tuple(sorted(_CANONICAL_BUILDERS))
+
+
+def get_transform(
+    m: int, r: int, prefer_canonical: bool = True
+) -> WinogradTransform:
+    """Return the transform for ``F(m, r)``.
+
+    Canonical (published) matrices are used when available and
+    ``prefer_canonical`` is true; otherwise an exact Cook-Toom transform is
+    generated on the fly.  Results are cached.
+    """
+    key = (m, r, bool(prefer_canonical))
+    if key not in _CACHE:
+        builder = _CANONICAL_BUILDERS.get((m, r)) if prefer_canonical else None
+        if builder is not None:
+            _CACHE[key] = builder()
+        else:
+            _CACHE[key] = generate_transform(m, r)
+    return _CACHE[key]
+
+
+def clear_cache() -> None:
+    """Drop all cached transforms (used by tests that tweak generation)."""
+    _CACHE.clear()

@@ -1,0 +1,142 @@
+"""Numerical-accuracy analysis of Winograd fast convolution.
+
+Minimal-filtering algorithms trade multiplications for additions with
+constants whose magnitude grows with the output tile size ``m``; in finite
+precision this shows up as a loss of accuracy relative to direct convolution.
+The paper sidesteps the issue by using single-precision floats ("for the sake
+of simplicity and high precision", Section IV) but any design-space
+exploration that pushes ``m`` upwards should keep an eye on it.  This module
+provides the measurement tools used by the accuracy ablation benchmark and the
+property-based tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .fast_conv import WinogradConv2D
+from .matrices import get_transform
+from .toom_cook import WinogradTransform
+from .transforms import winograd_tile_2d
+
+__all__ = ["ErrorStats", "tile_error", "conv_error", "error_sweep"]
+
+
+@dataclass(frozen=True)
+class ErrorStats:
+    """Error of a fast-convolution result against the direct reference.
+
+    ``max_abs`` / ``mean_abs`` are absolute errors; ``max_rel`` is relative to
+    the largest reference magnitude (so it stays meaningful when individual
+    outputs are near zero).
+    """
+
+    m: int
+    r: int
+    dtype: str
+    max_abs: float
+    mean_abs: float
+    max_rel: float
+
+    def acceptable(self, threshold: float = 1e-3) -> bool:
+        """Whether the relative error is below ``threshold``."""
+        return self.max_rel <= threshold
+
+
+def _direct_tile(d: np.ndarray, g: np.ndarray, m: int, r: int) -> np.ndarray:
+    out = np.zeros((m, m), dtype=np.float64)
+    for y in range(m):
+        for x in range(m):
+            out[y, x] = float(np.sum(d[y : y + r, x : x + r] * g))
+    return out
+
+
+def tile_error(
+    m: int,
+    r: int = 3,
+    dtype: np.dtype = np.float32,
+    trials: int = 64,
+    seed: int = 0,
+    transform: Optional[WinogradTransform] = None,
+) -> ErrorStats:
+    """Measure single-tile error of ``F(m x m, r x r)`` in a given precision.
+
+    The transform is applied with intermediate values cast to ``dtype`` (the
+    precision the hardware datapath would use) and compared against a float64
+    direct convolution.
+    """
+    if transform is None:
+        transform = get_transform(m, r)
+    rng = np.random.default_rng(seed)
+    n = transform.n
+    max_abs = 0.0
+    sum_abs = 0.0
+    max_ref = 0.0
+    count = 0
+    for _ in range(trials):
+        d = rng.standard_normal((n, n))
+        g = rng.standard_normal((r, r))
+        reference = _direct_tile(d, g, m, r)
+        d_cast = d.astype(dtype).astype(np.float64)
+        g_cast = g.astype(dtype).astype(np.float64)
+        fast = winograd_tile_2d(transform, d_cast, g_cast)
+        fast = fast.astype(dtype).astype(np.float64)
+        error = np.abs(fast - reference)
+        max_abs = max(max_abs, float(error.max()))
+        sum_abs += float(error.sum())
+        max_ref = max(max_ref, float(np.abs(reference).max()))
+        count += error.size
+    mean_abs = sum_abs / count
+    max_rel = max_abs / max_ref if max_ref > 0 else 0.0
+    return ErrorStats(
+        m=m,
+        r=r,
+        dtype=np.dtype(dtype).name,
+        max_abs=max_abs,
+        mean_abs=mean_abs,
+        max_rel=max_rel,
+    )
+
+
+def conv_error(
+    m: int,
+    r: int = 3,
+    channels: int = 4,
+    kernels: int = 4,
+    height: int = 16,
+    width: int = 16,
+    padding: int = 1,
+    seed: int = 0,
+) -> ErrorStats:
+    """Measure error of the full tiled convolution against a direct reference."""
+    from ..nn.reference import direct_conv2d  # imported here to avoid a cycle
+
+    rng = np.random.default_rng(seed)
+    feature_map = rng.standard_normal((1, channels, height, width))
+    kernel_bank = rng.standard_normal((kernels, channels, r, r))
+    reference = direct_conv2d(feature_map, kernel_bank, padding=padding)
+    fast = WinogradConv2D(m=m, r=r)(feature_map, kernel_bank, padding=padding)
+    error = np.abs(fast - reference)
+    max_ref = float(np.abs(reference).max())
+    return ErrorStats(
+        m=m,
+        r=r,
+        dtype="float64",
+        max_abs=float(error.max()),
+        mean_abs=float(error.mean()),
+        max_rel=float(error.max()) / max_ref if max_ref > 0 else 0.0,
+    )
+
+
+def error_sweep(
+    m_values: Sequence[int],
+    r: int = 3,
+    dtype: np.dtype = np.float32,
+    trials: int = 32,
+    seed: int = 0,
+) -> list:
+    """Tile-level error statistics for a sweep of output tile sizes."""
+    return [tile_error(m, r, dtype=dtype, trials=trials, seed=seed) for m in m_values]

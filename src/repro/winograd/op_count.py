@@ -1,0 +1,242 @@
+"""Operator counting for Winograd transform stages.
+
+The design-space exploration in Section III of the paper rests on three
+per-tile operation counts (Eq. (5)):
+
+* ``beta``  — floating-point operations of one 2-D *data* transform
+  ``U = B^T d B``,
+* ``gamma`` — operations of one 2-D *filter* transform ``V = G g G^T``,
+* ``delta`` — operations of one 2-D *inverse* transform ``Y = A^T M A``.
+
+This module derives those counts directly from the transform matrices instead
+of hard-coding literature values: for a constant matrix-vector product the
+number of additions/subtractions and non-trivial constant multiplications is
+read off the matrix sparsity pattern, and 2-D (nested) transforms are counted
+as the appropriate number of row/column 1-D applications.  This keeps the
+complexity model consistent with whatever transform (canonical or generated,
+any interpolation points) the exploration is currently using.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence, Tuple
+
+from .exact import is_power_of_two_fraction
+from .matrices import get_transform
+from .toom_cook import WinogradTransform
+
+__all__ = [
+    "OpCount",
+    "matvec_ops",
+    "nested_2d_ops",
+    "TransformOpCounts",
+    "count_transform_ops",
+    "spatial_tile_ops",
+]
+
+
+@dataclass(frozen=True)
+class OpCount:
+    """Operation counts of a linear-transform evaluation.
+
+    Attributes
+    ----------
+    additions:
+        Number of floating-point additions/subtractions.
+    shift_multiplications:
+        Multiplications by powers of two (realisable as exponent adjustment /
+        shift, essentially free in hardware but still a FLOP in software).
+    constant_multiplications:
+        Multiplications by non-trivial constants (neither ``0``/``+-1`` nor a
+        power of two); require a real multiplier or shift-add network.
+    general_multiplications:
+        Data-dependent multiplications (only non-zero for the element-wise
+        product stage, never for the transforms themselves).
+    """
+
+    additions: int = 0
+    shift_multiplications: int = 0
+    constant_multiplications: int = 0
+    general_multiplications: int = 0
+
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: "OpCount") -> "OpCount":
+        return OpCount(
+            self.additions + other.additions,
+            self.shift_multiplications + other.shift_multiplications,
+            self.constant_multiplications + other.constant_multiplications,
+            self.general_multiplications + other.general_multiplications,
+        )
+
+    def scaled(self, factor: int) -> "OpCount":
+        """Return the counts multiplied by an integer repetition ``factor``."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return OpCount(
+            self.additions * factor,
+            self.shift_multiplications * factor,
+            self.constant_multiplications * factor,
+            self.general_multiplications * factor,
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def flops(self) -> int:
+        """Total floating-point operations (the paper's FLOP metric).
+
+        Counts every addition and every multiplication (shift, constant and
+        general) as one operation — the convention used by Lavin & Gray and by
+        the paper when quoting transform complexities.
+        """
+        return (
+            self.additions
+            + self.shift_multiplications
+            + self.constant_multiplications
+            + self.general_multiplications
+        )
+
+    @property
+    def cheap_ops(self) -> int:
+        """Operations that do not need a hardware multiplier."""
+        return self.additions + self.shift_multiplications
+
+    @property
+    def multiplier_ops(self) -> int:
+        """Operations that occupy a hardware multiplier (DSP)."""
+        return self.constant_multiplications + self.general_multiplications
+
+
+def _classify_entry(value: Fraction) -> str:
+    """Classify a matrix entry as ``zero``, ``unit``, ``shift`` or ``general``."""
+    if value == 0:
+        return "zero"
+    if value == 1 or value == -1:
+        return "unit"
+    if is_power_of_two_fraction(value):
+        return "shift"
+    return "general"
+
+
+def matvec_ops(matrix: Sequence[Sequence[Fraction]]) -> OpCount:
+    """Operation count of one matrix-vector product with a constant matrix.
+
+    Each output row with ``k`` non-zero entries needs ``k - 1`` additions;
+    every non-unit entry needs a multiplication classified by whether the
+    constant is a power of two.
+    """
+    additions = 0
+    shifts = 0
+    generals = 0
+    for row in matrix:
+        nonzero = 0
+        for value in row:
+            kind = _classify_entry(Fraction(value))
+            if kind == "zero":
+                continue
+            nonzero += 1
+            if kind == "shift":
+                shifts += 1
+            elif kind == "general":
+                generals += 1
+        if nonzero > 0:
+            additions += nonzero - 1
+    return OpCount(
+        additions=additions,
+        shift_multiplications=shifts,
+        constant_multiplications=generals,
+    )
+
+
+def nested_2d_ops(matrix: Sequence[Sequence[Fraction]], input_width: int) -> OpCount:
+    """Operation count of the nested 2-D application ``M x M^T`` style.
+
+    Applying an ``(out x in)`` matrix ``M`` to a 2-D tile ``X`` of shape
+    ``(in, input_width)`` as ``M X M^T`` costs ``input_width`` matrix-vector
+    products for the column pass (producing an ``out x input_width``
+    intermediate) plus ``out`` products for the row pass.
+    """
+    rows = len(matrix)
+    single = matvec_ops(matrix)
+    return single.scaled(input_width + rows)
+
+
+@dataclass(frozen=True)
+class TransformOpCounts:
+    """Per-tile operation counts of an ``F(m x m, r x r)`` algorithm.
+
+    ``beta``, ``gamma`` and ``delta`` follow the naming of Eq. (5) in the
+    paper; ``multiplications`` is the element-wise stage ``(m + r - 1)^2``.
+    """
+
+    m: int
+    r: int
+    data: OpCount
+    filter: OpCount
+    inverse: OpCount
+    multiplications: int
+
+    @property
+    def beta(self) -> int:
+        """FLOPs of one 2-D data transform (``beta`` in Eq. (5))."""
+        return self.data.flops
+
+    @property
+    def gamma(self) -> int:
+        """FLOPs of one 2-D filter transform (``gamma`` in Eq. (5))."""
+        return self.filter.flops
+
+    @property
+    def delta(self) -> int:
+        """FLOPs of one 2-D inverse transform (``delta`` in Eq. (5))."""
+        return self.inverse.flops
+
+    @property
+    def transform_flops(self) -> int:
+        """Total transform FLOPs per tile (data + filter + inverse)."""
+        return self.beta + self.gamma + self.delta
+
+    @property
+    def outputs_per_tile(self) -> int:
+        """Output pixels produced per tile, ``m^2``."""
+        return self.m * self.m
+
+
+def count_transform_ops(
+    m: int, r: int, prefer_canonical: bool = True
+) -> TransformOpCounts:
+    """Count per-tile transform operations for ``F(m x m, r x r)``.
+
+    The counts are derived from the actual transform matrices returned by
+    :func:`repro.winograd.matrices.get_transform`.
+    """
+    transform = get_transform(m, r, prefer_canonical)
+    return count_transform_ops_for(transform)
+
+
+def count_transform_ops_for(transform: WinogradTransform) -> TransformOpCounts:
+    """Count per-tile transform operations for an explicit transform object."""
+    n = transform.n
+    data = nested_2d_ops(transform.bt_exact, n)
+    filter_ops = nested_2d_ops(transform.g_exact, transform.r)
+    inverse = nested_2d_ops(transform.at_exact, n)
+    return TransformOpCounts(
+        m=transform.m,
+        r=transform.r,
+        data=data,
+        filter=filter_ops,
+        inverse=inverse,
+        multiplications=n * n,
+    )
+
+
+def spatial_tile_ops(m: int, r: int) -> Tuple[int, int]:
+    """(multiplications, additions) of computing an ``m x m`` output tile spatially.
+
+    Spatial convolution needs ``r^2`` multiplications and ``r^2 - 1`` additions
+    per output pixel (ignoring the cross-channel accumulation, which is common
+    to both methods).
+    """
+    outputs = m * m
+    return outputs * r * r, outputs * (r * r - 1)

@@ -1,0 +1,129 @@
+"""Interpolation-point selection for Winograd minimal-filtering transforms.
+
+The Cook-Toom construction of an ``F(m, r)`` algorithm evaluates the data and
+filter polynomials at ``m + r - 2`` distinct finite points plus the point at
+infinity.  The *choice* of points does not affect correctness but it strongly
+affects two quantities this reproduction cares about:
+
+* the number and magnitude of non-trivial constants in the transform matrices
+  (and therefore the adder/shifter cost of the data/filter/inverse transform
+  stages, i.e. the ``beta``/``gamma``/``delta`` terms of Eq. (5) in the paper);
+* the numerical error of the fast algorithm in finite precision (large points
+  produce badly conditioned Vandermonde systems).
+
+The default sequence ``0, 1, -1, 2, -2, 1/2, -1/2, 4, -4, 1/4, -1/4, ...`` is
+the one used throughout the fast-convolution literature (Lavin & Gray 2015,
+wincnn) because it keeps constants as small powers of two for as long as
+possible.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, List, Sequence
+
+__all__ = [
+    "default_points",
+    "integer_points",
+    "chebyshev_like_points",
+    "validate_points",
+    "POINT_STRATEGIES",
+]
+
+
+def _canonical_sequence() -> Iterable[Fraction]:
+    """Canonical sequence: 0, 1, -1, 2, -2, 1/2, -1/2, 4, -4, 1/4, -1/4, 8, ..."""
+    yield Fraction(0)
+    yield Fraction(1)
+    yield Fraction(-1)
+    power = 1
+    while True:
+        value = Fraction(2) ** power
+        yield value
+        yield -value
+        inverse = Fraction(1, 2) ** power
+        yield inverse
+        yield -inverse
+        power += 1
+
+
+def default_points(count: int) -> List[Fraction]:
+    """Return the first ``count`` points of the canonical sequence.
+
+    Parameters
+    ----------
+    count:
+        Number of finite interpolation points required, i.e. ``m + r - 2``.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    points: List[Fraction] = []
+    for point in _canonical_sequence():
+        if len(points) == count:
+            break
+        points.append(point)
+    return points
+
+
+def integer_points(count: int) -> List[Fraction]:
+    """Return ``count`` small integer points: 0, 1, -1, 2, -2, 3, -3, ...
+
+    Integer-only points avoid fractional constants in the filter transform at
+    the cost of faster-growing magnitudes (worse conditioning for large ``m``).
+    Used by the interpolation-point ablation benchmark.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    points: List[Fraction] = [Fraction(0)]
+    magnitude = 1
+    while len(points) < count:
+        points.append(Fraction(magnitude))
+        if len(points) < count:
+            points.append(Fraction(-magnitude))
+        magnitude += 1
+    return points[:count]
+
+
+def chebyshev_like_points(count: int) -> List[Fraction]:
+    """Return points spread symmetrically in ``[-1, 1]`` with dyadic spacing.
+
+    This mimics the error-minimising spread of Chebyshev nodes while keeping
+    every point an exact dyadic rational so the construction stays exact.
+    Useful for studying the numerical-accuracy / op-count trade-off.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if count == 0:
+        return []
+    points: List[Fraction] = [Fraction(0)]
+    # Fill with +/- k / 2^ceil(log2(count)) style dyadic values inside [-1, 1].
+    denominator = 1
+    while denominator < count:
+        denominator *= 2
+    numerator = 1
+    while len(points) < count:
+        value = Fraction(numerator, denominator)
+        points.append(value)
+        if len(points) < count:
+            points.append(-value)
+        numerator += 1
+    return points[:count]
+
+
+def validate_points(points: Sequence[Fraction]) -> List[Fraction]:
+    """Validate that interpolation points are distinct rationals.
+
+    Returns the points as a list of :class:`Fraction`.
+    """
+    converted = [Fraction(point) for point in points]
+    if len(set(converted)) != len(converted):
+        raise ValueError(f"interpolation points must be distinct, got {points}")
+    return converted
+
+
+#: Named strategies exposed to the design-space exploration and ablation code.
+POINT_STRATEGIES = {
+    "canonical": default_points,
+    "integer": integer_points,
+    "chebyshev": chebyshev_like_points,
+}

@@ -1,0 +1,251 @@
+"""Strength reduction of constant multiplications into shift/add networks.
+
+The paper's data-transform stage is "composed of simple arithmetic and
+constant multiplications that can easily be implemented using shifters and
+adders" (Section IV-B).  This module makes that statement quantitative: every
+constant appearing in a transform matrix is decomposed into a canonical
+signed-digit (CSD) shift/add network, which lets the hardware resource model
+(:mod:`repro.hw.resources`) price the transform stages in adders and shifters
+instead of generic multipliers.
+
+Two levels of detail are provided:
+
+* :func:`constant_cost` — adders/shifters needed to multiply a value by one
+  rational constant;
+* :func:`matvec_network` — the full shift/add network of a constant
+  matrix-vector product, one :class:`ConstantOp` per scheduled operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import List, Sequence, Tuple
+
+from .exact import is_power_of_two_fraction
+
+__all__ = [
+    "csd_digits",
+    "ConstantCost",
+    "constant_cost",
+    "ConstantOp",
+    "MatVecNetwork",
+    "matvec_network",
+]
+
+
+def csd_digits(value: int) -> List[int]:
+    """Canonical signed-digit representation of a non-negative integer.
+
+    Returns a list of digits in ``{-1, 0, +1}`` from least to most significant
+    such that ``sum(d_i * 2^i) == value`` and no two consecutive digits are
+    non-zero.  The CSD form minimises the number of non-zero digits and hence
+    the number of add/subtract terms of a constant multiplier.
+    """
+    if value < 0:
+        raise ValueError("csd_digits expects a non-negative integer")
+    digits: List[int] = []
+    while value:
+        if value & 1:
+            # Choose +1 or -1 so that the remaining value stays even-heavy.
+            remainder = 2 - (value % 4)
+            if remainder == 2:
+                remainder = 1
+            digits.append(remainder)
+            value -= remainder
+        else:
+            digits.append(0)
+        value //= 2
+    return digits or [0]
+
+
+@dataclass(frozen=True)
+class ConstantCost:
+    """Hardware cost of multiplying a signal by a rational constant.
+
+    Attributes
+    ----------
+    constant:
+        The constant itself.
+    adders:
+        Add/subtract operations of the shift/add network (0 for powers of two
+        and ``+-1``).
+    shifts:
+        Wiring-only shifts (free in LUTs, listed for completeness).
+    needs_multiplier:
+        ``True`` when the constant is not exactly representable as a dyadic
+        shift/add network (e.g. ``1/6``) and a real multiplier (or a divider /
+        reciprocal ROM) is required instead.
+    """
+
+    constant: Fraction
+    adders: int
+    shifts: int
+    needs_multiplier: bool
+
+    @property
+    def is_trivial(self) -> bool:
+        """True for 0 and +-1 — pure wiring."""
+        return self.constant == 0 or abs(self.constant) == 1
+
+
+def constant_cost(constant: Fraction) -> ConstantCost:
+    """Cost of multiplying by ``constant`` using shifts and adders.
+
+    Dyadic rationals (integer numerator, power-of-two denominator) are
+    decomposed through CSD; anything else is flagged as needing a real
+    multiplier.
+    """
+    constant = Fraction(constant)
+    if constant == 0 or abs(constant) == 1:
+        return ConstantCost(constant, adders=0, shifts=0, needs_multiplier=False)
+    if is_power_of_two_fraction(constant):
+        return ConstantCost(constant, adders=0, shifts=1, needs_multiplier=False)
+    denominator = constant.denominator
+    if denominator & (denominator - 1):
+        # Non-dyadic (e.g. 1/6, 2/9): cannot be built exactly from shifts/adds.
+        return ConstantCost(constant, adders=0, shifts=0, needs_multiplier=True)
+    digits = csd_digits(abs(constant.numerator))
+    nonzero = sum(1 for digit in digits if digit)
+    adders = max(nonzero - 1, 0)
+    shifts = nonzero + (1 if denominator > 1 else 0)
+    return ConstantCost(constant, adders=adders, shifts=shifts, needs_multiplier=False)
+
+
+@dataclass(frozen=True)
+class ConstantOp:
+    """One scheduled operation of a constant matrix-vector network.
+
+    ``kind`` is one of ``"add"``, ``"sub"``, ``"shift"`` or ``"cmul"`` (real
+    constant multiplier); ``output`` names the produced intermediate and
+    ``inputs`` the consumed ones so the network forms a DAG that the hardware
+    datapath model can map onto LUT/DSP resources.
+    """
+
+    kind: str
+    output: str
+    inputs: Tuple[str, ...]
+    constant: Fraction = Fraction(0)
+
+
+@dataclass
+class MatVecNetwork:
+    """Shift/add network realising ``y = M x`` for a constant matrix ``M``.
+
+    Attributes
+    ----------
+    operations:
+        Topologically ordered operations.
+    input_names, output_names:
+        Names of the primary inputs / outputs.
+    """
+
+    operations: List[ConstantOp] = field(default_factory=list)
+    input_names: List[str] = field(default_factory=list)
+    output_names: List[str] = field(default_factory=list)
+
+    @property
+    def adder_count(self) -> int:
+        """Number of add/sub operations (incl. those inside constant mults)."""
+        return sum(1 for op in self.operations if op.kind in ("add", "sub"))
+
+    @property
+    def shift_count(self) -> int:
+        """Number of shift operations."""
+        return sum(1 for op in self.operations if op.kind == "shift")
+
+    @property
+    def multiplier_count(self) -> int:
+        """Number of real constant multipliers that could not be reduced."""
+        return sum(1 for op in self.operations if op.kind == "cmul")
+
+
+def matvec_network(
+    matrix: Sequence[Sequence[Fraction]], prefix: str = "x"
+) -> MatVecNetwork:
+    """Build the strength-reduced network of ``y = M x``.
+
+    Every non-zero entry contributes a scaled term (pure wiring, a shift, a
+    CSD shift/add sub-network, or a ``cmul``); terms of a row are then summed
+    with a balanced chain of adders.
+    """
+    network = MatVecNetwork()
+    width = len(matrix[0]) if matrix else 0
+    network.input_names = [f"{prefix}{i}" for i in range(width)]
+    temp_counter = 0
+
+    def new_temp() -> str:
+        nonlocal temp_counter
+        temp_counter += 1
+        return f"t{temp_counter}"
+
+    for row_index, row in enumerate(matrix):
+        term_names: List[str] = []
+        term_negative: List[bool] = []
+        for col_index, raw_value in enumerate(row):
+            value = Fraction(raw_value)
+            if value == 0:
+                continue
+            source = network.input_names[col_index]
+            cost = constant_cost(value)
+            if cost.is_trivial:
+                term_names.append(source)
+                term_negative.append(value < 0)
+                continue
+            produced = new_temp()
+            if cost.needs_multiplier:
+                network.operations.append(
+                    ConstantOp("cmul", produced, (source,), constant=abs(value))
+                )
+            elif cost.adders == 0:
+                network.operations.append(
+                    ConstantOp("shift", produced, (source,), constant=abs(value))
+                )
+            else:
+                # CSD decomposition: emit the shifts then the adds.
+                digits = csd_digits(abs(value.numerator))
+                partial_names: List[str] = []
+                partial_signs: List[int] = []
+                for bit, digit in enumerate(digits):
+                    if digit == 0:
+                        continue
+                    shifted = new_temp()
+                    shift_amount = Fraction(2) ** bit / value.denominator
+                    network.operations.append(
+                        ConstantOp("shift", shifted, (source,), constant=shift_amount)
+                    )
+                    partial_names.append(shifted)
+                    partial_signs.append(digit)
+                accumulated = partial_names[0]
+                for name, sign in zip(partial_names[1:], partial_signs[1:]):
+                    summed = new_temp()
+                    network.operations.append(
+                        ConstantOp(
+                            "add" if sign > 0 else "sub", summed, (accumulated, name)
+                        )
+                    )
+                    accumulated = summed
+                produced = accumulated
+            term_names.append(produced)
+            term_negative.append(value < 0)
+
+        if not term_names:
+            output = f"y{row_index}"
+            network.output_names.append(output)
+            continue
+        accumulated = term_names[0]
+        # A leading negative term is folded into the first combination below;
+        # if it is the only term it still needs an explicit negation (counted
+        # as a subtraction from zero).
+        leading_negative = term_negative[0]
+        if len(term_names) == 1 and leading_negative:
+            negated = new_temp()
+            network.operations.append(ConstantOp("sub", negated, (accumulated,)))
+            accumulated = negated
+        for name, negative in zip(term_names[1:], term_negative[1:]):
+            combined = new_temp()
+            kind = "sub" if negative else "add"
+            network.operations.append(ConstantOp(kind, combined, (accumulated, name)))
+            accumulated = combined
+        network.output_names.append(accumulated)
+    return network

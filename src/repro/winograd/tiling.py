@@ -1,0 +1,197 @@
+"""Feature-map tiling for tiled Winograd convolution.
+
+A 2-D minimal algorithm ``F(m x m, r x r)`` consumes overlapping input tiles
+of size ``(m + r - 1) x (m + r - 1)`` with stride ``m`` and produces
+non-overlapping ``m x m`` output tiles.  This module handles:
+
+* computing output dimensions and the number of tiles for a layer,
+* padding the input so that an integer number of tiles covers it,
+* extracting the overlapping tiles into a dense array, and
+* scattering computed output tiles back into the output feature map.
+
+It is shared between the functional fast convolution
+(:mod:`repro.winograd.fast_conv`) and the cycle-level engine simulator
+(:mod:`repro.sim.engine_sim`), which both need exactly the same tile walk the
+paper's image buffer performs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["TileGrid", "plan_tiles", "extract_tiles", "assemble_output"]
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """Geometry of the tile walk over one (H, W) feature-map plane.
+
+    Attributes
+    ----------
+    m, r:
+        Output tile size and kernel size of the minimal algorithm.
+    input_height, input_width:
+        Unpadded input dimensions.
+    output_height, output_width:
+        "Valid" convolution output dimensions (``H - r + 1`` etc.).
+    tiles_y, tiles_x:
+        Number of tiles along each axis.
+    padded_height, padded_width:
+        Input dimensions after zero-padding so the tile walk fits exactly.
+    """
+
+    m: int
+    r: int
+    input_height: int
+    input_width: int
+    output_height: int
+    output_width: int
+    tiles_y: int
+    tiles_x: int
+    padded_height: int
+    padded_width: int
+
+    @property
+    def tile_size(self) -> int:
+        """Input tile edge ``m + r - 1``."""
+        return self.m + self.r - 1
+
+    @property
+    def tile_count(self) -> int:
+        """Total number of tiles covering one plane."""
+        return self.tiles_y * self.tiles_x
+
+    @property
+    def padded_output_height(self) -> int:
+        """Output height produced by the tile walk before cropping."""
+        return self.tiles_y * self.m
+
+    @property
+    def padded_output_width(self) -> int:
+        """Output width produced by the tile walk before cropping."""
+        return self.tiles_x * self.m
+
+
+def plan_tiles(height: int, width: int, m: int, r: int, padding: int = 0) -> TileGrid:
+    """Plan the tile walk for an ``height x width`` input plane.
+
+    Parameters
+    ----------
+    height, width:
+        Input feature-map dimensions (before any padding).
+    m, r:
+        Minimal-algorithm parameters.
+    padding:
+        Symmetric zero padding applied to the input before convolution (the
+        VGG layers use ``padding=1`` with ``r=3`` to preserve dimensions).
+    """
+    if m < 1 or r < 1:
+        raise ValueError("m and r must be positive")
+    if height < 1 or width < 1:
+        raise ValueError("input dimensions must be positive")
+    padded_in_h = height + 2 * padding
+    padded_in_w = width + 2 * padding
+    output_height = padded_in_h - r + 1
+    output_width = padded_in_w - r + 1
+    if output_height < 1 or output_width < 1:
+        raise ValueError(
+            f"kernel {r}x{r} does not fit input {height}x{width} with padding {padding}"
+        )
+    tiles_y = math.ceil(output_height / m)
+    tiles_x = math.ceil(output_width / m)
+    tile = m + r - 1
+    padded_height = (tiles_y - 1) * m + tile
+    padded_width = (tiles_x - 1) * m + tile
+    return TileGrid(
+        m=m,
+        r=r,
+        input_height=height,
+        input_width=width,
+        output_height=output_height,
+        output_width=output_width,
+        tiles_y=tiles_y,
+        tiles_x=tiles_x,
+        padded_height=padded_height,
+        padded_width=padded_width,
+    )
+
+
+def extract_tiles(plane: np.ndarray, grid: TileGrid, padding: int = 0) -> np.ndarray:
+    """Extract overlapping input tiles from one or more feature-map planes.
+
+    Parameters
+    ----------
+    plane:
+        Array of shape ``(..., H, W)``; leading dimensions (batch, channel)
+        are preserved.
+    grid:
+        Tile plan from :func:`plan_tiles` for the same ``(H, W, m, r)``.
+    padding:
+        Same padding value given to :func:`plan_tiles`.
+
+    Returns
+    -------
+    np.ndarray
+        Array of shape ``(..., tiles_y, tiles_x, t, t)`` with ``t = m + r - 1``.
+    """
+    plane = np.asarray(plane, dtype=np.float64)
+    if plane.shape[-2] != grid.input_height or plane.shape[-1] != grid.input_width:
+        raise ValueError(
+            f"plane trailing dims {plane.shape[-2:]} do not match grid "
+            f"({grid.input_height}, {grid.input_width})"
+        )
+    pad_total_h = grid.padded_height - grid.input_height
+    pad_total_w = grid.padded_width - grid.input_width
+    pad_spec = [(0, 0)] * (plane.ndim - 2) + [
+        (padding, pad_total_h - padding),
+        (padding, pad_total_w - padding),
+    ]
+    padded = np.pad(plane, pad_spec)
+    tile = grid.tile_size
+    leading = padded.shape[:-2]
+    out = np.empty(leading + (grid.tiles_y, grid.tiles_x, tile, tile), dtype=np.float64)
+    for ty in range(grid.tiles_y):
+        ys = ty * grid.m
+        for tx in range(grid.tiles_x):
+            xs = tx * grid.m
+            out[..., ty, tx, :, :] = padded[..., ys : ys + tile, xs : xs + tile]
+    return out
+
+
+def assemble_output(tiles: np.ndarray, grid: TileGrid) -> np.ndarray:
+    """Scatter ``m x m`` output tiles back into a full output plane.
+
+    Parameters
+    ----------
+    tiles:
+        Array of shape ``(..., tiles_y, tiles_x, m, m)``.
+    grid:
+        The tile plan the tiles were produced for.
+
+    Returns
+    -------
+    np.ndarray
+        Output plane of shape ``(..., output_height, output_width)`` — the
+        zero-padded tail produced by the final partial tiles is cropped off.
+    """
+    tiles = np.asarray(tiles, dtype=np.float64)
+    expected_tail = (grid.tiles_y, grid.tiles_x, grid.m, grid.m)
+    if tiles.shape[-4:] != expected_tail:
+        raise ValueError(
+            f"tiles trailing dims {tiles.shape[-4:]} do not match grid {expected_tail}"
+        )
+    leading = tiles.shape[:-4]
+    full = np.empty(
+        leading + (grid.padded_output_height, grid.padded_output_width),
+        dtype=np.float64,
+    )
+    for ty in range(grid.tiles_y):
+        ys = ty * grid.m
+        for tx in range(grid.tiles_x):
+            xs = tx * grid.m
+            full[..., ys : ys + grid.m, xs : xs + grid.m] = tiles[..., ty, tx, :, :]
+    return full[..., : grid.output_height, : grid.output_width]

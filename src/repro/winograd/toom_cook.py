@@ -1,0 +1,278 @@
+"""Cook-Toom construction of Winograd minimal-filtering transforms.
+
+A 1-D Winograd minimal filtering algorithm ``F(m, r)`` computes ``m`` outputs
+of an FIR filter with ``r`` taps using only ``n = m + r - 1`` general
+multiplications (Eq. (2) of the paper):
+
+.. math::
+
+    Y = A^T [(G g) \\odot (B^T d)]
+
+where ``d`` is the length-``n`` input tile, ``g`` the length-``r`` filter and
+``A``, ``B``, ``G`` constant matrices.
+
+Construction
+------------
+The construction used here follows the classic Toom-Cook / Cook-Toom recipe
+combined with the transposition principle:
+
+1. A *linear convolution* of an ``m``-coefficient polynomial ``a(x)`` and an
+   ``r``-coefficient polynomial ``b(x)`` can be computed by evaluating both at
+   ``n - 1`` distinct finite points plus the point at infinity, multiplying
+   point-wise and interpolating:  ``c = V^{-1} [(E_a a) \\odot (E_b b)]`` where
+   ``E_a`` / ``E_b`` are (extended) Vandermonde evaluation matrices and ``V``
+   the square interpolation matrix.
+2. FIR filtering (the correlation the paper's Eq. (1) uses) is the
+   *transpose* of the linear-convolution map.  Applying the transposition
+   principle to the bilinear algorithm above yields
+
+   .. math::
+
+       y = E_a^T [(E_b g) \\odot (V^{-T} d)]
+
+   i.e. ``A^T = E_a^T``, ``G = E_b`` and ``B^T = V^{-T}``.
+
+All arithmetic is exact (:mod:`fractions`), and every generated transform is
+self-verified against a direct correlation on a deterministic integer input
+before being returned, so an incorrect construction can never silently leak
+into the complexity models built on top of it.
+
+2-D algorithms ``F(m x m, r x r)`` are obtained by nesting the 1-D algorithm
+with itself (Eq. (3) of the paper): ``Y = A^T [(G g G^T) \\odot (B^T d B)] A``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import exact
+from .points import default_points, validate_points
+
+__all__ = ["WinogradTransform", "generate_transform", "minimal_multiplications"]
+
+
+def minimal_multiplications(m: int, r: int) -> int:
+    """Number of general multiplications used by ``F(m, r)``: ``m + r - 1``."""
+    if m < 1 or r < 1:
+        raise ValueError("m and r must be positive")
+    return m + r - 1
+
+
+def _evaluation_matrix(points: Sequence[Fraction], width: int) -> exact.Matrix:
+    """Extended Vandermonde evaluation matrix for a ``width``-coefficient poly.
+
+    Rows are ``[1, a, a^2, ..., a^(width-1)]`` for each finite point ``a``,
+    followed by the point-at-infinity row ``[0, ..., 0, 1]`` which selects the
+    leading coefficient.
+    """
+    rows: List[List[Fraction]] = []
+    for point in points:
+        rows.append([point ** power for power in range(width)])
+    rows.append([Fraction(0)] * (width - 1) + [Fraction(1)])
+    return rows
+
+
+def _interpolation_matrix(points: Sequence[Fraction], size: int) -> exact.Matrix:
+    """Square interpolation matrix ``V`` (finite-point rows plus infinity row)."""
+    rows: List[List[Fraction]] = []
+    for point in points:
+        rows.append([point ** power for power in range(size)])
+    rows.append([Fraction(0)] * (size - 1) + [Fraction(1)])
+    return rows
+
+
+@dataclass(frozen=True)
+class WinogradTransform:
+    """The transform matrices of a 1-D Winograd algorithm ``F(m, r)``.
+
+    Attributes
+    ----------
+    m:
+        Output tile size (number of outputs produced per application).
+    r:
+        Filter size (number of taps).
+    points:
+        The finite interpolation points used by the construction.
+    at_exact, g_exact, bt_exact:
+        Exact rational matrices ``A^T`` (m x n), ``G`` (n x r), ``B^T`` (n x n).
+    """
+
+    m: int
+    r: int
+    points: Tuple[Fraction, ...]
+    at_exact: Tuple[Tuple[Fraction, ...], ...]
+    g_exact: Tuple[Tuple[Fraction, ...], ...]
+    bt_exact: Tuple[Tuple[Fraction, ...], ...]
+    label: str = field(default="", compare=False)
+
+    # ------------------------------------------------------------------ #
+    # Convenience properties
+    # ------------------------------------------------------------------ #
+    @property
+    def n(self) -> int:
+        """Input tile size / number of general multiplications ``m + r - 1``."""
+        return self.m + self.r - 1
+
+    @property
+    def input_tile(self) -> int:
+        """Alias of :attr:`n` (the 1-D input tile length)."""
+        return self.n
+
+    @property
+    def multiplications_1d(self) -> int:
+        """General multiplications used by one 1-D application."""
+        return self.n
+
+    @property
+    def multiplications_2d(self) -> int:
+        """General multiplications used by one nested 2-D application."""
+        return self.n * self.n
+
+    # NumPy views -------------------------------------------------------- #
+    @property
+    def AT(self) -> np.ndarray:  # noqa: N802 - matrix naming follows the paper
+        """Inverse-transform matrix ``A^T`` as float64, shape ``(m, n)``."""
+        return exact.to_numpy([list(row) for row in self.at_exact])
+
+    @property
+    def A(self) -> np.ndarray:  # noqa: N802
+        """``A`` as float64, shape ``(n, m)``."""
+        return self.AT.T.copy()
+
+    @property
+    def G(self) -> np.ndarray:  # noqa: N802
+        """Filter-transform matrix ``G`` as float64, shape ``(n, r)``."""
+        return exact.to_numpy([list(row) for row in self.g_exact])
+
+    @property
+    def BT(self) -> np.ndarray:  # noqa: N802
+        """Data-transform matrix ``B^T`` as float64, shape ``(n, n)``."""
+        return exact.to_numpy([list(row) for row in self.bt_exact])
+
+    @property
+    def B(self) -> np.ndarray:  # noqa: N802
+        """``B`` as float64, shape ``(n, n)``."""
+        return self.BT.T.copy()
+
+    # ------------------------------------------------------------------ #
+    # Verification
+    # ------------------------------------------------------------------ #
+    def verify_exact(self) -> bool:
+        """Check the bilinear identity exactly on a canonical integer input.
+
+        The identity is linear in both ``d`` and ``g``; verifying it on the
+        basis-spanning input ``d = (1, t, t^2, ...)``, ``g = (1, s, s^2, ...)``
+        with transcendental-like large primes would be overkill, so instead we
+        check all basis pairs ``(e_i, e_j)`` which spans the bilinear form
+        completely and therefore *proves* correctness over the rationals.
+        """
+        m, r, n = self.m, self.r, self.n
+        at = [list(row) for row in self.at_exact]
+        g_mat = [list(row) for row in self.g_exact]
+        bt = [list(row) for row in self.bt_exact]
+        for data_index in range(n):
+            d = [[Fraction(1) if i == data_index else Fraction(0)] for i in range(n)]
+            bd = exact.matmul(bt, d)
+            for filter_index in range(r):
+                g = [[Fraction(1) if i == filter_index else Fraction(0)] for i in range(r)]
+                gg = exact.matmul(g_mat, g)
+                pointwise = [[bd[i][0] * gg[i][0]] for i in range(n)]
+                y = exact.matmul(at, pointwise)
+                for out_index in range(m):
+                    expected = (
+                        Fraction(1)
+                        if data_index == out_index + filter_index
+                        else Fraction(0)
+                    )
+                    if y[out_index][0] != expected:
+                        return False
+        return True
+
+    def describe(self) -> str:
+        """Human-readable one-line description, e.g. ``F(4, 3)``."""
+        suffix = f" [{self.label}]" if self.label else ""
+        return f"F({self.m}, {self.r}){suffix}"
+
+
+def generate_transform(
+    m: int,
+    r: int,
+    points: Optional[Sequence[Fraction]] = None,
+    label: str = "generated",
+    verify: bool = True,
+) -> WinogradTransform:
+    """Generate the transform matrices of ``F(m, r)``.
+
+    Parameters
+    ----------
+    m:
+        Output tile size (``m >= 1``).
+    r:
+        Filter size (``r >= 1``).
+    points:
+        Optional explicit finite interpolation points (``m + r - 2`` of them).
+        Defaults to the canonical sequence from :mod:`repro.winograd.points`.
+    label:
+        Free-form provenance tag stored on the transform.
+    verify:
+        When ``True`` (default) the generated transform is proven correct over
+        the rationals before being returned.
+
+    Returns
+    -------
+    WinogradTransform
+
+    Raises
+    ------
+    ValueError
+        If the parameters are invalid, the points are not distinct, or the
+        generated transform fails verification.
+    """
+    if m < 1 or r < 1:
+        raise ValueError(f"m and r must be >= 1, got m={m}, r={r}")
+    n = m + r - 1
+    needed = n - 1
+    if points is None:
+        points = default_points(needed)
+    points = validate_points(points)
+    if len(points) != needed:
+        raise ValueError(
+            f"F({m}, {r}) needs exactly {needed} finite interpolation points, "
+            f"got {len(points)}"
+        )
+
+    if n == 1:
+        # Degenerate case m = r = 1: a single multiplication, all transforms
+        # are 1x1 identities.
+        one = ((Fraction(1),),)
+        transform = WinogradTransform(
+            m=m, r=r, points=(), at_exact=one, g_exact=one, bt_exact=one, label=label
+        )
+        return transform
+
+    evaluation_data = _evaluation_matrix(points, m)       # E_a: n x m
+    evaluation_filter = _evaluation_matrix(points, r)     # E_b: n x r
+    interpolation = _interpolation_matrix(points, n)      # V:   n x n
+
+    at_matrix = exact.transpose(evaluation_data)           # m x n
+    g_matrix = evaluation_filter                           # n x r
+    bt_matrix = exact.transpose(exact.inverse(interpolation))  # n x n
+
+    transform = WinogradTransform(
+        m=m,
+        r=r,
+        points=tuple(points),
+        at_exact=tuple(tuple(row) for row in at_matrix),
+        g_exact=tuple(tuple(row) for row in g_matrix),
+        bt_exact=tuple(tuple(row) for row in bt_matrix),
+        label=label,
+    )
+    if verify and not transform.verify_exact():
+        raise ValueError(
+            f"generated transform F({m}, {r}) with points {points} failed verification"
+        )
+    return transform

@@ -1,0 +1,161 @@
+"""Application of Winograd transforms to data, filters and products.
+
+These helpers implement the three pipeline stages of the paper's convolution
+engine (Section IV) as NumPy operations:
+
+* ``data_transform``     — ``U = B^T d B``        (Eq. (3), data stage)
+* ``filter_transform``   — ``V = G g G^T``        (Eq. (3), filter stage)
+* ``inverse_transform``  — ``Y = A^T M A``        (Eq. (3), inverse stage)
+
+plus their 1-D counterparts and batched variants used by the tiled fast
+convolution in :mod:`repro.winograd.fast_conv` and by the cycle-level engine
+simulator in :mod:`repro.sim`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .toom_cook import WinogradTransform
+
+__all__ = [
+    "data_transform_1d",
+    "filter_transform_1d",
+    "inverse_transform_1d",
+    "winograd_1d",
+    "data_transform",
+    "filter_transform",
+    "inverse_transform",
+    "winograd_tile_2d",
+    "batched_data_transform",
+    "batched_filter_transform",
+    "batched_inverse_transform",
+]
+
+
+def _check_last_dims(array: np.ndarray, expected: int, name: str, ndim: int) -> None:
+    if array.ndim < ndim:
+        raise ValueError(f"{name} must have at least {ndim} dimensions, got {array.ndim}")
+    for axis in range(1, ndim + 1):
+        if array.shape[-axis] != expected:
+            raise ValueError(
+                f"{name} trailing dimensions must be "
+                f"{'x'.join([str(expected)] * ndim)}, got {array.shape}"
+            )
+
+
+# --------------------------------------------------------------------------- #
+# 1-D transforms
+# --------------------------------------------------------------------------- #
+def data_transform_1d(transform: WinogradTransform, d: np.ndarray) -> np.ndarray:
+    """Apply the 1-D data transform ``B^T d`` to a length-``n`` tile."""
+    d = np.asarray(d, dtype=np.float64)
+    if d.shape[-1] != transform.n:
+        raise ValueError(f"expected last dimension {transform.n}, got {d.shape}")
+    return d @ transform.BT.T
+
+
+def filter_transform_1d(transform: WinogradTransform, g: np.ndarray) -> np.ndarray:
+    """Apply the 1-D filter transform ``G g`` to a length-``r`` filter."""
+    g = np.asarray(g, dtype=np.float64)
+    if g.shape[-1] != transform.r:
+        raise ValueError(f"expected last dimension {transform.r}, got {g.shape}")
+    return g @ transform.G.T
+
+
+def inverse_transform_1d(transform: WinogradTransform, m_vec: np.ndarray) -> np.ndarray:
+    """Apply the 1-D inverse transform ``A^T m`` to a length-``n`` product."""
+    m_vec = np.asarray(m_vec, dtype=np.float64)
+    if m_vec.shape[-1] != transform.n:
+        raise ValueError(f"expected last dimension {transform.n}, got {m_vec.shape}")
+    return m_vec @ transform.AT.T
+
+
+def winograd_1d(
+    transform: WinogradTransform, d: np.ndarray, g: np.ndarray
+) -> np.ndarray:
+    """Compute the full 1-D minimal filtering ``F(m, r)`` output.
+
+    Equivalent to ``m`` outputs of a correlation of ``d`` (length ``n``) with
+    ``g`` (length ``r``).
+    """
+    u = data_transform_1d(transform, d)
+    v = filter_transform_1d(transform, g)
+    return inverse_transform_1d(transform, u * v)
+
+
+# --------------------------------------------------------------------------- #
+# 2-D transforms (nested 1-D, Eq. (3))
+# --------------------------------------------------------------------------- #
+def data_transform(transform: WinogradTransform, d: np.ndarray) -> np.ndarray:
+    """2-D data transform ``U = B^T d B`` for an ``n x n`` tile.
+
+    Works on arrays whose two trailing dimensions are the tile; any leading
+    dimensions (batch, channel, tile index) are preserved.
+    """
+    d = np.asarray(d, dtype=np.float64)
+    _check_last_dims(d, transform.n, "data tile", 2)
+    bt = transform.BT
+    return np.einsum("ij,...jk,lk->...il", bt, d, bt, optimize=True)
+
+
+def filter_transform(transform: WinogradTransform, g: np.ndarray) -> np.ndarray:
+    """2-D filter transform ``V = G g G^T`` for an ``r x r`` kernel."""
+    g = np.asarray(g, dtype=np.float64)
+    _check_last_dims(g, transform.r, "filter", 2)
+    g_mat = transform.G
+    return np.einsum("ij,...jk,lk->...il", g_mat, g, g_mat, optimize=True)
+
+
+def inverse_transform(transform: WinogradTransform, m_tile: np.ndarray) -> np.ndarray:
+    """2-D inverse transform ``Y = A^T M A`` for an ``n x n`` product tile."""
+    m_tile = np.asarray(m_tile, dtype=np.float64)
+    _check_last_dims(m_tile, transform.n, "product tile", 2)
+    at = transform.AT
+    return np.einsum("ij,...jk,lk->...il", at, m_tile, at, optimize=True)
+
+
+def winograd_tile_2d(
+    transform: WinogradTransform,
+    d: np.ndarray,
+    g: np.ndarray,
+    v: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Compute one ``m x m`` output tile from an ``n x n`` data tile.
+
+    Parameters
+    ----------
+    transform:
+        The ``F(m, r)`` transform to use.
+    d:
+        Input data tile of shape ``(n, n)``.
+    g:
+        Spatial kernel of shape ``(r, r)``.  Ignored when ``v`` is given.
+    v:
+        Optional pre-computed filter transform ``G g G^T`` (the paper assumes
+        filter transforms are computed offline; passing ``v`` models that).
+    """
+    u = data_transform(transform, d)
+    if v is None:
+        v = filter_transform(transform, g)
+    return inverse_transform(transform, u * v)
+
+
+# --------------------------------------------------------------------------- #
+# Batched variants (used by the tiled convolution)
+# --------------------------------------------------------------------------- #
+def batched_data_transform(transform: WinogradTransform, tiles: np.ndarray) -> np.ndarray:
+    """Data-transform a batch of tiles with shape ``(..., n, n)``."""
+    return data_transform(transform, tiles)
+
+
+def batched_filter_transform(transform: WinogradTransform, kernels: np.ndarray) -> np.ndarray:
+    """Filter-transform a batch of kernels with shape ``(..., r, r)``."""
+    return filter_transform(transform, kernels)
+
+
+def batched_inverse_transform(transform: WinogradTransform, products: np.ndarray) -> np.ndarray:
+    """Inverse-transform a batch of product tiles with shape ``(..., n, n)``."""
+    return inverse_transform(transform, products)

@@ -1,0 +1,146 @@
+"""Tests for the baseline accelerator models and published reference data."""
+
+import math
+
+import pytest
+
+from repro.baselines import (
+    FIG2_PUBLISHED_MFLOPS,
+    FIG3_PUBLISHED,
+    FIG6_PUBLISHED_GOPS,
+    TABLE1_PUBLISHED,
+    TABLE2_PUBLISHED,
+    VIRTEX7_AVAILABLE,
+    podili_design,
+    podili_normalized_design,
+    qiu_parametric_design,
+    qiu_published_design,
+    reference_style_design,
+    spatial_engine_design,
+)
+
+
+class TestPodili:
+    def test_original_matches_table2(self, vgg16):
+        point = podili_design(vgg16)
+        assert point.m == 2
+        assert point.parallel_pes == 16
+        assert point.multipliers == 256
+        assert point.total_latency_ms == pytest.approx(133.22, abs=0.2)
+        assert point.throughput_gops == pytest.approx(230.4, rel=0.005)
+        assert point.multiplier_efficiency == pytest.approx(0.90, abs=0.01)
+
+    def test_normalized_matches_table2(self, vgg16):
+        point = podili_normalized_design(vgg16)
+        assert point.parallel_pes == 43
+        assert point.multipliers == 688
+        assert point.total_latency_ms == pytest.approx(49.57, abs=0.1)
+        assert point.throughput_gops == pytest.approx(619.2, rel=0.005)
+
+    def test_normalized_custom_budget(self, vgg16):
+        point = podili_normalized_design(vgg16, multipliers=512)
+        assert point.parallel_pes == 32
+
+    def test_reference_style_uses_per_pe_transform(self, vgg16):
+        reference = reference_style_design(vgg16, m=4, parallel_pes=19)
+        assert not reference.shared_data_transform
+        assert reference.multipliers == 684
+
+    def test_per_group_latencies(self, vgg16):
+        point = podili_design(vgg16)
+        published = TABLE2_PUBLISHED["podili_asap17"]
+        for index in range(1, 6):
+            assert point.group_latency_ms[f"Conv{index}"] == pytest.approx(
+                published[f"conv{index}_ms"], abs=0.05
+            )
+
+
+class TestQiu:
+    def test_published_design_carries_paper_numbers(self, vgg16):
+        point = qiu_published_design(vgg16)
+        published = TABLE2_PUBLISHED["qiu_fpga16"]
+        assert point.throughput_gops == published["throughput_gops"]
+        assert point.power_watts == published["power_w"]
+        assert point.total_latency_ms == published["overall_latency_ms"]
+        assert point.precision == "fixed16"
+        assert point.multipliers == 780
+
+    def test_parametric_design_runs_analytical_model(self, vgg16):
+        point = qiu_parametric_design(vgg16)
+        assert point.m == 1
+        assert point.frequency_mhz == 150
+        assert point.throughput_gops > 0
+        # A spatial machine with 780 multipliers at 150 MHz peaks at
+        # 2 * floor(780/9) * 9 * 0.15 = 232.2 GOPS; the published 187.8 GOPS of
+        # [12] sits below that roof, as expected for a real memory-bound design.
+        assert point.throughput_gops == pytest.approx(2 * 86 * 9 * 0.15, rel=0.01)
+        assert point.throughput_gops > TABLE2_PUBLISHED["qiu_fpga16"]["throughput_gops"]
+
+
+class TestSpatialEngine:
+    def test_matches_fig6_spatial_series(self, vgg16):
+        point = spatial_engine_design(vgg16, multipliers=256)
+        assert point.throughput_gops == pytest.approx(100.8, rel=0.005)
+        point = spatial_engine_design(vgg16, multipliers=512)
+        assert point.throughput_gops == pytest.approx(201.6, rel=0.005)
+
+    def test_m_is_one(self, vgg16):
+        assert spatial_engine_design(vgg16, multipliers=256).m == 1
+
+
+class TestPublishedData:
+    def test_table1_internal_consistency(self):
+        for design in TABLE1_PUBLISHED.values():
+            assert design["dsp_slices"] == 4 * design["multipliers"]
+        assert TABLE1_PUBLISHED["proposed_design"]["luts"] < TABLE1_PUBLISHED["reference_design"]["luts"]
+        assert VIRTEX7_AVAILABLE["luts"] == 303600
+
+    def test_table1_lut_savings_claim(self):
+        reference = TABLE1_PUBLISHED["reference_design"]["luts"]
+        proposed = TABLE1_PUBLISHED["proposed_design"]["luts"]
+        assert 100 * (1 - proposed / reference) == pytest.approx(53.6, abs=0.3)
+
+    def test_table2_throughput_latency_consistency(self, vgg16):
+        """Published throughput equals OS / published latency for every design."""
+        os_gops = vgg16.total_conv_flops / 1e9
+        for name, row in TABLE2_PUBLISHED.items():
+            implied = os_gops / (row["overall_latency_ms"] * 1e-3)
+            assert implied == pytest.approx(row["throughput_gops"], rel=0.01), name
+
+    def test_table2_power_efficiency_consistency(self):
+        # The published Table II is internally consistent (throughput / power ==
+        # power efficiency) for every row except "proposed m=2", where the paper
+        # reports 41.34 GOPS/W but 619.2 GOPS / 13.03 W = 47.5 GOPS/W.  That
+        # inconsistency is in the source data, so it is excluded here and noted
+        # in EXPERIMENTS.md.
+        for name, row in TABLE2_PUBLISHED.items():
+            if name == "proposed_m2":
+                continue
+            assert row["throughput_gops"] / row["power_w"] == pytest.approx(
+                row["power_efficiency"], rel=0.02
+            ), name
+
+    def test_fig3_and_fig2_keys(self):
+        assert set(FIG2_PUBLISHED_MFLOPS) == set(range(2, 8))
+        assert set(FIG3_PUBLISHED) == set(range(2, 8))
+
+    def test_fig6_contains_all_series(self):
+        methods = {key[0] for key in FIG6_PUBLISHED_GOPS}
+        assert methods == {"spatial", 2, 3, 4, 5, 6, 7}
+        budgets = {key[1] for key in FIG6_PUBLISHED_GOPS}
+        assert budgets == {256, 512, 1024}
+
+    def test_fig6_linear_in_multipliers(self):
+        for method in (2, 3, 4, 5, 6, 7):
+            small = FIG6_PUBLISHED_GOPS[(method, 256)]
+            large = FIG6_PUBLISHED_GOPS[(method, 1024)]
+            assert large == pytest.approx(4 * small, rel=0.01)
+
+    def test_headline_ratios_from_published_data(self):
+        table = TABLE2_PUBLISHED
+        assert table["proposed_m4"]["throughput_gops"] / table["podili_asap17"][
+            "throughput_gops"
+        ] == pytest.approx(4.75, abs=0.01)
+        assert table["proposed_m2"]["power_efficiency"] / table["podili_asap17"][
+            "power_efficiency"
+        ] == pytest.approx(1.44, abs=0.01)

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import ConvLayer, InputSpec, Network, vgg16_d
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """A deterministic random generator shared by numeric tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def vgg16() -> Network:
+    """The paper's workload, built once per session."""
+    return vgg16_d()
+
+
+@pytest.fixture()
+def small_layer() -> ConvLayer:
+    """A small VGG-style layer usable by functional and simulator tests."""
+    return ConvLayer(
+        name="small",
+        in_channels=4,
+        out_channels=6,
+        height=14,
+        width=14,
+        kernel_size=3,
+        padding=1,
+    )
+
+
+@pytest.fixture()
+def tiny_network() -> Network:
+    """A three-layer all-3x3 network small enough for functional forward passes."""
+    network = Network("tiny", InputSpec(batch=1, channels=3, height=16, width=16))
+    network.add(ConvLayer("c1", 3, 8, 16, 16, group="G1"))
+    network.add(ConvLayer("c2", 8, 8, 16, 16, group="G1"))
+    network.add(ConvLayer("c3", 8, 16, 16, 16, group="G2"))
+    return network

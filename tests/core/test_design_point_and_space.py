@@ -1,0 +1,104 @@
+"""Tests for design-point evaluation and the design-space sweeps."""
+
+import pytest
+
+from repro.core.design_point import evaluate_design
+from repro.core.design_space import (
+    SweepSpec,
+    best_by,
+    explore,
+    sweep_multiplier_budgets,
+    sweep_tile_sizes,
+)
+from repro.hw.device import virtex7_485t
+
+
+class TestEvaluateDesign:
+    def test_proposed_m4(self, vgg16):
+        point = evaluate_design(vgg16, m=4, parallel_pes=19, include_pipeline_depth=False)
+        assert point.multipliers == 684
+        assert point.throughput_gops == pytest.approx(1094.3, rel=0.005)
+        assert point.multiplier_efficiency == pytest.approx(1.60, abs=0.01)
+        assert point.power_watts > 0
+        assert point.power_efficiency == pytest.approx(
+            point.throughput_gops / point.power_watts
+        )
+
+    def test_multiplier_budget_path(self, vgg16):
+        point = evaluate_design(vgg16, m=4, multiplier_budget=700, include_pipeline_depth=False)
+        assert point.parallel_pes == 19
+
+    def test_budget_too_small(self, vgg16):
+        with pytest.raises(ValueError):
+            evaluate_design(vgg16, m=4, multiplier_budget=20)
+
+    def test_device_budget_default(self, vgg16):
+        point = evaluate_design(vgg16, m=3)
+        assert point.parallel_pes == 28  # 700 multipliers / 25 per PE
+
+    def test_pipeline_depth_increases_latency(self, vgg16):
+        without = evaluate_design(vgg16, m=2, parallel_pes=16, include_pipeline_depth=False)
+        with_depth = evaluate_design(vgg16, m=2, parallel_pes=16, include_pipeline_depth=True)
+        assert with_depth.total_latency_ms >= without.total_latency_ms
+        # The fill term is negligible for VGG-sized layers (< 0.1% difference).
+        assert with_depth.total_latency_ms == pytest.approx(without.total_latency_ms, rel=1e-3)
+
+    def test_summary_row_keys(self, vgg16):
+        row = evaluate_design(vgg16, m=2, parallel_pes=16).summary_row()
+        assert {"m", "multipliers", "throughput_gops", "power_w"} <= set(row)
+        assert "latency_conv1_ms" in row
+
+    def test_speedup_and_ratio_helpers(self, vgg16):
+        slow = evaluate_design(vgg16, m=2, parallel_pes=16, include_pipeline_depth=False)
+        fast = evaluate_design(vgg16, m=4, parallel_pes=19, include_pipeline_depth=False)
+        assert fast.speedup_over(slow) == pytest.approx(
+            fast.throughput_gops / slow.throughput_gops
+        )
+        assert fast.multiplication_saving_factor > slow.multiplication_saving_factor - 3
+
+    def test_shared_vs_reference_resources(self, vgg16):
+        shared = evaluate_design(vgg16, m=4, parallel_pes=19, shared_data_transform=True)
+        reference = evaluate_design(vgg16, m=4, parallel_pes=19, shared_data_transform=False)
+        assert shared.resources.luts < reference.resources.luts
+        assert shared.throughput_gops == pytest.approx(reference.throughput_gops, rel=1e-3)
+
+
+class TestSweeps:
+    def test_tile_size_sweep(self, vgg16):
+        points = sweep_tile_sizes(vgg16, m_values=(2, 3, 4))
+        assert [point.m for point in points] == [2, 3, 4]
+        throughputs = [point.throughput_gops for point in points]
+        assert throughputs[0] < throughputs[1] < throughputs[2]
+
+    def test_budget_sweep(self, vgg16):
+        points = sweep_multiplier_budgets(vgg16, m=2, budgets=(256, 512))
+        assert len(points) == 2
+        assert points[1].throughput_gops > points[0].throughput_gops
+
+    def test_explore_grid_size(self, vgg16):
+        spec = SweepSpec(
+            m_values=(2, 3), multiplier_budgets=(256, 512), frequencies_mhz=(100.0, 200.0)
+        )
+        points = explore(vgg16, spec)
+        assert len(points) == 8
+
+    def test_explore_skips_infeasible(self, vgg16):
+        spec = SweepSpec(m_values=(4,), multiplier_budgets=(10,))
+        assert explore(vgg16, spec) == []
+        with pytest.raises(ValueError):
+            explore(vgg16, spec, skip_infeasible=False)
+
+    def test_explore_respects_device(self, vgg16):
+        points = explore(vgg16, SweepSpec(m_values=(4,)), device=virtex7_485t())
+        assert points[0].device_name == "xc7vx485t"
+
+    def test_best_by(self, vgg16):
+        points = sweep_tile_sizes(vgg16, m_values=(2, 3, 4))
+        best_throughput = best_by(points, "throughput_gops")
+        assert best_throughput.m == 4
+        fastest = best_by(points, "total_latency_ms", maximize=False)
+        assert fastest.m == 4
+        with pytest.raises(ValueError):
+            best_by(points, "no_such_metric")
+        with pytest.raises(ValueError):
+            best_by([], "throughput_gops")

@@ -1,0 +1,112 @@
+"""Tests for the proposed designs, the optimizer and the comparison builders."""
+
+import pytest
+
+from repro.core.comparison import headline_claims, performance_table, resource_table
+from repro.core.proposed import PROPOSED_CONFIGS, optimize, proposed_designs
+
+
+class TestProposedDesigns:
+    def test_three_designs(self, vgg16):
+        designs = proposed_designs(vgg16)
+        assert [design.m for design in designs] == [2, 3, 4]
+        assert [design.parallel_pes for design in designs] == [43, 28, 19]
+        assert [design.multipliers for design in designs] == [688, 700, 684]
+
+    def test_table2_metrics(self, vgg16):
+        by_m = {design.m: design for design in proposed_designs(vgg16)}
+        assert by_m[2].total_latency_ms == pytest.approx(49.57, abs=0.05)
+        assert by_m[3].total_latency_ms == pytest.approx(33.83, abs=0.05)
+        assert by_m[4].total_latency_ms == pytest.approx(28.05, abs=0.05)
+        assert by_m[2].throughput_gops == pytest.approx(619.2, rel=0.005)
+        assert by_m[3].throughput_gops == pytest.approx(907.2, rel=0.005)
+        assert by_m[4].throughput_gops == pytest.approx(1094.3, rel=0.005)
+
+    def test_configs_consistent_with_eq8(self):
+        for m, config in PROPOSED_CONFIGS.items():
+            per_pe = (m + 2) ** 2
+            assert config["parallel_pes"] == config["multipliers"] // per_pe
+
+
+class TestOptimizer:
+    def test_throughput_optimum_is_largest_feasible_m(self, vgg16):
+        result = optimize(vgg16, metric="throughput_gops", m_values=(2, 3, 4))
+        assert result.best.m == 4
+        assert len(result.explored) == 3
+
+    def test_latency_metric_minimised(self, vgg16):
+        result = optimize(vgg16, metric="total_latency_ms", m_values=(2, 3, 4))
+        assert result.best.m == 4
+        ranking = result.ranking
+        assert ranking[0].total_latency_ms <= ranking[-1].total_latency_ms
+
+    def test_power_efficiency_metric(self, vgg16):
+        result = optimize(vgg16, metric="power_efficiency", m_values=(2, 3, 4, 5, 6))
+        assert result.best.power_efficiency == max(
+            point.power_efficiency for point in result.explored
+        )
+
+    def test_unknown_metric(self, vgg16):
+        with pytest.raises(ValueError):
+            optimize(vgg16, metric="nonexistent", m_values=(2,))
+
+
+class TestComparisonTables:
+    def test_performance_table_lineup(self, vgg16):
+        points = performance_table(vgg16)
+        names = [point.name for point in points]
+        assert names[0] == "qiu-fpga16"
+        assert names[1] == "podili-asap17"
+        assert names[2] == "podili-normalized"
+        assert names[3:] == ["proposed-m2", "proposed-m3", "proposed-m4"]
+
+    def test_performance_table_ordering_matches_paper(self, vgg16):
+        points = {point.name: point for point in performance_table(vgg16)}
+        # Throughput ordering of Table II.
+        assert (
+            points["qiu-fpga16"].throughput_gops
+            < points["podili-asap17"].throughput_gops
+            < points["podili-normalized"].throughput_gops
+            <= points["proposed-m2"].throughput_gops
+            < points["proposed-m3"].throughput_gops
+            < points["proposed-m4"].throughput_gops
+        )
+
+    def test_resource_table_m4(self, vgg16):
+        table = resource_table(vgg16, m=4)
+        reference = table["reference_design"]
+        proposed = table["proposed_design"]
+        assert reference.multipliers == proposed.multipliers == 684
+        assert reference.resources.dsp_slices == proposed.resources.dsp_slices == 2736
+        assert proposed.resources.luts < reference.resources.luts
+        assert proposed.resources.registers < reference.resources.registers
+
+    def test_resource_table_requires_known_m(self, vgg16):
+        with pytest.raises(ValueError):
+            resource_table(vgg16, m=6)
+        # But works with an explicit PE count.
+        table = resource_table(vgg16, m=2, parallel_pes=16)
+        assert table["proposed_design"].m == 2
+
+
+class TestHeadlineClaims:
+    def test_claims_in_paper_regime(self, vgg16):
+        claims = headline_claims(vgg16)
+        assert claims.throughput_improvement == pytest.approx(4.75, abs=0.01)
+        assert claims.multiplier_ratio == pytest.approx(2.67, abs=0.01)
+        assert claims.multiplier_efficiency_best == pytest.approx(1.60, abs=0.01)
+        # Resource/power models are calibrated, not synthesised: allow slack
+        # around the published 53.6% and 1.44x figures.
+        assert 40.0 < claims.lut_savings_pct < 65.0
+        assert 1.2 < claims.power_efficiency_improvement_m2 < 2.0
+
+    def test_as_dict(self, vgg16):
+        claims = headline_claims(vgg16)
+        as_dict = claims.as_dict()
+        assert set(as_dict) == {
+            "throughput_improvement",
+            "power_efficiency_improvement_m2",
+            "multiplier_ratio",
+            "lut_savings_pct",
+            "multiplier_efficiency_best",
+        }

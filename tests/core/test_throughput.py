@@ -1,0 +1,104 @@
+"""Tests for the Eq. 8-10 latency/throughput models."""
+
+import pytest
+
+from repro.core.throughput import (
+    ideal_throughput_gops,
+    layer_cycles,
+    layer_latency_seconds,
+    multiplier_efficiency,
+    network_latency,
+    parallel_pes,
+    throughput_gops,
+)
+from repro.nn import ConvLayer
+
+
+class TestEq8ParallelPEs:
+    def test_floored_values(self):
+        assert parallel_pes(2, 3, 256) == 16
+        assert parallel_pes(3, 3, 256) == 10
+        assert parallel_pes(4, 3, 700) == 19
+
+    def test_fractional(self):
+        assert parallel_pes(3, 3, 256, fractional=True) == pytest.approx(256 / 25)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            parallel_pes(0, 3, 256)
+        with pytest.raises(ValueError):
+            parallel_pes(2, 3, -1)
+
+
+class TestEq9Latency:
+    def test_layer_cycles_formula(self, small_layer):
+        cycles = layer_cycles(small_layer, m=2, pes=4)
+        assert cycles == pytest.approx(small_layer.nhwck / (4 * 4))
+
+    def test_pipeline_fill_term(self, small_layer):
+        base = layer_cycles(small_layer, m=2, pes=4)
+        with_fill = layer_cycles(small_layer, m=2, pes=4, pipeline_depth=10)
+        assert with_fill == pytest.approx(base + 9)
+
+    def test_latency_seconds(self, small_layer):
+        latency = layer_latency_seconds(small_layer, m=2, pes=4, frequency_mhz=200)
+        assert latency == pytest.approx(layer_cycles(small_layer, 2, 4) * 5e-9)
+
+    def test_invalid_inputs(self, small_layer):
+        with pytest.raises(ValueError):
+            layer_cycles(small_layer, m=2, pes=0)
+        with pytest.raises(ValueError):
+            layer_latency_seconds(small_layer, m=2, pes=4, frequency_mhz=0)
+
+    def test_vgg_group_latencies_match_table2(self, vgg16):
+        """Table II: the proposed m=4, P=19 design's per-group latencies."""
+        report = network_latency(vgg16, m=4, pes=19, frequency_mhz=200)
+        assert report.group_latency_ms["Conv1"] == pytest.approx(3.54, abs=0.01)
+        assert report.group_latency_ms["Conv2"] == pytest.approx(5.07, abs=0.01)
+        assert report.group_latency_ms["Conv3"] == pytest.approx(8.45, abs=0.01)
+        assert report.group_latency_ms["Conv4"] == pytest.approx(8.45, abs=0.01)
+        assert report.group_latency_ms["Conv5"] == pytest.approx(2.54, abs=0.01)
+        assert report.total_latency_ms == pytest.approx(28.05, abs=0.05)
+
+    def test_podili_latency_reproduced(self, vgg16):
+        report = network_latency(vgg16, m=2, pes=16, frequency_mhz=200)
+        assert report.total_latency_ms == pytest.approx(133.22, abs=0.2)
+
+    def test_only_kernel_size_filter(self, vgg16):
+        everything = network_latency(vgg16, m=2, pes=16, only_kernel_size=None)
+        only3 = network_latency(vgg16, m=2, pes=16, only_kernel_size=3)
+        assert everything.total_latency_ms == pytest.approx(only3.total_latency_ms)
+        none_match = network_latency(vgg16, m=2, pes=16, only_kernel_size=5)
+        assert none_match.total_latency_ms == 0.0
+
+
+class TestEq10Throughput:
+    def test_table2_throughputs(self, vgg16):
+        assert throughput_gops(vgg16, 2, 256) == pytest.approx(230.4, rel=0.005)
+        assert throughput_gops(vgg16, 2, 688) == pytest.approx(619.2, rel=0.005)
+        assert throughput_gops(vgg16, 3, 700) == pytest.approx(907.2, rel=0.005)
+        assert throughput_gops(vgg16, 4, 684) == pytest.approx(1094.3, rel=0.005)
+
+    def test_multiplier_efficiency_table2(self, vgg16):
+        thr = throughput_gops(vgg16, 4, 684)
+        assert multiplier_efficiency(thr, 684) == pytest.approx(1.60, abs=0.01)
+        with pytest.raises(ValueError):
+            multiplier_efficiency(thr, 0)
+
+    def test_ideal_fig6_values(self):
+        """Fig. 6 series at 200 MHz (fractional PEs)."""
+        assert ideal_throughput_gops(2, 3, 256) == pytest.approx(230.40, abs=0.1)
+        assert ideal_throughput_gops(3, 3, 256) == pytest.approx(331.78, abs=0.5)
+        assert ideal_throughput_gops(5, 3, 512) == pytest.approx(940.41, abs=1.0)
+        assert ideal_throughput_gops(7, 3, 1024) == pytest.approx(2230.23, abs=2.0)
+        # Spatial series uses floored PEs.
+        assert ideal_throughput_gops(1, 3, 256, fractional_pes=False) == pytest.approx(100.8, abs=0.1)
+
+    def test_throughput_scales_linearly_with_budget(self, vgg16):
+        assert throughput_gops(vgg16, 2, 512) == pytest.approx(
+            2 * throughput_gops(vgg16, 2, 256), rel=1e-6
+        )
+
+    def test_budget_too_small(self, vgg16):
+        with pytest.raises(ValueError):
+            throughput_gops(vgg16, 4, 10)

@@ -1,0 +1,108 @@
+"""Tests for operator costs and datapath construction."""
+
+import pytest
+
+from repro.hw.arithmetic import OperatorLibrary, Precision
+from repro.hw.calibration import DEFAULT_CALIBRATION
+from repro.hw.datapath import adder_tree_depth, datapath_from_network, datapath_from_op_count
+from repro.winograd.matrices import get_transform
+from repro.winograd.op_count import OpCount
+from repro.winograd.strength_reduction import matvec_network
+
+
+class TestPrecision:
+    def test_factories(self):
+        assert Precision.float32().bits == 32
+        assert Precision.fixed16().bits == 16
+        assert Precision.float32().is_float
+        assert not Precision.fixed16().is_float
+
+    def test_from_name(self):
+        assert Precision.from_name("float32").name == "float32"
+        with pytest.raises(ValueError):
+            Precision.from_name("bfloat16")
+
+
+class TestOperatorLibrary:
+    def test_fp32_multiplier_uses_4_dsps(self):
+        # Derived from Table I: 2736 DSPs / 684 multipliers.
+        cost = OperatorLibrary().multiplier()
+        assert cost.dsp_slices == 4
+        assert cost.is_multiplier
+
+    def test_fixed16_multiplier_uses_1_dsp(self):
+        cost = OperatorLibrary(Precision.fixed16()).multiplier()
+        assert cost.dsp_slices == 1
+
+    def test_transform_ops_use_no_dsps(self):
+        library = OperatorLibrary()
+        assert library.adder().dsp_slices == 0
+        assert library.shifter().dsp_slices == 0
+        assert library.constant_multiplier().dsp_slices == 0
+
+    def test_shift_is_nearly_free(self):
+        library = OperatorLibrary()
+        assert library.shifter().luts < library.adder().luts
+
+    def test_costs_dictionary(self):
+        costs = OperatorLibrary().costs()
+        assert set(costs) == {"add", "sub", "accumulate", "shift", "cmul", "mul"}
+
+    def test_fixed16_cheaper_than_fp32(self):
+        fp32 = OperatorLibrary(Precision.float32()).adder().luts
+        fixed = OperatorLibrary(Precision.fixed16()).adder().luts
+        assert fixed < fp32
+
+
+class TestAdderTreeDepth:
+    @pytest.mark.parametrize("terms,depth", [(1, 0), (2, 1), (3, 2), (4, 2), (8, 3), (9, 4)])
+    def test_depths(self, terms, depth):
+        assert adder_tree_depth(terms) == depth
+
+
+class TestDatapathFromOpCount:
+    def test_resources_scale_with_ops(self):
+        small = datapath_from_op_count("s", OpCount(additions=10))
+        large = datapath_from_op_count("l", OpCount(additions=100))
+        assert large.resources.luts == pytest.approx(10 * small.resources.luts)
+
+    def test_multipliers_counted(self):
+        stage = datapath_from_op_count("m", OpCount(general_multiplications=36))
+        assert stage.resources.multipliers == 36
+        assert stage.resources.dsp_slices == 36 * 4
+
+    def test_empty_stage(self):
+        stage = datapath_from_op_count("empty", OpCount())
+        assert stage.resources.luts == 0
+        assert stage.pipeline_depth == 0
+        assert stage.operator_count == 0
+
+    def test_depth_hint_respected(self):
+        stage = datapath_from_op_count("d", OpCount(additions=50), depth_hint=7)
+        assert stage.pipeline_depth == 7
+
+
+class TestDatapathFromNetwork:
+    def test_matches_network_counts(self):
+        transform = get_transform(2, 3)
+        network = matvec_network([list(row) for row in transform.bt_exact])
+        stage = datapath_from_network("bt", [network])
+        assert stage.operator_count == (
+            network.adder_count + network.shift_count + network.multiplier_count
+        )
+        assert stage.pipeline_depth >= 1
+
+    def test_depth_is_longest_chain(self):
+        transform = get_transform(4, 3)
+        network = matvec_network([list(row) for row in transform.bt_exact])
+        stage = datapath_from_network("bt", [network])
+        # F(4,3) B^T rows have up to 4 terms -> at least 3 chained additions.
+        assert stage.pipeline_depth >= 3
+
+    def test_multiple_networks_accumulate(self):
+        transform = get_transform(2, 3)
+        one = matvec_network([list(row) for row in transform.bt_exact])
+        stage_single = datapath_from_network("single", [one])
+        stage_double = datapath_from_network("double", [one, one])
+        assert stage_double.resources.luts == pytest.approx(2 * stage_single.resources.luts)
+        assert stage_double.pipeline_depth == stage_single.pipeline_depth

@@ -1,0 +1,92 @@
+"""Tests for the calibration constants and precision-dependent design points.
+
+The calibration module is the documented bridge between the paper's synthesis
+results and this reproduction's analytical models; these tests pin the
+evidence-derived constants (so accidental edits are caught) and exercise the
+fixed-point precision path that models Qiu-style 16-bit accelerators.
+"""
+
+import pytest
+
+from repro.core.design_point import evaluate_design
+from repro.hw.arithmetic import Precision
+from repro.hw.calibration import (
+    Calibration,
+    DEFAULT_CALIBRATION,
+    PowerCalibration,
+    ResourceCalibration,
+)
+from repro.hw.engine import EngineConfig, build_engine
+
+
+class TestCalibrationConstants:
+    def test_dsps_per_multiplier_from_table1(self):
+        """Table I: 2736 DSP slices / 684 multipliers = 4 — the one constant
+        that is directly derivable from published data and must never drift."""
+        assert DEFAULT_CALIBRATION.resources.dsps_per_multiplier == 4
+
+    def test_transform_ops_never_use_dsps(self):
+        assert DEFAULT_CALIBRATION.resources.dsps_per_constant_mult == 0
+
+    def test_power_calibrated_at_200mhz(self):
+        assert DEFAULT_CALIBRATION.power.calibration_frequency_mhz == pytest.approx(200.0)
+
+    def test_all_coefficients_positive(self):
+        resources = DEFAULT_CALIBRATION.resources
+        for name in (
+            "luts_per_transform_add",
+            "luts_per_constant_mult",
+            "luts_per_multiplier",
+            "luts_per_accumulator",
+            "registers_per_word",
+        ):
+            assert getattr(resources, name) > 0, name
+        power = DEFAULT_CALIBRATION.power
+        for name in ("static_watts", "watts_per_kilo_lut", "watts_per_dsp"):
+            assert getattr(power, name) > 0, name
+
+    def test_bundle_defaults(self):
+        bundle = Calibration()
+        assert isinstance(bundle.resources, ResourceCalibration)
+        assert isinstance(bundle.power, PowerCalibration)
+
+    def test_custom_calibration_changes_estimates(self):
+        cheap = Calibration(resources=ResourceCalibration(luts_per_transform_add=1.0))
+        default_engine = build_engine(EngineConfig(m=4, parallel_pes=4))
+        cheap_engine = build_engine(EngineConfig(m=4, parallel_pes=4), calibration=cheap)
+        assert cheap_engine.resources.luts < default_engine.resources.luts
+
+
+class TestPrecisionVariants:
+    def test_fixed16_engine_uses_quarter_of_the_dsps(self):
+        fp32 = build_engine(EngineConfig(m=2, parallel_pes=16))
+        fixed = build_engine(
+            EngineConfig(m=2, parallel_pes=16, precision=Precision.fixed16())
+        )
+        assert fixed.resources.dsp_slices == fp32.resources.dsp_slices // 4
+        assert fixed.resources.luts < fp32.resources.luts
+
+    def test_fixed16_fits_more_pes_on_small_devices(self):
+        """On a DSP-limited device a 16-bit datapath hosts ~4x the PEs —
+        the architectural reason [12]-class accelerators use fixed point."""
+        from repro.hw.device import zynq_7045
+
+        device = zynq_7045()
+        budget_fp32 = device.dsp_slices // 4
+        budget_fixed = device.dsp_slices // 1
+        from repro.hw.engine import max_parallel_pes
+
+        assert max_parallel_pes(2, 3, budget_fixed) >= 4 * max_parallel_pes(2, 3, budget_fp32) - 3
+
+    def test_design_point_records_precision(self, vgg16):
+        point = evaluate_design(vgg16, m=2, parallel_pes=8)
+        assert point.precision == "float32"
+
+    def test_throughput_independent_of_precision_at_fixed_pes(self, vgg16):
+        """Throughput depends only on P, m and f (Eq. 10); precision affects
+        resources and power, not the ideal cycle count."""
+        fp32 = evaluate_design(vgg16, m=2, parallel_pes=16, include_pipeline_depth=False)
+        config = EngineConfig(m=2, parallel_pes=16, precision=Precision.fixed16())
+        fixed_engine = build_engine(config)
+        assert fixed_engine.outputs_per_cycle == 16 * 4
+        assert fp32.throughput_gops == pytest.approx(2 * 9 * 16 * 4 * 0.2, rel=1e-6)

@@ -1,0 +1,88 @@
+"""Tests for the device library and resource accounting."""
+
+import pytest
+
+from repro.hw.device import DEVICES, get_device, stratix_v_gt, virtex7_485t, virtex7_690t, zynq_7045
+from repro.hw.resources import ResourceEstimate, utilization
+
+
+class TestDevices:
+    def test_table1_available_row(self):
+        device = virtex7_485t()
+        assert device.luts == 303_600
+        assert device.registers == 607_200
+        assert device.dsp_slices == 2_800
+
+    def test_registry(self):
+        assert set(DEVICES) >= {"xc7vx485t", "xc7vx690t", "xc7z045", "stratix-v-gt"}
+        assert get_device("xc7z045").name == "xc7z045"
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError):
+            get_device("artix-unknown")
+
+    def test_bram_bytes(self):
+        device = zynq_7045()
+        assert device.bram_bytes == device.bram_kbits * 128
+
+    def test_relative_sizes(self):
+        assert virtex7_690t().luts > virtex7_485t().luts
+        assert zynq_7045().dsp_slices < virtex7_485t().dsp_slices
+        assert stratix_v_gt().luts > 0
+
+
+class TestResourceEstimate:
+    def test_addition(self):
+        a = ResourceEstimate(luts=100, registers=50, dsp_slices=4, multipliers=1)
+        b = ResourceEstimate(luts=10, registers=5, dsp_slices=8, bram_kbits=36, multipliers=2)
+        total = a + b
+        assert total.luts == 110
+        assert total.dsp_slices == 12
+        assert total.bram_kbits == 36
+        assert total.multipliers == 3
+
+    def test_scaled(self):
+        a = ResourceEstimate(luts=10, registers=20, dsp_slices=4, multipliers=1)
+        scaled = a.scaled(19)
+        assert scaled.luts == 190
+        assert scaled.multipliers == 19
+
+    def test_scaled_negative(self):
+        with pytest.raises(ValueError):
+            ResourceEstimate().scaled(-1)
+
+    def test_fits(self):
+        device = virtex7_485t()
+        assert ResourceEstimate(luts=1000, dsp_slices=100).fits(device)
+        assert not ResourceEstimate(luts=device.luts + 1).fits(device)
+        assert not ResourceEstimate(dsp_slices=device.dsp_slices + 1).fits(device)
+
+    def test_as_dict(self):
+        estimate = ResourceEstimate(luts=1, registers=2, dsp_slices=3, bram_kbits=4, multipliers=5)
+        assert estimate.as_dict() == {
+            "luts": 1,
+            "registers": 2,
+            "dsp_slices": 3,
+            "bram_kbits": 4,
+            "multipliers": 5,
+        }
+
+
+class TestUtilization:
+    def test_percentages(self):
+        device = virtex7_485t()
+        estimate = ResourceEstimate(
+            luts=device.luts / 2, registers=device.registers / 4, dsp_slices=device.dsp_slices
+        )
+        util = utilization(estimate, device)
+        assert util.luts_pct == pytest.approx(50.0)
+        assert util.registers_pct == pytest.approx(25.0)
+        assert util.dsp_pct == pytest.approx(100.0)
+        assert util.bottleneck == "dsp_slices"
+        assert util.feasible
+
+    def test_infeasible(self):
+        device = virtex7_485t()
+        util = utilization(ResourceEstimate(luts=device.luts * 2), device)
+        assert not util.feasible
+        assert util.bottleneck == "luts"

@@ -1,0 +1,128 @@
+"""Tests for the PE and engine resource models."""
+
+import pytest
+
+from repro.hw.device import virtex7_485t, zynq_7045
+from repro.hw.engine import EngineConfig, build_engine, max_parallel_pes
+from repro.hw.pe import build_pe
+
+
+class TestPEModel:
+    @pytest.mark.parametrize("m,expected", [(2, 16), (3, 25), (4, 36)])
+    def test_multipliers_per_pe(self, m, expected):
+        assert build_pe(m).multipliers == expected
+
+    def test_reference_pe_larger_than_proposed(self):
+        proposed = build_pe(4, include_data_transform=False)
+        reference = build_pe(4, include_data_transform=True)
+        assert reference.resources.luts > proposed.resources.luts
+        assert "data_transform" in reference.stages
+        assert "data_transform" not in proposed.stages
+
+    def test_outputs_per_cycle(self):
+        assert build_pe(3).outputs_per_cycle == 9
+
+    def test_stage_names(self):
+        pe = build_pe(2)
+        assert set(pe.stages) == {"ewise_mult", "inverse_transform", "accumulate"}
+
+    def test_pe_resources_grow_with_m(self):
+        luts = [build_pe(m).resources.luts for m in (2, 3, 4)]
+        assert luts[0] < luts[1] < luts[2]
+
+    def test_dsp_count_matches_multipliers(self):
+        pe = build_pe(4)
+        assert pe.resources.dsp_slices == 36 * 4
+        assert pe.resources.multipliers == 36
+
+
+class TestMaxParallelPEs:
+    def test_eq8_values(self):
+        assert max_parallel_pes(2, 3, 256) == 16
+        assert max_parallel_pes(3, 3, 700) == 28
+        assert max_parallel_pes(4, 3, 700) == 19
+        assert max_parallel_pes(4, 3, 684) == 19
+
+    def test_zero_budget(self):
+        assert max_parallel_pes(2, 3, 0) == 0
+
+    def test_negative_budget(self):
+        with pytest.raises(ValueError):
+            max_parallel_pes(2, 3, -1)
+
+
+class TestEngineConfig:
+    def test_defaults(self):
+        config = EngineConfig(m=4)
+        assert config.r == 3
+        assert config.multipliers_per_pe == 36
+        assert config.shared_data_transform
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig(m=0)
+        with pytest.raises(ValueError):
+            EngineConfig(m=2, parallel_pes=0)
+        with pytest.raises(ValueError):
+            EngineConfig(m=2, frequency_mhz=0)
+
+
+class TestEngineModel:
+    def test_table1_configuration(self):
+        engine = build_engine(EngineConfig(m=4, parallel_pes=19))
+        assert engine.total_multipliers == 684
+        assert engine.resources.dsp_slices == 2736
+        assert engine.parallel_pes == 19
+
+    def test_pe_count_from_device_budget(self):
+        engine = build_engine(EngineConfig(m=4))
+        # Virtex-7: 2800 DSPs / 4 per multiplier = 700 multipliers -> 19 PEs.
+        assert engine.parallel_pes == 19
+
+    def test_shared_transform_saves_luts(self):
+        shared = build_engine(EngineConfig(m=4, parallel_pes=19, shared_data_transform=True))
+        replicated = build_engine(EngineConfig(m=4, parallel_pes=19, shared_data_transform=False))
+        assert shared.resources.luts < replicated.resources.luts
+        savings = 1 - shared.resources.luts / replicated.resources.luts
+        # The paper reports 53.6% LUT savings; the model must land in that regime.
+        assert 0.35 < savings < 0.65
+
+    def test_shared_stage_present_only_when_shared(self):
+        shared = build_engine(EngineConfig(m=3, parallel_pes=4))
+        replicated = build_engine(EngineConfig(m=3, parallel_pes=4, shared_data_transform=False))
+        assert shared.shared_stage is not None
+        assert replicated.shared_stage is None
+
+    def test_outputs_per_cycle(self):
+        engine = build_engine(EngineConfig(m=3, parallel_pes=28))
+        assert engine.outputs_per_cycle == 28 * 9
+
+    def test_utilization_and_fit(self):
+        engine = build_engine(EngineConfig(m=4, parallel_pes=19))
+        util = engine.device_utilization()
+        assert engine.fits_device()
+        assert 0 < util.luts_pct < 100
+        assert util.dsp_pct == pytest.approx(100 * 2736 / 2800)
+
+    def test_too_small_device_rejected(self):
+        from repro.hw.device import FpgaDevice
+
+        tiny = FpgaDevice(name="tiny", luts=10_000, registers=20_000, dsp_slices=64, bram_kbits=100)
+        with pytest.raises(ValueError):
+            build_engine(EngineConfig(m=4), device=tiny)
+
+    def test_small_device_hosts_few_pes(self):
+        # Zynq-7045: 900 DSPs -> 225 fp32 multipliers -> 2 F(7x7,3x3) PEs.
+        engine = build_engine(EngineConfig(m=7), device=zynq_7045())
+        assert engine.parallel_pes == 2
+
+    def test_pipeline_depth_positive(self):
+        engine = build_engine(EngineConfig(m=2, parallel_pes=8))
+        assert engine.pipeline_depth >= 3
+
+    def test_luts_per_pe_scaling(self):
+        """Engine LUTs grow linearly in P with slope = per-PE cost."""
+        small = build_engine(EngineConfig(m=4, parallel_pes=10))
+        large = build_engine(EngineConfig(m=4, parallel_pes=19))
+        slope = (large.resources.luts - small.resources.luts) / 9
+        assert slope == pytest.approx(large.luts_per_pe, rel=1e-6)

@@ -1,0 +1,122 @@
+"""Tests for the power, frequency and buffer/bandwidth models."""
+
+import pytest
+
+from repro.hw.buffers import BufferConfig, required_bandwidth_gbps, size_buffers
+from repro.hw.calibration import PowerCalibration
+from repro.hw.engine import EngineConfig, build_engine
+from repro.hw.frequency import achievable_frequency, estimate_fmax
+from repro.hw.power import PowerModel
+from repro.hw.resources import ResourceEstimate
+from repro.nn.layers import ConvLayer
+
+
+class TestPowerModel:
+    def test_breakdown_sums(self):
+        model = PowerModel()
+        resources = ResourceEstimate(luts=50_000, registers=40_000, dsp_slices=1000, bram_kbits=2000)
+        breakdown = model.breakdown(resources, 200.0)
+        assert breakdown.total_watts == pytest.approx(
+            breakdown.static_watts + breakdown.dynamic_watts
+        )
+        assert breakdown.dynamic_watts > 0
+
+    def test_scales_with_frequency(self):
+        model = PowerModel()
+        resources = ResourceEstimate(luts=10_000, dsp_slices=100)
+        low = model.total_watts(resources, 100.0)
+        high = model.total_watts(resources, 200.0)
+        static = model.calibration.static_watts
+        assert (high - static) == pytest.approx(2 * (low - static))
+
+    def test_power_grows_with_resources(self):
+        model = PowerModel()
+        small = model.total_watts(ResourceEstimate(luts=10_000), 200.0)
+        large = model.total_watts(ResourceEstimate(luts=100_000), 200.0)
+        assert large > small
+
+    def test_power_efficiency(self):
+        model = PowerModel()
+        resources = ResourceEstimate(luts=50_000)
+        efficiency = model.power_efficiency(500.0, resources, 200.0)
+        assert efficiency == pytest.approx(500.0 / model.total_watts(resources, 200.0))
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            PowerModel().total_watts(ResourceEstimate(), 0.0)
+
+    def test_proposed_designs_power_ordering(self):
+        """Power grows with m for the paper's designs (Table II trend)."""
+        model = PowerModel()
+        watts = []
+        for m, pes in ((2, 43), (3, 28), (4, 19)):
+            engine = build_engine(EngineConfig(m=m, parallel_pes=pes))
+            watts.append(model.total_watts(engine.resources, 200.0))
+        assert watts[0] < watts[1] < watts[2]
+
+    def test_custom_calibration(self):
+        calibration = PowerCalibration(static_watts=5.0, watts_per_kilo_lut=0.0)
+        model = PowerModel(calibration)
+        assert model.total_watts(ResourceEstimate(luts=1e6), 200.0) == pytest.approx(
+            5.0, abs=1e-6
+        )
+
+
+class TestFrequency:
+    def test_fmax_decreases_with_depth(self):
+        assert estimate_fmax(2).fmax_mhz > estimate_fmax(10).fmax_mhz
+
+    def test_supports(self):
+        timing = estimate_fmax(4)
+        assert timing.supports(timing.fmax_mhz - 1)
+        assert not timing.supports(timing.fmax_mhz + 1)
+
+    def test_achievable_frequency_for_engines(self):
+        engine = build_engine(EngineConfig(m=2, parallel_pes=4))
+        stages = list(engine.pe.stages.values())
+        timing = achievable_frequency(stages)
+        # A pipelined fp datapath on Virtex-7 should close 200 MHz comfortably.
+        assert timing.fmax_mhz > 100.0
+
+
+class TestBuffers:
+    @pytest.fixture()
+    def layer(self):
+        return ConvLayer("conv2_1", 64, 128, 112, 112, padding=1)
+
+    def test_sizes_positive_and_consistent(self, layer):
+        estimate = size_buffers(layer, m=4, parallel_pes=19)
+        assert estimate.total_kbits == pytest.approx(
+            estimate.image_kbits + estimate.kernel_kbits + estimate.accumulator_kbits
+        )
+        assert estimate.bram_blocks_36k > 0
+
+    def test_double_buffering_doubles_image(self, layer):
+        double = size_buffers(layer, m=4, parallel_pes=8, config=BufferConfig(double_buffered=True))
+        single = size_buffers(layer, m=4, parallel_pes=8, config=BufferConfig(double_buffered=False))
+        assert double.image_kbits == pytest.approx(2 * single.image_kbits)
+
+    def test_invalid_args(self, layer):
+        with pytest.raises(ValueError):
+            size_buffers(layer, m=0, parallel_pes=4)
+        with pytest.raises(ValueError):
+            size_buffers(layer, m=2, parallel_pes=0)
+
+    def test_as_resources(self, layer):
+        estimate = size_buffers(layer, m=2, parallel_pes=4)
+        assert estimate.as_resources().bram_kbits == pytest.approx(estimate.total_kbits)
+
+    def test_bandwidth_positive_and_scales_with_frequency(self, layer):
+        low = required_bandwidth_gbps(layer, m=4, parallel_pes=19, frequency_mhz=100)
+        high = required_bandwidth_gbps(layer, m=4, parallel_pes=19, frequency_mhz=200)
+        assert high == pytest.approx(2 * low)
+        assert low > 0
+
+    def test_bandwidth_reuse_flag(self, layer):
+        shared = required_bandwidth_gbps(layer, 4, 19, 200, reuse_input_across_kernels=True)
+        replicated = required_bandwidth_gbps(layer, 4, 19, 200, reuse_input_across_kernels=False)
+        assert replicated > shared
+
+    def test_bandwidth_invalid_frequency(self, layer):
+        with pytest.raises(ValueError):
+            required_bandwidth_gbps(layer, 2, 4, 0)

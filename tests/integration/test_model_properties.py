@@ -1,0 +1,145 @@
+"""Property-based tests (hypothesis) on the analytical model invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.complexity import (
+    implementation_transform_complexity,
+    multiplication_complexity,
+    spatial_multiplications,
+    transform_complexity,
+)
+from repro.core.throughput import ideal_throughput_gops, layer_cycles, parallel_pes
+from repro.hw.engine import EngineConfig, build_engine, max_parallel_pes
+from repro.hw.power import PowerModel
+from repro.hw.resources import ResourceEstimate
+from repro.nn import ConvLayer
+
+
+layer_strategy = st.builds(
+    ConvLayer,
+    name=st.just("prop"),
+    in_channels=st.integers(min_value=1, max_value=512),
+    out_channels=st.integers(min_value=1, max_value=512),
+    height=st.integers(min_value=7, max_value=224),
+    width=st.integers(min_value=7, max_value=224),
+    kernel_size=st.just(3),
+    padding=st.just(1),
+    batch=st.integers(min_value=1, max_value=4),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(layer=layer_strategy, m=st.integers(min_value=2, max_value=8))
+def test_winograd_always_reduces_multiplications(layer, m):
+    """Eq. (4): the element-wise stage always needs fewer multiplications than
+    spatial convolution for m >= 2 and r = 3."""
+    assert multiplication_complexity(layer, m) < spatial_multiplications(layer)
+
+
+@settings(max_examples=50, deadline=None)
+@given(layer=layer_strategy, m=st.integers(min_value=2, max_value=7))
+def test_multiplication_complexity_scales_with_workload(layer, m):
+    """Om is exactly proportional to NHWCK."""
+    single = multiplication_complexity(layer, m)
+    doubled = multiplication_complexity(layer.with_batch(layer.batch * 2), m)
+    assert doubled == pytest.approx(2 * single, rel=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    layer=layer_strategy,
+    m=st.integers(min_value=2, max_value=6),
+    pes_small=st.integers(min_value=1, max_value=8),
+    extra=st.integers(min_value=1, max_value=32),
+)
+def test_more_pes_never_increase_implementation_transform_ops(layer, m, pes_small, extra):
+    """Eq. (7): OT is non-increasing in the number of parallel PEs."""
+    few = implementation_transform_complexity(layer, m, parallel_pes=pes_small)
+    many = implementation_transform_complexity(layer, m, parallel_pes=pes_small + extra)
+    assert many <= few
+
+
+@settings(max_examples=30, deadline=None)
+@given(layer=layer_strategy, m=st.integers(min_value=2, max_value=6))
+def test_transform_complexity_positive_and_additive(layer, m):
+    total = transform_complexity(layer, m)
+    without_filter = transform_complexity(layer, m, include_filter=False)
+    assert total > 0
+    assert total >= without_filter
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    m=st.integers(min_value=1, max_value=8),
+    r=st.integers(min_value=2, max_value=5),
+    budget=st.integers(min_value=0, max_value=4096),
+)
+def test_eq8_floor_properties(m, r, budget):
+    """Eq. (8): the floored PE count never exceeds the fractional one and uses
+    no more multipliers than the budget."""
+    floored = parallel_pes(m, r, budget)
+    fractional = parallel_pes(m, r, budget, fractional=True)
+    assert floored <= fractional
+    assert floored * (m + r - 1) ** 2 <= budget
+    assert max_parallel_pes(m, r, budget) == int(floored)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    layer=layer_strategy,
+    m=st.integers(min_value=1, max_value=6),
+    pes=st.integers(min_value=1, max_value=64),
+)
+def test_eq9_latency_inverse_in_pes(layer, m, pes):
+    """Doubling the PE count halves the tile-issue cycles."""
+    single = layer_cycles(layer, m, pes)
+    double = layer_cycles(layer, m, 2 * pes)
+    assert double == pytest.approx(single / 2, rel=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    m=st.integers(min_value=1, max_value=8),
+    budget=st.integers(min_value=16, max_value=4096),
+    frequency=st.floats(min_value=50, max_value=500),
+)
+def test_eq10_ideal_throughput_monotonic_in_m_and_budget(m, budget, frequency):
+    """Ideal throughput grows with the output tile size and the budget."""
+    base = ideal_throughput_gops(m, 3, budget, frequency)
+    assert ideal_throughput_gops(m + 1, 3, budget, frequency) > base
+    assert ideal_throughput_gops(m, 3, budget * 2, frequency) == pytest.approx(
+        2 * base, rel=1e-9
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    m=st.integers(min_value=2, max_value=5),
+    pes=st.integers(min_value=1, max_value=30),
+)
+def test_engine_resources_monotonic_in_pes(m, pes):
+    """Adding PEs never reduces any resource class."""
+    small = build_engine(EngineConfig(m=m, parallel_pes=pes)).resources
+    large = build_engine(EngineConfig(m=m, parallel_pes=pes + 1)).resources
+    assert large.luts > small.luts
+    assert large.dsp_slices > small.dsp_slices
+    assert large.registers > small.registers
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    luts=st.floats(min_value=0, max_value=5e5),
+    dsps=st.integers(min_value=0, max_value=3600),
+    registers=st.floats(min_value=0, max_value=1e6),
+    frequency=st.floats(min_value=50, max_value=400),
+)
+def test_power_model_monotonic_and_above_static(luts, dsps, registers, frequency):
+    model = PowerModel()
+    resources = ResourceEstimate(luts=luts, registers=registers, dsp_slices=dsps)
+    watts = model.total_watts(resources, frequency)
+    assert watts >= model.calibration.static_watts
+    bigger = model.total_watts(
+        ResourceEstimate(luts=luts + 1000, registers=registers, dsp_slices=dsps), frequency
+    )
+    assert bigger > watts

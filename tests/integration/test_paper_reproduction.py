@@ -1,0 +1,173 @@
+"""Integration tests: the reproduction's end-to-end agreement with the paper.
+
+These tests pin the quantities the repository claims to reproduce — the exact
+Table II latency/throughput/efficiency columns, the Fig. 6 throughput sweep,
+the Fig. 1/Fig. 3 complexity trends and the abstract's headline factors — so
+any regression in the models breaks loudly.
+"""
+
+import pytest
+
+from repro import (
+    headline_claims,
+    ideal_throughput_gops,
+    multiplication_complexity,
+    performance_table,
+    resource_table,
+    vgg16_d,
+)
+from repro.baselines import FIG6_PUBLISHED_GOPS, TABLE1_PUBLISHED, TABLE2_PUBLISHED
+from repro.core import complexity_breakdown
+
+
+@pytest.fixture(scope="module")
+def network():
+    return vgg16_d()
+
+
+@pytest.fixture(scope="module")
+def table2(network):
+    return {point.name: point for point in performance_table(network)}
+
+
+NAME_MAP = {
+    "podili_asap17": "podili-asap17",
+    "podili_normalized": "podili-normalized",
+    "proposed_m2": "proposed-m2",
+    "proposed_m3": "proposed-m3",
+    "proposed_m4": "proposed-m4",
+}
+
+
+class TestTable2Reproduction:
+    @pytest.mark.parametrize("published_key", sorted(NAME_MAP))
+    def test_latency_columns_exact(self, table2, published_key):
+        published = TABLE2_PUBLISHED[published_key]
+        point = table2[NAME_MAP[published_key]]
+        for index in range(1, 6):
+            assert point.group_latency_ms[f"Conv{index}"] == pytest.approx(
+                published[f"conv{index}_ms"], abs=0.02
+            )
+        assert point.total_latency_ms == pytest.approx(
+            published["overall_latency_ms"], rel=0.005
+        )
+
+    @pytest.mark.parametrize("published_key", sorted(NAME_MAP))
+    def test_throughput_and_efficiency(self, table2, published_key):
+        published = TABLE2_PUBLISHED[published_key]
+        point = table2[NAME_MAP[published_key]]
+        assert point.throughput_gops == pytest.approx(published["throughput_gops"], rel=0.005)
+        assert point.multiplier_efficiency == pytest.approx(
+            published["multiplier_efficiency"], abs=0.02
+        )
+        assert point.multipliers == published["multipliers"]
+        assert point.parallel_pes == published["pes"]
+
+    @pytest.mark.parametrize("published_key", sorted(NAME_MAP))
+    def test_power_within_model_tolerance(self, table2, published_key):
+        """Power comes from a calibrated analytical model, not synthesis: the
+        reproduction targets the right regime (within ~2x) rather than the
+        exact wattage; the power-efficiency *ordering* against [3] is asserted
+        separately in test_headline_claims."""
+        published = TABLE2_PUBLISHED[published_key]
+        point = table2[NAME_MAP[published_key]]
+        assert published["power_w"] / 2 < point.power_watts < published["power_w"] * 2
+
+    def test_qiu_row_uses_published_values(self, table2):
+        point = table2["qiu-fpga16"]
+        published = TABLE2_PUBLISHED["qiu_fpga16"]
+        assert point.throughput_gops == published["throughput_gops"]
+        assert point.power_watts == published["power_w"]
+
+
+class TestTable1Reproduction:
+    def test_dsp_and_multiplier_columns_exact(self, network):
+        table = resource_table(network, m=4)
+        for key in ("reference_design", "proposed_design"):
+            assert table[key].resources.dsp_slices == TABLE1_PUBLISHED[key]["dsp_slices"]
+            assert table[key].multipliers == TABLE1_PUBLISHED[key]["multipliers"]
+
+    def test_lut_and_register_columns_in_regime(self, network):
+        """Modelled LUT/register counts land within 35% of the synthesis numbers
+        and preserve the proposed < reference ordering."""
+        table = resource_table(network, m=4)
+        for key in ("reference_design", "proposed_design"):
+            published = TABLE1_PUBLISHED[key]
+            assert table[key].resources.luts == pytest.approx(published["luts"], rel=0.35)
+            assert table[key].resources.registers == pytest.approx(
+                published["registers"], rel=0.6
+            )
+        assert (
+            table["proposed_design"].resources.luts < table["reference_design"].resources.luts
+        )
+
+    def test_lut_savings_match_claim(self, network):
+        table = resource_table(network, m=4)
+        savings = 1 - table["proposed_design"].resources.luts / table[
+            "reference_design"
+        ].resources.luts
+        published_savings = 1 - TABLE1_PUBLISHED["proposed_design"]["luts"] / TABLE1_PUBLISHED[
+            "reference_design"
+        ]["luts"]
+        assert savings == pytest.approx(published_savings, abs=0.1)
+
+
+class TestFig6Reproduction:
+    @pytest.mark.parametrize("method,budget", sorted(FIG6_PUBLISHED_GOPS, key=str))
+    def test_throughput_series(self, method, budget):
+        published = FIG6_PUBLISHED_GOPS[(method, budget)]
+        if method == "spatial":
+            # The paper's spatial series scales the 256-multiplier point (28
+            # PEs) linearly, while Eq. (8) re-floors each budget; the two can
+            # differ by one PE's worth (< 1%) at 1024 multipliers.
+            measured = ideal_throughput_gops(1, 3, budget, fractional_pes=False)
+            assert measured == pytest.approx(published, rel=0.02)
+        else:
+            measured = ideal_throughput_gops(method, 3, budget, fractional_pes=True)
+            assert measured == pytest.approx(published, rel=0.005)
+
+
+class TestFig1Fig3Reproduction:
+    def test_fig1_total_multiplication_series(self, network):
+        """Summed over all groups, Fig. 1's bars per m (in multiplications)."""
+        expected_totals = {
+            1: 15.346e9,  # 1.936 + 2.775 + 4.624 + 4.624 + 1.387
+            2: 6.821e9,   # 0.861 + 1.233 + 2.055 + 2.055 + 0.617
+            4: 3.837e9,   # 0.484 + 0.694 + 1.156 + 1.156 + 0.347
+            7: 2.819e9,   # 0.356 + 0.510 + 0.849 + 0.849 + 0.255
+        }
+        for m, expected in expected_totals.items():
+            assert multiplication_complexity(network, m) == pytest.approx(expected, rel=0.01)
+
+    def test_fig3_diminishing_returns_and_knee(self, network):
+        """Section III-C: multiplication savings shrink with every step of m
+        while transform overhead keeps growing, so beyond m=4/5 raising the
+        tile size stops paying off."""
+        breakdowns = {m: complexity_breakdown(network, m) for m in range(2, 8)}
+        mult_decreases = []
+        for m in range(3, 8):
+            mult_decrease = 1 - (
+                breakdowns[m].winograd_multiplications
+                / breakdowns[m - 1].winograd_multiplications
+            )
+            transform_increase = (
+                breakdowns[m].transform_ops / breakdowns[m - 1].transform_ops - 1
+            )
+            mult_decreases.append(mult_decrease)
+            # Transform work never shrinks when m grows.
+            assert transform_increase > -0.05
+            if m >= 5:
+                # Past the paper's knee the overhead growth dominates.
+                assert transform_increase > mult_decrease
+        # Diminishing returns: each step saves less than the previous one.
+        assert all(b < a for a, b in zip(mult_decreases, mult_decreases[1:]))
+
+
+class TestHeadlineClaims:
+    def test_all_claims(self, network):
+        claims = headline_claims(network)
+        assert claims.throughput_improvement == pytest.approx(4.75, abs=0.01)
+        assert claims.multiplier_ratio == pytest.approx(2.67, abs=0.01)
+        assert claims.multiplier_efficiency_best == pytest.approx(1.60, abs=0.01)
+        assert claims.power_efficiency_improvement_m2 > 1.0
+        assert claims.lut_savings_pct > 40.0

@@ -1,0 +1,97 @@
+"""Tests for the functional forward-pass runner."""
+
+import numpy as np
+import pytest
+
+from repro.nn import ConvLayer, InputSpec, Network, PoolLayer
+from repro.nn.inference import (
+    avg_pool2d,
+    generate_weights,
+    max_pool2d,
+    relu,
+    run_forward,
+)
+
+
+class TestActivationsAndPooling:
+    def test_relu(self):
+        x = np.array([-1.0, 0.0, 2.5])
+        np.testing.assert_array_equal(relu(x), [0.0, 0.0, 2.5])
+
+    def test_max_pool(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = max_pool2d(x, 2, 2)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_avg_pool(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = avg_pool2d(x, 2, 2)
+        np.testing.assert_array_equal(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+
+class TestWeights:
+    def test_deterministic(self, tiny_network):
+        first = generate_weights(tiny_network, seed=3)
+        second = generate_weights(tiny_network, seed=3)
+        for name in first:
+            np.testing.assert_array_equal(first[name], second[name])
+
+    def test_shapes(self, tiny_network):
+        weights = generate_weights(tiny_network)
+        assert weights["c1"].shape == (8, 3, 3, 3)
+        assert weights["c3"].shape == (16, 8, 3, 3)
+
+
+class TestForwardPass:
+    def test_backends_agree(self, tiny_network, rng):
+        x = rng.standard_normal(tiny_network.input_spec.shape)
+        weights = generate_weights(tiny_network, seed=1)
+        direct = run_forward(tiny_network, x, weights, backend="direct")
+        im2col = run_forward(tiny_network, x, weights, backend="im2col")
+        winograd = run_forward(tiny_network, x, weights, backend="winograd", m=4)
+        np.testing.assert_allclose(direct.output, im2col.output, atol=1e-9)
+        np.testing.assert_allclose(direct.output, winograd.output, atol=1e-8)
+
+    def test_winograd_backend_m_values(self, tiny_network, rng):
+        x = rng.standard_normal(tiny_network.input_spec.shape)
+        weights = generate_weights(tiny_network, seed=2)
+        reference = run_forward(tiny_network, x, weights, backend="direct").output
+        for m in (2, 3):
+            result = run_forward(tiny_network, x, weights, backend="winograd", m=m)
+            np.testing.assert_allclose(result.output, reference, atol=1e-8)
+
+    def test_pooling_applied(self, rng):
+        network = Network("pooled", InputSpec(1, 2, 8, 8))
+        network.add(ConvLayer("c1", 2, 4, 8, 8))
+        network.add(PoolLayer("p1", channels=4, height=8, width=8))
+        result = run_forward(network, backend="direct", seed=0)
+        assert result.output.shape == (1, 4, 4, 4)
+
+    def test_stop_after_and_layer_outputs(self, tiny_network, rng):
+        x = rng.standard_normal(tiny_network.input_spec.shape)
+        result = run_forward(
+            tiny_network, x, backend="direct", keep_layer_outputs=True, stop_after="c2"
+        )
+        assert set(result.layer_outputs) == {"c1", "c2"}
+
+    def test_unknown_backend(self, tiny_network):
+        with pytest.raises(ValueError):
+            run_forward(tiny_network, backend="fft")
+
+    def test_relu_effect(self, tiny_network, rng):
+        x = rng.standard_normal(tiny_network.input_spec.shape)
+        weights = generate_weights(tiny_network, seed=5)
+        with_relu = run_forward(tiny_network, x, weights, apply_relu=True)
+        without = run_forward(tiny_network, x, weights, apply_relu=False)
+        assert with_relu.output.min() >= 0
+        assert without.output.min() < 0
+
+    def test_strided_and_1x1_layers_fall_back(self, rng):
+        network = Network("mixed", InputSpec(1, 3, 12, 12))
+        network.add(ConvLayer("strided", 3, 4, 12, 12, stride=2, padding=1))
+        network.add(ConvLayer("pointwise", 4, 8, 6, 6, kernel_size=1, padding=0))
+        x = rng.standard_normal(network.input_spec.shape)
+        weights = generate_weights(network, seed=7)
+        direct = run_forward(network, x, weights, backend="direct")
+        winograd = run_forward(network, x, weights, backend="winograd", m=4)
+        np.testing.assert_allclose(direct.output, winograd.output, atol=1e-9)

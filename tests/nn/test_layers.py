@@ -1,0 +1,99 @@
+"""Tests for layer descriptors."""
+
+import pytest
+
+from repro.nn.layers import ConvLayer, FullyConnectedLayer, InputSpec, PoolLayer
+
+
+class TestInputSpec:
+    def test_shape(self):
+        spec = InputSpec(batch=2, channels=3, height=224, width=224)
+        assert spec.shape == (2, 3, 224, 224)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            InputSpec(batch=0)
+
+
+class TestConvLayer:
+    def test_same_padding_preserves_size(self):
+        layer = ConvLayer("c", 3, 64, 224, 224, kernel_size=3, padding=1)
+        assert layer.output_height == 224
+        assert layer.output_width == 224
+        assert layer.output_shape == (1, 64, 224, 224)
+
+    def test_valid_convolution_shrinks(self):
+        layer = ConvLayer("c", 3, 8, 32, 32, kernel_size=3, padding=0)
+        assert layer.output_height == 30
+
+    def test_stride_and_padding(self):
+        layer = ConvLayer("c", 3, 96, 227, 227, kernel_size=11, stride=4, padding=0)
+        assert layer.output_height == 55  # AlexNet conv1
+
+    def test_nhwck_vgg_conv1_1(self):
+        layer = ConvLayer("conv1_1", 3, 64, 224, 224, padding=1)
+        assert layer.nhwck == 224 * 224 * 3 * 64
+
+    def test_macs_and_flops(self):
+        layer = ConvLayer("c", 2, 4, 8, 8, padding=1)
+        assert layer.macs == layer.nhwck * 9
+        assert layer.flops == 2 * layer.macs
+
+    def test_weight_count(self):
+        layer = ConvLayer("c", 16, 32, 8, 8)
+        assert layer.weight_count == 32 * 16 * 9
+
+    def test_output_pixels_with_batch(self):
+        layer = ConvLayer("c", 3, 4, 10, 10, padding=1, batch=4)
+        assert layer.output_pixels == 4 * 10 * 10
+
+    def test_with_batch(self):
+        layer = ConvLayer("c", 3, 4, 10, 10, padding=1)
+        rebatched = layer.with_batch(8)
+        assert rebatched.batch == 8
+        assert rebatched.nhwck == 8 * layer.nhwck
+        assert layer.batch == 1  # original untouched
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"in_channels": 0},
+            {"out_channels": 0},
+            {"height": 0},
+            {"kernel_size": 0},
+            {"stride": 0},
+            {"padding": -1},
+            {"batch": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        params = dict(name="c", in_channels=3, out_channels=4, height=8, width=8)
+        params.update(kwargs)
+        with pytest.raises(ValueError):
+            ConvLayer(**params)
+
+
+class TestPoolLayer:
+    def test_output_shape(self):
+        pool = PoolLayer("p", channels=64, height=224, width=224, pool_size=2, stride=2)
+        assert pool.output_shape == (1, 64, 112, 112)
+
+    def test_flops_positive(self):
+        pool = PoolLayer("p", channels=8, height=8, width=8)
+        assert pool.flops > 0
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            PoolLayer("p", channels=8, height=8, width=8, mode="median")
+
+
+class TestFullyConnectedLayer:
+    def test_macs(self):
+        fc = FullyConnectedLayer("fc", 4096, 1000)
+        assert fc.macs == 4096 * 1000
+        assert fc.flops == 2 * fc.macs
+        assert fc.weight_count == 4096 * 1000
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            FullyConnectedLayer("fc", 0, 10)

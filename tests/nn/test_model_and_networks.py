@@ -1,0 +1,121 @@
+"""Tests for the Network container and the reference network builders."""
+
+import pytest
+
+from repro.nn import (
+    ConvLayer,
+    FullyConnectedLayer,
+    InputSpec,
+    Network,
+    PoolLayer,
+    alexnet,
+    resnet18,
+    resnet34,
+    vgg,
+    vgg16_d,
+    vgg16_group_workloads,
+)
+
+
+class TestNetworkContainer:
+    def test_add_and_iterate(self, tiny_network):
+        assert len(tiny_network) == 3
+        assert [layer.name for layer in tiny_network] == ["c1", "c2", "c3"]
+
+    def test_layer_lookup(self, tiny_network):
+        assert tiny_network.layer("c2").out_channels == 8
+        with pytest.raises(KeyError):
+            tiny_network.layer("missing")
+
+    def test_conv_groups(self, tiny_network):
+        groups = tiny_network.conv_groups()
+        assert list(groups) == ["G1", "G2"]
+        assert len(groups["G1"]) == 2
+
+    def test_totals(self, tiny_network):
+        assert tiny_network.total_conv_flops == 2 * tiny_network.total_conv_macs
+        assert tiny_network.total_conv_nhwck == sum(
+            layer.nhwck for layer in tiny_network.conv_layers
+        )
+
+    def test_uniform_kernel_size(self, tiny_network):
+        assert tiny_network.uniform_kernel_size() == 3
+
+    def test_with_batch(self, tiny_network):
+        rebatched = tiny_network.with_batch(4)
+        assert rebatched.total_conv_macs == 4 * tiny_network.total_conv_macs
+        assert rebatched.input_spec.batch == 4
+
+    def test_summary_mentions_layers(self, tiny_network):
+        text = tiny_network.summary()
+        assert "c1" in text and "total conv MACs" in text
+
+
+class TestVgg:
+    def test_vgg16_d_structure(self, vgg16):
+        convs = vgg16.conv_layers
+        assert len(convs) == 13
+        assert vgg16.uniform_kernel_size() == 3
+        assert {layer.group for layer in convs} == {f"Conv{i}" for i in range(1, 6)}
+
+    def test_vgg16_d_total_flops(self, vgg16):
+        # The well-known ~30.7 GFLOPs of VGG-16's convolutional part.
+        assert vgg16.total_conv_flops == pytest.approx(30.69e9, rel=0.01)
+
+    def test_vgg16_weights(self, vgg16):
+        # ~14.7M conv weights + ~124M fc weights.
+        assert vgg16.total_weights == pytest.approx(138.3e6, rel=0.02)
+
+    def test_group_workloads_match_paper(self):
+        workloads = vgg16_group_workloads()
+        assert workloads["Conv1"] == 224 * 224 * (3 * 64 + 64 * 64)
+        assert workloads["Conv5"] == 14 * 14 * 3 * (512 * 512)
+        assert set(workloads) == {f"Conv{i}" for i in range(1, 6)}
+
+    def test_other_configs(self):
+        assert len(vgg("A").conv_layers) == 8
+        assert len(vgg("B").conv_layers) == 10
+        assert len(vgg("E").conv_layers) == 16
+
+    def test_config_c_has_1x1(self):
+        sizes = vgg("C").kernel_sizes()
+        assert 1 in sizes and 3 in sizes
+
+    def test_unknown_config(self):
+        with pytest.raises(ValueError):
+            vgg("Z")
+
+    def test_no_classifier(self):
+        network = vgg16_d(include_classifier=False)
+        assert not any(isinstance(layer, FullyConnectedLayer) for layer in network.layers)
+
+    def test_batch_scaling(self):
+        assert vgg16_d(batch=2).total_conv_macs == 2 * vgg16_d().total_conv_macs
+
+
+class TestAlexnetResnet:
+    def test_alexnet_structure(self):
+        network = alexnet()
+        assert network.layer("conv1").kernel_size == 11
+        assert network.layer("conv3").kernel_size == 3
+        assert network.kernel_sizes() == (3, 5, 11)
+        # AlexNet conv MACs ~0.66-1.1 G depending on grouping convention.
+        assert 0.5e9 < network.total_conv_macs < 1.5e9
+
+    def test_resnet18_structure(self):
+        network = resnet18()
+        convs = network.conv_layers
+        # stem + 8 blocks x 2 convs + 3 projections = 20
+        assert len(convs) == 20
+        assert network.layer("conv1").kernel_size == 7
+        assert network.total_conv_macs == pytest.approx(1.8e9, rel=0.2)
+
+    def test_resnet34_deeper_than_18(self):
+        assert len(resnet34().conv_layers) > len(resnet18().conv_layers)
+        assert resnet34().total_conv_macs > resnet18().total_conv_macs
+
+    def test_resnet_spatial_shapes_consistent(self):
+        network = resnet18()
+        for layer in network.conv_layers:
+            assert layer.output_height >= 1
+            assert layer.output_width >= 1

@@ -1,0 +1,103 @@
+"""Tests for the reference (spatial) convolution implementations."""
+
+import numpy as np
+import pytest
+
+from repro.nn.reference import conv_output_shape, direct_conv2d, im2col, im2col_conv2d
+
+
+class TestOutputShape:
+    def test_same_padding(self):
+        assert conv_output_shape(224, 224, 3, 1, 1) == (224, 224)
+
+    def test_valid(self):
+        assert conv_output_shape(10, 8, 3) == (8, 6)
+
+    def test_stride(self):
+        assert conv_output_shape(227, 227, 11, 4, 0) == (55, 55)
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            conv_output_shape(2, 2, 5)
+
+
+class TestDirectConv:
+    def test_known_small_case(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        w = np.zeros((1, 1, 3, 3))
+        w[0, 0, 1, 1] = 2.0
+        out = direct_conv2d(x, w)
+        np.testing.assert_array_equal(out[0, 0], 2.0 * x[0, 0, 1:3, 1:3])
+
+    def test_channel_accumulation(self, rng):
+        x = rng.standard_normal((1, 3, 6, 6))
+        w = rng.standard_normal((1, 3, 3, 3))
+        out = direct_conv2d(x, w)
+        manual = sum(
+            direct_conv2d(x[:, c : c + 1], w[:, c : c + 1]) for c in range(3)
+        )
+        np.testing.assert_allclose(out, manual, atol=1e-12)
+
+    def test_stride_two(self, rng):
+        x = rng.standard_normal((1, 2, 9, 9))
+        w = rng.standard_normal((2, 2, 3, 3))
+        out = direct_conv2d(x, w, stride=2)
+        assert out.shape == (1, 2, 4, 4)
+        # Spot-check one output pixel.
+        expected = np.sum(x[0, :, 2:5, 4:7] * w[1])
+        assert out[0, 1, 1, 2] == pytest.approx(expected)
+
+    def test_batch_independence(self, rng):
+        x = rng.standard_normal((2, 2, 7, 7))
+        w = rng.standard_normal((3, 2, 3, 3))
+        out = direct_conv2d(x, w, padding=1)
+        single = direct_conv2d(x[1:], w, padding=1)
+        np.testing.assert_allclose(out[1:], single, atol=1e-12)
+
+    def test_linearity(self, rng):
+        x = rng.standard_normal((1, 2, 6, 6))
+        y = rng.standard_normal((1, 2, 6, 6))
+        w = rng.standard_normal((2, 2, 3, 3))
+        np.testing.assert_allclose(
+            direct_conv2d(x + 3 * y, w),
+            direct_conv2d(x, w) + 3 * direct_conv2d(y, w),
+            atol=1e-10,
+        )
+
+    def test_validation_errors(self, rng):
+        with pytest.raises(ValueError):
+            direct_conv2d(rng.standard_normal((1, 2, 6, 6)), rng.standard_normal((2, 3, 3, 3)))
+        with pytest.raises(ValueError):
+            direct_conv2d(rng.standard_normal((2, 6, 6)), rng.standard_normal((2, 2, 3, 3)))
+        with pytest.raises(ValueError):
+            direct_conv2d(rng.standard_normal((1, 2, 6, 6)), rng.standard_normal((2, 2, 3, 2)))
+
+
+class TestIm2col:
+    def test_shape(self, rng):
+        x = rng.standard_normal((2, 3, 8, 8))
+        cols = im2col(x, 3, padding=1)
+        assert cols.shape == (2, 3 * 9, 64)
+
+    def test_conv_agreement_with_direct(self, rng):
+        x = rng.standard_normal((2, 3, 9, 7))
+        w = rng.standard_normal((4, 3, 3, 3))
+        for padding in (0, 1):
+            np.testing.assert_allclose(
+                im2col_conv2d(x, w, padding=padding),
+                direct_conv2d(x, w, padding=padding),
+                atol=1e-10,
+            )
+
+    def test_strided_agreement(self, rng):
+        x = rng.standard_normal((1, 3, 11, 11))
+        w = rng.standard_normal((2, 3, 5, 5))
+        np.testing.assert_allclose(
+            im2col_conv2d(x, w, stride=2, padding=2),
+            direct_conv2d(x, w, stride=2, padding=2),
+            atol=1e-10,
+        )
+
+    def test_rank_validation(self, rng):
+        with pytest.raises(ValueError):
+            im2col(rng.standard_normal((3, 8, 8)), 3)

@@ -1,0 +1,53 @@
+"""Tests for workload aggregation helpers."""
+
+import pytest
+
+from repro.nn import alexnet, vgg16_d
+from repro.nn.workloads import (
+    group_workloads,
+    layer_workload,
+    network_workloads,
+    total_spatial_operations,
+    winograd_eligible_layers,
+)
+
+
+class TestLayerWorkload:
+    def test_fields(self, vgg16):
+        layer = vgg16.conv_layers[0]
+        workload = layer_workload(layer)
+        assert workload.name == "conv1_1"
+        assert workload.nhwck == layer.nhwck
+        assert workload.spatial_ops == 2 * workload.macs
+        assert workload.gops == pytest.approx(workload.spatial_ops / 1e9)
+
+
+class TestNetworkWorkloads:
+    def test_per_layer_count(self, vgg16):
+        assert len(network_workloads(vgg16)) == 13
+
+    def test_group_aggregation_matches_total(self, vgg16):
+        groups = group_workloads(vgg16)
+        assert set(groups) == {f"Conv{i}" for i in range(1, 6)}
+        assert sum(g.spatial_ops for g in groups.values()) == vgg16.total_conv_flops
+        assert sum(g.nhwck for g in groups.values()) == vgg16.total_conv_nhwck
+
+    def test_group_kernel_size_uniform(self, vgg16):
+        groups = group_workloads(vgg16)
+        assert all(g.kernel_size == 3 for g in groups.values())
+
+    def test_total_spatial_operations(self, vgg16):
+        assert total_spatial_operations(vgg16) == vgg16.total_conv_flops
+
+
+class TestEligibility:
+    def test_vgg_fully_eligible(self, vgg16):
+        assert len(winograd_eligible_layers(vgg16)) == 13
+
+    def test_alexnet_partially_eligible(self):
+        network = alexnet()
+        eligible = winograd_eligible_layers(network)
+        assert {layer.name for layer in eligible} == {"conv3", "conv4", "conv5"}
+
+    def test_other_kernel_size(self, vgg16):
+        assert winograd_eligible_layers(vgg16, r=5) == []

@@ -1,0 +1,91 @@
+"""Tests for the reporting helpers."""
+
+import pytest
+
+from repro.reporting import (
+    bar_chart,
+    format_comparison,
+    format_ratio,
+    format_table,
+    grouped_series,
+    rows_to_csv,
+)
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        rows = [{"name": "a", "value": 1.234}, {"name": "b", "value": 10}]
+        text = format_table(rows, title="demo")
+        assert "demo" in text
+        assert "1.23" in text
+        assert "10" in text
+        assert text.count("\n") >= 4
+
+    def test_column_selection_and_missing(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["a", "c"])
+        assert "b" not in text.splitlines()[0]
+
+    def test_empty(self):
+        assert format_table([], title="empty") == "empty"
+
+    def test_nan_rendered_as_dash(self):
+        text = format_table([{"x": float("nan")}])
+        assert "-" in text
+
+    def test_large_numbers_have_separators(self):
+        text = format_table([{"luts": 232256.0}])
+        assert "232,256" in text
+
+
+class TestCsv:
+    def test_roundtrip(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        text = rows_to_csv(rows)
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,x"
+
+    def test_empty(self):
+        assert rows_to_csv([]) == ""
+
+
+class TestComparison:
+    def test_format_ratio(self):
+        text = format_ratio(2.0, 1.0)
+        assert "x2.00" in text
+
+    def test_format_ratio_zero_published(self):
+        assert "paper" in format_ratio(1.5, 0.0)
+
+    def test_format_comparison(self):
+        text = format_comparison({"throughput": 1094.0}, {"throughput": 1094.3}, title="T2")
+        assert "T2" in text
+        assert "1.00" in text
+
+    def test_missing_published_value(self):
+        text = format_comparison({"extra": 5.0}, {})
+        assert "extra" in text
+
+
+class TestCharts:
+    def test_bar_chart(self):
+        text = bar_chart({"a": 1.0, "bb": 2.0}, title="chart", unit=" G")
+        assert "chart" in text
+        assert "#" in text
+        assert "bb" in text
+
+    def test_bar_chart_empty(self):
+        assert bar_chart({}, title="none") == "none"
+
+    def test_bar_chart_zero_values(self):
+        text = bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in text
+
+    def test_grouped_series(self):
+        text = grouped_series({"s1": {"x": 1.0}, "s2": {"x": 3.0}}, title="fig")
+        assert "[s1]" in text and "[s2]" in text
+        assert "fig" in text
+
+    def test_grouped_series_empty(self):
+        assert grouped_series({}, title="t") == "t"

@@ -1,0 +1,140 @@
+"""Tests for the cycle-level engine simulator."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import ConvLayer
+from repro.nn.reference import direct_conv2d
+from repro.sim.engine_sim import EngineSimConfig, WinogradEngineSim
+from repro.sim.validation import validate_configuration, validate_layer
+
+
+class TestConfig:
+    def test_derived_quantities(self):
+        config = EngineSimConfig(m=4, r=3, parallel_pes=19)
+        assert config.multipliers_per_pe == 36
+        assert config.total_multipliers == 684
+        assert config.pipeline_depth == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EngineSimConfig(m=0)
+        with pytest.raises(ValueError):
+            EngineSimConfig(m=2, parallel_pes=0)
+        with pytest.raises(ValueError):
+            EngineSimConfig(m=2, frequency_mhz=0)
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    def test_matches_direct_conv(self, m, rng):
+        layer = ConvLayer("l", in_channels=3, out_channels=5, height=12, width=10, padding=1)
+        x = rng.standard_normal((1, 3, 12, 10))
+        w = rng.standard_normal((5, 3, 3, 3))
+        sim = WinogradEngineSim(EngineSimConfig(m=m, parallel_pes=2))
+        result = sim.run_layer(layer, x, w)
+        np.testing.assert_allclose(result.output, direct_conv2d(x, w, padding=1), atol=1e-9)
+
+    def test_multiple_kernel_passes(self, rng):
+        """K > P forces several passes over the feature map."""
+        layer = ConvLayer("l", in_channels=2, out_channels=7, height=8, width=8, padding=1)
+        x = rng.standard_normal((1, 2, 8, 8))
+        w = rng.standard_normal((7, 2, 3, 3))
+        sim = WinogradEngineSim(EngineSimConfig(m=2, parallel_pes=3))
+        result = sim.run_layer(layer, x, w)
+        np.testing.assert_allclose(result.output, direct_conv2d(x, w, padding=1), atol=1e-10)
+        assert result.stats.kernel_passes == 3
+
+    def test_batched_input(self, rng):
+        layer = ConvLayer("l", in_channels=2, out_channels=4, height=8, width=8, padding=1, batch=2)
+        x = rng.standard_normal((2, 2, 8, 8))
+        w = rng.standard_normal((4, 2, 3, 3))
+        sim = WinogradEngineSim(EngineSimConfig(m=3, parallel_pes=4))
+        result = sim.run_layer(layer, x, w)
+        np.testing.assert_allclose(result.output, direct_conv2d(x, w, padding=1), atol=1e-9)
+
+    def test_no_padding(self, rng):
+        layer = ConvLayer("l", in_channels=2, out_channels=2, height=10, width=10, padding=0)
+        x = rng.standard_normal((1, 2, 10, 10))
+        w = rng.standard_normal((2, 2, 3, 3))
+        sim = WinogradEngineSim(EngineSimConfig(m=4, parallel_pes=2))
+        result = sim.run_layer(layer, x, w)
+        np.testing.assert_allclose(result.output, direct_conv2d(x, w, padding=0), atol=1e-9)
+
+
+class TestTiming:
+    def test_cycles_match_analytical(self, rng):
+        layer = ConvLayer("l", in_channels=4, out_channels=8, height=16, width=16, padding=1)
+        x = rng.standard_normal((1, 4, 16, 16))
+        w = rng.standard_normal((8, 4, 3, 3))
+        config = EngineSimConfig(m=2, parallel_pes=4)
+        sim = WinogradEngineSim(config)
+        result = sim.run_layer(layer, x, w, functional=False)
+        assert result.stats.cycles == sim.analytical_cycles(layer)
+
+    def test_timing_only_mode_skips_values(self, rng):
+        layer = ConvLayer("l", in_channels=2, out_channels=2, height=8, width=8, padding=1)
+        x = rng.standard_normal((1, 2, 8, 8))
+        w = rng.standard_normal((2, 2, 3, 3))
+        sim = WinogradEngineSim(EngineSimConfig(m=2, parallel_pes=2))
+        result = sim.run_layer(layer, x, w, functional=False)
+        assert np.all(result.output == 0)
+        assert result.stats.cycles > 0
+
+    def test_latency_ms(self, rng):
+        layer = ConvLayer("l", in_channels=1, out_channels=1, height=6, width=6, padding=1)
+        x = rng.standard_normal((1, 1, 6, 6))
+        w = rng.standard_normal((1, 1, 3, 3))
+        config = EngineSimConfig(m=2, parallel_pes=1, frequency_mhz=100.0)
+        result = WinogradEngineSim(config).run_layer(layer, x, w)
+        assert result.latency_ms() == pytest.approx(result.stats.cycles * 1e-5, rel=1e-9)
+
+    def test_more_pes_fewer_cycles(self, rng):
+        layer = ConvLayer("l", in_channels=2, out_channels=8, height=12, width=12, padding=1)
+        x = rng.standard_normal((1, 2, 12, 12))
+        w = rng.standard_normal((8, 2, 3, 3))
+        few = WinogradEngineSim(EngineSimConfig(m=2, parallel_pes=2)).run_layer(layer, x, w)
+        many = WinogradEngineSim(EngineSimConfig(m=2, parallel_pes=8)).run_layer(layer, x, w)
+        assert many.stats.cycles < few.stats.cycles
+
+    def test_issue_rate_near_one(self, rng):
+        layer = ConvLayer("l", in_channels=4, out_channels=4, height=16, width=16, padding=1)
+        x = rng.standard_normal((1, 4, 16, 16))
+        w = rng.standard_normal((4, 4, 3, 3))
+        result = WinogradEngineSim(EngineSimConfig(m=2, parallel_pes=4)).run_layer(layer, x, w)
+        assert 0.9 < result.stats.effective_issue_rate <= 1.0
+
+
+class TestInputValidation:
+    def test_shape_mismatch_rejected(self, rng):
+        layer = ConvLayer("l", in_channels=2, out_channels=2, height=8, width=8, padding=1)
+        sim = WinogradEngineSim(EngineSimConfig(m=2, parallel_pes=2))
+        with pytest.raises(ValueError):
+            sim.run_layer(layer, rng.standard_normal((1, 3, 8, 8)), rng.standard_normal((2, 2, 3, 3)))
+        with pytest.raises(ValueError):
+            sim.run_layer(layer, rng.standard_normal((1, 2, 8, 8)), rng.standard_normal((2, 3, 3, 3)))
+
+    def test_strided_layer_rejected(self, rng):
+        layer = ConvLayer("l", in_channels=2, out_channels=2, height=8, width=8, padding=1, stride=2)
+        sim = WinogradEngineSim(EngineSimConfig(m=2, parallel_pes=2))
+        with pytest.raises(ValueError):
+            sim.run_layer(layer, rng.standard_normal((1, 2, 8, 8)), rng.standard_normal((2, 2, 3, 3)))
+
+
+class TestValidationHelpers:
+    def test_validate_layer(self, small_layer):
+        config = EngineSimConfig(m=2, parallel_pes=3)
+        validation = validate_layer(small_layer, config)
+        assert validation.numerically_correct
+        assert validation.cycle_error_pct < 1.0
+
+    def test_validate_configuration_defaults(self):
+        results = validate_configuration(EngineSimConfig(m=3, parallel_pes=4))
+        assert len(results) == 3
+        assert all(result.numerically_correct for result in results)
+        assert all(result.cycle_error_pct < 1.0 for result in results)
+
+    def test_timing_only_validation(self, small_layer):
+        validation = validate_layer(small_layer, EngineSimConfig(m=2, parallel_pes=2), functional=False)
+        assert validation.max_abs_error == 0.0
+        assert validation.numerically_correct

@@ -1,0 +1,87 @@
+"""Tests for the generic pipeline kernel."""
+
+import pytest
+
+from repro.sim.pipeline import Pipeline, PipelineStage
+
+
+class TestPipelineStage:
+    def test_latency_validation(self):
+        with pytest.raises(ValueError):
+            PipelineStage("bad", latency=0)
+
+    def test_retire_after_latency(self):
+        stage = PipelineStage("s", latency=3)
+        stage.accept(0, "token")
+        assert stage.retire(2) == []
+        assert stage.retire(3) == ["token"]
+        assert stage.occupancy == 0
+
+    def test_transform_applied(self):
+        stage = PipelineStage("s", latency=1, transform=lambda token: token * 2)
+        stage.accept(0, 21)
+        assert stage.retire(1) == [42]
+
+
+class TestPipeline:
+    def test_requires_stages(self):
+        with pytest.raises(ValueError):
+            Pipeline([])
+
+    def test_depth(self):
+        pipeline = Pipeline([PipelineStage("a", 2), PipelineStage("b", 3)])
+        assert pipeline.depth == 5
+
+    def test_single_token_latency(self):
+        pipeline = Pipeline([PipelineStage("a", 2), PipelineStage("b", 3)])
+        pipeline.push("x")
+        completions = []
+        for _ in range(10):
+            completions.extend(pipeline.tick())
+            if completions:
+                break
+        assert completions == ["x"]
+        assert pipeline.cycle == pipeline.depth
+
+    def test_throughput_one_per_cycle(self):
+        pipeline = Pipeline([PipelineStage("a", 1), PipelineStage("b", 2)])
+        tokens = list(range(20))
+        completed = []
+        for token in tokens:
+            pipeline.push(token)
+            completed.extend(pipeline.tick())
+        completed.extend(pipeline.drain())
+        assert completed == tokens
+        # Total cycles = issue cycles + Dp - 1, exactly Eq. (9)'s fill term.
+        assert pipeline.cycle == len(tokens) + pipeline.depth - 1
+
+    def test_order_preserved(self):
+        pipeline = Pipeline([PipelineStage("a", 3)])
+        completed = []
+        for token in "abcdef":
+            pipeline.push(token)
+            completed.extend(pipeline.tick())
+        completed.extend(pipeline.drain())
+        assert "".join(completed) == "abcdef"
+
+    def test_in_flight_accounting(self):
+        pipeline = Pipeline([PipelineStage("a", 2), PipelineStage("b", 2)])
+        pipeline.push(1)
+        pipeline.tick()
+        pipeline.push(2)
+        assert pipeline.in_flight == 2
+        pipeline.drain()
+        assert pipeline.in_flight == 0
+
+    def test_stage_transforms_chain(self):
+        pipeline = Pipeline(
+            [
+                PipelineStage("double", 1, transform=lambda value: value * 2),
+                PipelineStage("inc", 1, transform=lambda value: value + 1),
+            ]
+        )
+        pipeline.push(5)
+        result = []
+        for _ in range(5):
+            result.extend(pipeline.tick())
+        assert result == [11]

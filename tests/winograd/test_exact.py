@@ -1,0 +1,106 @@
+"""Tests for the exact rational linear algebra helpers."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.winograd import exact
+
+
+class TestAsFraction:
+    def test_int(self):
+        assert exact.as_fraction(3) == Fraction(3)
+
+    def test_fraction_passthrough(self):
+        value = Fraction(2, 3)
+        assert exact.as_fraction(value) is value or exact.as_fraction(value) == value
+
+    def test_string(self):
+        assert exact.as_fraction("1/6") == Fraction(1, 6)
+
+    def test_exact_float(self):
+        assert exact.as_fraction(0.5) == Fraction(1, 2)
+        assert exact.as_fraction(-0.25) == Fraction(-1, 4)
+
+    def test_inexact_float_rejected(self):
+        with pytest.raises(ValueError):
+            exact.as_fraction(0.1)
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            exact.as_fraction(object())
+
+
+class TestMatrixOps:
+    def test_fraction_matrix_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            exact.fraction_matrix([[1, 2], [3]])
+
+    def test_fraction_matrix_empty_rejected(self):
+        with pytest.raises(ValueError):
+            exact.fraction_matrix([])
+
+    def test_identity(self):
+        eye = exact.identity(3)
+        assert eye[0] == [1, 0, 0]
+        assert eye[2][2] == Fraction(1)
+
+    def test_matmul_known(self):
+        a = exact.fraction_matrix([[1, 2], [3, 4]])
+        b = exact.fraction_matrix([[5, 6], [7, 8]])
+        assert exact.matmul(a, b) == exact.fraction_matrix([[19, 22], [43, 50]])
+
+    def test_matmul_shape_mismatch(self):
+        a = exact.fraction_matrix([[1, 2]])
+        with pytest.raises(ValueError):
+            exact.matmul(a, a)
+
+    def test_transpose(self):
+        a = exact.fraction_matrix([[1, 2, 3], [4, 5, 6]])
+        assert exact.transpose(a) == exact.fraction_matrix([[1, 4], [2, 5], [3, 6]])
+
+    def test_inverse_identity_property(self):
+        a = exact.fraction_matrix([[2, 1, 0], [1, 3, 1], [0, 1, 4]])
+        inv = exact.inverse(a)
+        assert exact.matmul(a, inv) == exact.identity(3)
+
+    def test_inverse_exact_fractions(self):
+        a = exact.fraction_matrix([[1, Fraction(1, 2)], [0, Fraction(1, 3)]])
+        inv = exact.inverse(a)
+        assert exact.matmul(inv, a) == exact.identity(2)
+
+    def test_inverse_singular(self):
+        singular = exact.fraction_matrix([[1, 2], [2, 4]])
+        with pytest.raises(ValueError):
+            exact.inverse(singular)
+
+    def test_inverse_non_square(self):
+        with pytest.raises(ValueError):
+            exact.inverse(exact.fraction_matrix([[1, 2, 3], [4, 5, 6]]))
+
+    def test_inverse_requires_pivoting(self):
+        # Leading zero forces a row swap.
+        a = exact.fraction_matrix([[0, 1], [1, 0]])
+        assert exact.inverse(a) == exact.fraction_matrix([[0, 1], [1, 0]])
+
+    def test_to_numpy_roundtrip(self):
+        a = exact.fraction_matrix([[1, Fraction(1, 2)], [Fraction(-3, 4), 2]])
+        array = exact.to_numpy(a)
+        assert array.dtype == np.float64
+        back = exact.from_numpy(np.array([[1.0, 0.5], [-0.75, 2.0]]))
+        assert back == a
+
+
+class TestPowerOfTwo:
+    @pytest.mark.parametrize(
+        "value", [Fraction(1), Fraction(2), Fraction(-4), Fraction(1, 8), Fraction(-1, 2)]
+    )
+    def test_true_cases(self, value):
+        assert exact.is_power_of_two_fraction(value)
+
+    @pytest.mark.parametrize(
+        "value", [Fraction(0), Fraction(3), Fraction(1, 6), Fraction(5, 8), Fraction(-7)]
+    )
+    def test_false_cases(self, value):
+        assert not exact.is_power_of_two_fraction(value)

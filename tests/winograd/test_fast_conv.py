@@ -1,0 +1,120 @@
+"""Tests for the tiled Winograd convolution against the spatial reference."""
+
+import numpy as np
+import pytest
+
+from repro.nn.reference import direct_conv2d, im2col_conv2d
+from repro.winograd.fast_conv import WinogradConv2D, winograd_conv2d, winograd_correlate_1d
+
+
+class TestCorrelate1D:
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    def test_matches_numpy_correlate(self, m, rng):
+        signal = rng.standard_normal(37)
+        taps = rng.standard_normal(3)
+        fast = winograd_correlate_1d(signal, taps, m=m)
+        reference = np.correlate(signal, taps, mode="valid")
+        np.testing.assert_allclose(fast, reference, atol=1e-9)
+
+    def test_length_not_multiple_of_m(self, rng):
+        signal = rng.standard_normal(11)
+        taps = rng.standard_normal(3)
+        fast = winograd_correlate_1d(signal, taps, m=4)
+        np.testing.assert_allclose(fast, np.correlate(signal, taps, mode="valid"), atol=1e-9)
+
+    def test_rejects_2d_input(self, rng):
+        with pytest.raises(ValueError):
+            winograd_correlate_1d(rng.standard_normal((3, 3)), rng.standard_normal(3), m=2)
+
+    def test_taps_longer_than_signal(self, rng):
+        with pytest.raises(ValueError):
+            winograd_correlate_1d(rng.standard_normal(2), rng.standard_normal(3), m=2)
+
+
+class TestConv2D:
+    @pytest.mark.parametrize("m", [2, 3, 4, 6])
+    @pytest.mark.parametrize("padding", [0, 1])
+    def test_matches_direct(self, m, padding, rng):
+        x = rng.standard_normal((2, 3, 13, 11))
+        w = rng.standard_normal((5, 3, 3, 3))
+        fast = winograd_conv2d(x, w, m=m, padding=padding)
+        reference = direct_conv2d(x, w, padding=padding)
+        assert fast.shape == reference.shape
+        np.testing.assert_allclose(fast, reference, atol=1e-9)
+
+    def test_matches_im2col(self, rng):
+        x = rng.standard_normal((1, 4, 10, 10))
+        w = rng.standard_normal((2, 4, 3, 3))
+        np.testing.assert_allclose(
+            winograd_conv2d(x, w, m=4, padding=1),
+            im2col_conv2d(x, w, padding=1),
+            atol=1e-9,
+        )
+
+    def test_5x5_kernel(self, rng):
+        x = rng.standard_normal((1, 2, 12, 12))
+        w = rng.standard_normal((3, 2, 5, 5))
+        np.testing.assert_allclose(
+            winograd_conv2d(x, w, m=2, padding=2),
+            direct_conv2d(x, w, padding=2),
+            atol=1e-8,
+        )
+
+    def test_generated_transform_path(self, rng):
+        # m=5 has no canonical matrices, exercising the generated fallback.
+        x = rng.standard_normal((1, 2, 12, 12))
+        w = rng.standard_normal((2, 2, 3, 3))
+        np.testing.assert_allclose(
+            winograd_conv2d(x, w, m=5, padding=1),
+            direct_conv2d(x, w, padding=1),
+            atol=1e-8,
+        )
+
+    def test_prefer_canonical_false(self, rng):
+        x = rng.standard_normal((1, 1, 8, 8))
+        w = rng.standard_normal((1, 1, 3, 3))
+        np.testing.assert_allclose(
+            winograd_conv2d(x, w, m=2, padding=1, prefer_canonical=False),
+            direct_conv2d(x, w, padding=1),
+            atol=1e-9,
+        )
+
+    def test_channel_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            winograd_conv2d(
+                rng.standard_normal((1, 3, 8, 8)), rng.standard_normal((2, 4, 3, 3)), m=2
+            )
+
+    def test_bad_kernel_rank_rejected(self, rng):
+        with pytest.raises(ValueError):
+            winograd_conv2d(rng.standard_normal((1, 3, 8, 8)), rng.standard_normal((3, 3, 3)), m=2)
+
+    def test_non_square_kernel_rejected(self, rng):
+        with pytest.raises(ValueError):
+            winograd_conv2d(
+                rng.standard_normal((1, 1, 8, 8)), rng.standard_normal((1, 1, 3, 2)), m=2
+            )
+
+    def test_bad_feature_map_rank_rejected(self, rng):
+        op = WinogradConv2D(m=2)
+        with pytest.raises(ValueError):
+            op(rng.standard_normal((3, 8, 8)), rng.standard_normal((1, 3, 3, 3)))
+
+
+class TestPreparedFilters:
+    def test_prepare_and_reuse(self, rng):
+        op = WinogradConv2D(m=3, r=3)
+        x = rng.standard_normal((1, 3, 9, 9))
+        w = rng.standard_normal((4, 3, 3, 3))
+        prepared = op.prepare_filters(w)
+        assert prepared.shape == (4, 3, 5, 5)
+        np.testing.assert_allclose(
+            op(x, w, padding=1),
+            op(x, None, padding=1, transformed_filters=prepared),
+            atol=1e-12,
+        )
+
+    def test_prepare_rejects_bad_shape(self, rng):
+        op = WinogradConv2D(m=2, r=3)
+        with pytest.raises(ValueError):
+            op.prepare_filters(rng.standard_normal((4, 3, 5, 5)))

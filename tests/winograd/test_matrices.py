@@ -1,0 +1,73 @@
+"""Tests for the canonical transform registry."""
+
+import numpy as np
+import pytest
+
+from repro.winograd.matrices import (
+    available_canonical,
+    canonical_f23,
+    canonical_f43,
+    canonical_f63,
+    clear_cache,
+    get_transform,
+)
+
+
+class TestCanonicalMatrices:
+    @pytest.mark.parametrize("builder", [canonical_f23, canonical_f43, canonical_f63])
+    def test_canonical_transforms_verify(self, builder):
+        assert builder().verify_exact()
+
+    def test_f23_matches_lavin_values(self):
+        transform = canonical_f23()
+        np.testing.assert_array_equal(
+            transform.BT,
+            np.array([[1, 0, -1, 0], [0, 1, 1, 0], [0, -1, 1, 0], [0, 1, 0, -1]], dtype=float),
+        )
+        np.testing.assert_allclose(transform.G[1], [0.5, 0.5, 0.5])
+
+    def test_f43_shapes(self):
+        transform = canonical_f43()
+        assert transform.AT.shape == (4, 6)
+        assert transform.G.shape == (6, 3)
+        assert transform.BT.shape == (6, 6)
+
+    def test_available_canonical(self):
+        assert (2, 3) in available_canonical()
+        assert (4, 3) in available_canonical()
+        assert (6, 3) in available_canonical()
+
+
+class TestRegistry:
+    def test_prefers_canonical(self):
+        transform = get_transform(2, 3)
+        assert transform.label.startswith("lavin")
+
+    def test_fallback_to_generated(self):
+        transform = get_transform(5, 3)
+        assert transform.label == "generated"
+        assert transform.verify_exact()
+
+    def test_generated_when_not_preferring_canonical(self):
+        transform = get_transform(2, 3, prefer_canonical=False)
+        assert transform.label == "generated"
+
+    def test_cache_returns_same_object(self):
+        clear_cache()
+        first = get_transform(3, 3)
+        second = get_transform(3, 3)
+        assert first is second
+
+    def test_clear_cache(self):
+        first = get_transform(3, 3)
+        clear_cache()
+        second = get_transform(3, 3)
+        assert first is not second
+        assert first.m == second.m
+
+    @pytest.mark.parametrize("m", [2, 3, 4, 5, 6, 7])
+    def test_all_paper_tile_sizes_available(self, m):
+        transform = get_transform(m, 3)
+        assert transform.m == m
+        assert transform.r == 3
+        assert transform.verify_exact()

@@ -1,0 +1,47 @@
+"""Tests for the numerical-accuracy analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.winograd.numerical import ErrorStats, conv_error, error_sweep, tile_error
+
+
+class TestTileError:
+    def test_float64_is_tiny(self):
+        stats = tile_error(2, 3, dtype=np.float64, trials=8)
+        assert stats.max_rel < 1e-12
+        assert stats.acceptable()
+
+    def test_float32_reasonable(self):
+        stats = tile_error(4, 3, dtype=np.float32, trials=8)
+        assert stats.max_rel < 1e-3
+        assert stats.dtype == "float32"
+
+    def test_error_grows_with_m(self):
+        small = tile_error(2, 3, dtype=np.float32, trials=16, seed=1)
+        large = tile_error(7, 3, dtype=np.float32, trials=16, seed=1)
+        assert large.max_abs >= small.max_abs
+
+    def test_fields_consistent(self):
+        stats = tile_error(3, 3, trials=4)
+        assert stats.m == 3 and stats.r == 3
+        assert stats.mean_abs <= stats.max_abs
+
+
+class TestConvError:
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    def test_full_conv_error_small(self, m):
+        stats = conv_error(m, channels=3, kernels=3, height=12, width=12)
+        assert stats.max_rel < 1e-9
+
+    def test_acceptable_threshold(self):
+        stats = ErrorStats(m=2, r=3, dtype="float32", max_abs=1.0, mean_abs=0.1, max_rel=1e-4)
+        assert stats.acceptable(1e-3)
+        assert not stats.acceptable(1e-5)
+
+
+class TestErrorSweep:
+    def test_sweep_length_and_order(self):
+        sweep = error_sweep([2, 4, 6], trials=4)
+        assert [stats.m for stats in sweep] == [2, 4, 6]
+        assert all(stats.r == 3 for stats in sweep)

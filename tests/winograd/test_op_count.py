@@ -1,0 +1,122 @@
+"""Tests for transform operator counting (beta / gamma / delta)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.winograd.matrices import get_transform
+from repro.winograd.op_count import (
+    OpCount,
+    count_transform_ops,
+    count_transform_ops_for,
+    matvec_ops,
+    nested_2d_ops,
+    spatial_tile_ops,
+)
+
+
+class TestOpCount:
+    def test_addition_and_scaling(self):
+        a = OpCount(additions=3, shift_multiplications=1)
+        b = OpCount(additions=2, constant_multiplications=4, general_multiplications=1)
+        total = a + b
+        assert total.additions == 5
+        assert total.constant_multiplications == 4
+        assert total.flops == 5 + 1 + 4 + 1
+        assert total.cheap_ops == 6
+        assert total.multiplier_ops == 5
+        doubled = total.scaled(2)
+        assert doubled.flops == 2 * total.flops
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            OpCount(additions=1).scaled(-1)
+
+
+class TestMatvecOps:
+    def test_identity_matrix_costs_nothing(self):
+        eye = [[Fraction(1), Fraction(0)], [Fraction(0), Fraction(1)]]
+        ops = matvec_ops(eye)
+        assert ops.flops == 0
+
+    def test_dense_unit_matrix(self):
+        matrix = [[Fraction(1), Fraction(-1), Fraction(1)]]
+        ops = matvec_ops(matrix)
+        assert ops.additions == 2
+        assert ops.shift_multiplications == 0
+        assert ops.constant_multiplications == 0
+
+    def test_shift_and_general_classification(self):
+        matrix = [[Fraction(2), Fraction(1, 2), Fraction(1, 6), Fraction(5)]]
+        ops = matvec_ops(matrix)
+        assert ops.additions == 3
+        assert ops.shift_multiplications == 2  # 2 and 1/2
+        assert ops.constant_multiplications == 2  # 1/6 and 5
+
+    def test_f23_data_transform_matches_lavin(self):
+        # B^T of F(2,3) needs 4 adds per 1-D application, hence 32 FLOPs in 2-D.
+        transform = get_transform(2, 3)
+        ops = matvec_ops(transform.bt_exact)
+        assert ops.flops == 4
+        assert nested_2d_ops(transform.bt_exact, transform.n).flops == 32
+
+
+class TestTransformCounts:
+    @pytest.mark.parametrize("m", [2, 3, 4, 5, 6, 7])
+    def test_counts_positive_and_consistent(self, m):
+        counts = count_transform_ops(m, 3)
+        assert counts.beta > 0
+        assert counts.gamma > 0
+        assert counts.delta > 0
+        assert counts.multiplications == (m + 2) ** 2
+        assert counts.transform_flops == counts.beta + counts.gamma + counts.delta
+        assert counts.outputs_per_tile == m * m
+
+    def test_f23_known_values(self):
+        counts = count_transform_ops(2, 3)
+        assert counts.beta == 32   # Lavin's data-transform FLOP count
+        assert counts.delta == 24  # Lavin's inverse-transform FLOP count
+        assert counts.multiplications == 16
+
+    def test_transform_flops_grow_with_m(self):
+        totals = [count_transform_ops(m, 3).transform_flops for m in range(2, 8)]
+        assert all(later > earlier for earlier, later in zip(totals, totals[1:]))
+
+    def test_normalised_transform_cost_grows(self):
+        """Per-output transform cost (beta+delta)/m^2 grows from m=2 to m=7 (Fig. 2).
+
+        The trend need not be strictly monotonic between adjacent m (published
+        canonical matrices are better optimised than generated ones), but the
+        overall quadratic growth the paper reports must be visible.
+        """
+        per_output = [
+            (count_transform_ops(m, 3).beta + count_transform_ops(m, 3).delta) / (m * m)
+            for m in range(2, 8)
+        ]
+        assert per_output[-1] > per_output[0]
+        assert per_output[-1] > 2 * per_output[0]
+        assert all(value > 0 for value in per_output)
+
+    def test_count_for_explicit_transform(self):
+        transform = get_transform(4, 3)
+        counts = count_transform_ops_for(transform)
+        assert counts.m == 4 and counts.r == 3
+        assert counts.beta == count_transform_ops(4, 3).beta
+
+    def test_generated_vs_canonical_counts_differ_or_match(self):
+        canonical = count_transform_ops(4, 3, prefer_canonical=True)
+        generated = count_transform_ops(4, 3, prefer_canonical=False)
+        # Both must be valid transform op counts for the same multiplication count.
+        assert canonical.multiplications == generated.multiplications == 36
+
+
+class TestSpatialTileOps:
+    def test_values(self):
+        mults, adds = spatial_tile_ops(2, 3)
+        assert mults == 4 * 9
+        assert adds == 4 * 8
+
+    def test_m1(self):
+        mults, adds = spatial_tile_ops(1, 3)
+        assert mults == 9
+        assert adds == 8

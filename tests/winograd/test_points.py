@@ -1,0 +1,78 @@
+"""Tests for interpolation-point selection."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.winograd.points import (
+    POINT_STRATEGIES,
+    chebyshev_like_points,
+    default_points,
+    integer_points,
+    validate_points,
+)
+
+
+class TestDefaultPoints:
+    def test_first_points_are_canonical(self):
+        assert default_points(3) == [Fraction(0), Fraction(1), Fraction(-1)]
+
+    def test_longer_sequence_contains_halves(self):
+        points = default_points(7)
+        assert Fraction(1, 2) in points and Fraction(-1, 2) in points
+
+    def test_all_distinct(self):
+        points = default_points(12)
+        assert len(set(points)) == 12
+
+    def test_zero_count(self):
+        assert default_points(0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            default_points(-1)
+
+
+class TestIntegerPoints:
+    def test_values(self):
+        assert integer_points(5) == [Fraction(0), Fraction(1), Fraction(-1), Fraction(2), Fraction(-2)]
+
+    def test_distinct(self):
+        points = integer_points(9)
+        assert len(set(points)) == 9
+
+    def test_all_integers(self):
+        assert all(point.denominator == 1 for point in integer_points(8))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            integer_points(-2)
+
+
+class TestChebyshevLikePoints:
+    def test_distinct_and_bounded(self):
+        points = chebyshev_like_points(7)
+        assert len(set(points)) == 7
+        assert all(abs(point) <= 1 for point in points)
+
+    def test_zero_count(self):
+        assert chebyshev_like_points(0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            chebyshev_like_points(-1)
+
+
+class TestValidation:
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            validate_points([Fraction(0), Fraction(1), Fraction(1)])
+
+    def test_passthrough(self):
+        points = [Fraction(0), Fraction(2)]
+        assert validate_points(points) == points
+
+    def test_strategies_registry(self):
+        assert set(POINT_STRATEGIES) == {"canonical", "integer", "chebyshev"}
+        for strategy in POINT_STRATEGIES.values():
+            assert len(strategy(4)) == 4

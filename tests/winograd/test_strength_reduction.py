@@ -1,0 +1,108 @@
+"""Tests for CSD strength reduction and constant-multiplication networks."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.winograd.matrices import get_transform
+from repro.winograd.strength_reduction import (
+    constant_cost,
+    csd_digits,
+    matvec_network,
+)
+
+
+class TestCsdDigits:
+    @pytest.mark.parametrize(
+        "value,expected_nonzero",
+        [(0, 0), (1, 1), (2, 1), (3, 2), (5, 2), (7, 2), (15, 2), (21, 3), (255, 2)],
+    )
+    def test_nonzero_digit_count(self, value, expected_nonzero):
+        digits = csd_digits(value)
+        assert sum(1 for digit in digits if digit) == expected_nonzero
+
+    @pytest.mark.parametrize("value", [0, 1, 2, 3, 5, 7, 11, 21, 100, 255, 1023])
+    def test_reconstruction(self, value):
+        digits = csd_digits(value)
+        assert sum(digit * (1 << i) for i, digit in enumerate(digits)) == value
+
+    @pytest.mark.parametrize("value", [3, 7, 11, 23, 47, 255])
+    def test_no_adjacent_nonzero_digits(self, value):
+        digits = csd_digits(value)
+        for first, second in zip(digits, digits[1:]):
+            assert not (first != 0 and second != 0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            csd_digits(-1)
+
+
+class TestConstantCost:
+    def test_trivial_constants_free(self):
+        for value in (Fraction(0), Fraction(1), Fraction(-1)):
+            cost = constant_cost(value)
+            assert cost.is_trivial
+            assert cost.adders == 0 and not cost.needs_multiplier
+
+    def test_power_of_two_is_shift(self):
+        cost = constant_cost(Fraction(4))
+        assert cost.adders == 0
+        assert cost.shifts == 1
+        assert not cost.needs_multiplier
+
+    def test_dyadic_composite(self):
+        cost = constant_cost(Fraction(5))  # 4 + 1 -> one adder
+        assert cost.adders == 1
+        assert not cost.needs_multiplier
+        cost = constant_cost(Fraction(21, 4))  # 16 + 4 + 1 scaled by 1/4
+        assert cost.adders == 2
+        assert not cost.needs_multiplier
+
+    def test_non_dyadic_needs_multiplier(self):
+        assert constant_cost(Fraction(1, 6)).needs_multiplier
+        assert constant_cost(Fraction(2, 9)).needs_multiplier
+
+
+class TestMatvecNetwork:
+    def test_simple_sum(self):
+        network = matvec_network([[1, 1, 1]])
+        assert network.adder_count == 2
+        assert network.multiplier_count == 0
+        assert len(network.output_names) == 1
+
+    def test_with_shifts_and_constants(self):
+        network = matvec_network([[2, 0, Fraction(1, 2)], [Fraction(1, 6), 1, 0]])
+        assert network.shift_count >= 2
+        assert network.multiplier_count == 1  # the 1/6
+        assert len(network.output_names) == 2
+
+    def test_zero_row_produces_no_ops(self):
+        network = matvec_network([[0, 0, 0]])
+        assert network.adder_count == 0
+        assert len(network.output_names) == 1
+
+    def test_single_negative_term_negated(self):
+        network = matvec_network([[-1, 0]])
+        kinds = [op.kind for op in network.operations]
+        assert kinds == ["sub"]
+
+    def test_dag_is_topologically_ordered(self):
+        transform = get_transform(4, 3)
+        network = matvec_network([list(row) for row in transform.bt_exact])
+        produced = set(network.input_names)
+        for op in network.operations:
+            assert all(name in produced for name in op.inputs)
+            produced.add(op.output)
+        assert all(name in produced for name in network.output_names)
+
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    def test_network_size_tracks_matvec_ops(self, m):
+        from repro.winograd.op_count import matvec_ops
+
+        transform = get_transform(m, 3)
+        ops = matvec_ops(transform.bt_exact)
+        network = matvec_network([list(row) for row in transform.bt_exact])
+        # The network may use a few more adders (CSD expansion of constants)
+        # but never fewer than the abstract count.
+        assert network.adder_count >= ops.additions
+        assert network.multiplier_count <= ops.constant_multiplications

@@ -1,0 +1,94 @@
+"""Tests for feature-map tiling."""
+
+import numpy as np
+import pytest
+
+from repro.winograd.tiling import assemble_output, extract_tiles, plan_tiles
+
+
+class TestPlanTiles:
+    def test_exact_fit(self):
+        grid = plan_tiles(8, 8, m=2, r=3, padding=1)
+        assert (grid.output_height, grid.output_width) == (8, 8)
+        assert (grid.tiles_y, grid.tiles_x) == (4, 4)
+        assert grid.tile_size == 4
+        assert grid.tile_count == 16
+
+    def test_partial_tiles(self):
+        grid = plan_tiles(7, 5, m=4, r=3, padding=1)
+        assert (grid.output_height, grid.output_width) == (7, 5)
+        assert (grid.tiles_y, grid.tiles_x) == (2, 2)
+        assert grid.padded_output_height == 8
+        assert grid.padded_output_width == 8
+
+    def test_no_padding_valid_conv(self):
+        grid = plan_tiles(10, 10, m=2, r=3, padding=0)
+        assert (grid.output_height, grid.output_width) == (8, 8)
+
+    def test_kernel_too_large(self):
+        with pytest.raises(ValueError):
+            plan_tiles(2, 2, m=2, r=5, padding=0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            plan_tiles(8, 8, m=0, r=3)
+        with pytest.raises(ValueError):
+            plan_tiles(0, 8, m=2, r=3)
+
+
+class TestExtractAssemble:
+    def test_extract_shape(self, rng):
+        grid = plan_tiles(12, 10, m=3, r=3, padding=1)
+        plane = rng.standard_normal((2, 4, 12, 10))
+        tiles = extract_tiles(plane, grid, padding=1)
+        assert tiles.shape == (2, 4, grid.tiles_y, grid.tiles_x, 5, 5)
+
+    def test_extract_values_with_overlap(self, rng):
+        grid = plan_tiles(6, 6, m=2, r=3, padding=0)
+        plane = rng.standard_normal((6, 6))
+        tiles = extract_tiles(plane, grid, padding=0)
+        np.testing.assert_array_equal(tiles[0, 0], plane[0:4, 0:4])
+        np.testing.assert_array_equal(tiles[0, 1], plane[0:4, 2:6])
+        np.testing.assert_array_equal(tiles[1, 0], plane[2:6, 0:4])
+
+    def test_extract_padding_zeros(self, rng):
+        grid = plan_tiles(4, 4, m=2, r=3, padding=1)
+        plane = rng.standard_normal((4, 4))
+        tiles = extract_tiles(plane, grid, padding=1)
+        # Top-left tile's first row/column should come from zero padding.
+        assert np.all(tiles[0, 0][0, :] == 0)
+        assert np.all(tiles[0, 0][:, 0] == 0)
+
+    def test_extract_shape_mismatch(self, rng):
+        grid = plan_tiles(8, 8, m=2, r=3)
+        with pytest.raises(ValueError):
+            extract_tiles(rng.standard_normal((7, 8)), grid)
+
+    def test_assemble_inverse_of_split(self, rng):
+        grid = plan_tiles(9, 11, m=3, r=3, padding=1)
+        full = rng.standard_normal((grid.tiles_y, grid.tiles_x, 3, 3))
+        plane = assemble_output(full, grid)
+        assert plane.shape == (9, 11)
+        np.testing.assert_array_equal(plane[0:3, 0:3], full[0, 0])
+        np.testing.assert_array_equal(plane[3:6, 3:6], full[1, 1])
+
+    def test_assemble_crops_partial_tiles(self, rng):
+        grid = plan_tiles(7, 7, m=4, r=3, padding=1)
+        tiles = rng.standard_normal((1, grid.tiles_y, grid.tiles_x, 4, 4))
+        out = assemble_output(tiles, grid)
+        assert out.shape == (1, 7, 7)
+
+    def test_assemble_wrong_shape(self, rng):
+        grid = plan_tiles(8, 8, m=2, r=3)
+        with pytest.raises(ValueError):
+            assemble_output(rng.standard_normal((2, 2, 2, 2)), grid)
+
+    def test_roundtrip_identity_kernel(self, rng):
+        """Extract + assemble with an identity convolution reproduces the input."""
+        from repro.winograd.fast_conv import winograd_conv2d
+
+        plane = rng.standard_normal((1, 1, 10, 10))
+        kernel = np.zeros((1, 1, 3, 3))
+        kernel[0, 0, 1, 1] = 1.0  # delta kernel
+        out = winograd_conv2d(plane, kernel, m=2, padding=1)
+        np.testing.assert_allclose(out, plane, atol=1e-10)

@@ -1,0 +1,105 @@
+"""Tests for the Cook-Toom transform generator."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.winograd.points import integer_points
+from repro.winograd.toom_cook import generate_transform, minimal_multiplications
+
+
+class TestMinimalMultiplications:
+    def test_formula(self):
+        assert minimal_multiplications(2, 3) == 4
+        assert minimal_multiplications(4, 3) == 6
+        assert minimal_multiplications(1, 1) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            minimal_multiplications(0, 3)
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("m", [1, 2, 3, 4, 5, 6, 7])
+    def test_generated_transforms_verify_exactly(self, m):
+        transform = generate_transform(m, 3)
+        assert transform.verify_exact()
+
+    @pytest.mark.parametrize("m,r", [(2, 2), (3, 2), (2, 5), (4, 4), (6, 3)])
+    def test_other_kernel_sizes(self, m, r):
+        transform = generate_transform(m, r)
+        assert transform.verify_exact()
+        assert transform.n == m + r - 1
+
+    def test_shapes(self):
+        transform = generate_transform(3, 3)
+        assert transform.AT.shape == (3, 5)
+        assert transform.G.shape == (5, 3)
+        assert transform.BT.shape == (5, 5)
+        assert transform.A.shape == (5, 3)
+        assert transform.B.shape == (5, 5)
+
+    def test_multiplication_counts(self):
+        transform = generate_transform(4, 3)
+        assert transform.multiplications_1d == 6
+        assert transform.multiplications_2d == 36
+        assert transform.input_tile == 6
+
+    def test_degenerate_f11(self):
+        transform = generate_transform(1, 1)
+        assert transform.n == 1
+        assert transform.AT.shape == (1, 1)
+        assert transform.verify_exact()
+
+    def test_custom_integer_points(self):
+        points = integer_points(4)
+        transform = generate_transform(2, 4, points=points)
+        assert transform.verify_exact()
+        assert transform.points == tuple(points)
+
+    def test_wrong_point_count_rejected(self):
+        with pytest.raises(ValueError):
+            generate_transform(2, 3, points=integer_points(5))
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(ValueError):
+            generate_transform(2, 3, points=[Fraction(0), Fraction(1), Fraction(1)])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            generate_transform(0, 3)
+        with pytest.raises(ValueError):
+            generate_transform(2, 0)
+
+    def test_label_and_describe(self):
+        transform = generate_transform(2, 3, label="unit-test")
+        assert "unit-test" in transform.describe()
+        assert "F(2, 3)" in transform.describe()
+
+
+class TestNumericalIdentity:
+    @pytest.mark.parametrize("m", [2, 3, 4, 5])
+    def test_1d_identity_random(self, m, rng):
+        transform = generate_transform(m, 3)
+        n, r = transform.n, transform.r
+        d = rng.standard_normal(n)
+        g = rng.standard_normal(r)
+        fast = transform.AT @ ((transform.G @ g) * (transform.BT @ d))
+        reference = np.array([np.dot(d[i : i + r], g) for i in range(m)])
+        np.testing.assert_allclose(fast, reference, atol=1e-10)
+
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    def test_2d_nesting_identity(self, m, rng):
+        transform = generate_transform(m, 3)
+        n, r = transform.n, transform.r
+        d = rng.standard_normal((n, n))
+        g = rng.standard_normal((r, r))
+        u = transform.BT @ d @ transform.B
+        v = transform.G @ g @ transform.G.T
+        fast = transform.AT @ (u * v) @ transform.A
+        reference = np.zeros((m, m))
+        for y in range(m):
+            for x in range(m):
+                reference[y, x] = np.sum(d[y : y + r, x : x + r] * g)
+        np.testing.assert_allclose(fast, reference, atol=1e-9)

@@ -1,0 +1,101 @@
+"""Tests for transform application (1-D, 2-D, batched)."""
+
+import numpy as np
+import pytest
+
+from repro.winograd.matrices import get_transform
+from repro.winograd.transforms import (
+    data_transform,
+    data_transform_1d,
+    filter_transform,
+    filter_transform_1d,
+    inverse_transform,
+    inverse_transform_1d,
+    winograd_1d,
+    winograd_tile_2d,
+)
+
+
+@pytest.fixture(params=[2, 3, 4])
+def transform(request):
+    return get_transform(request.param, 3)
+
+
+class Test1D:
+    def test_winograd_1d_matches_correlation(self, transform, rng):
+        n, r, m = transform.n, transform.r, transform.m
+        d = rng.standard_normal(n)
+        g = rng.standard_normal(r)
+        fast = winograd_1d(transform, d, g)
+        reference = np.array([np.dot(d[i : i + r], g) for i in range(m)])
+        np.testing.assert_allclose(fast, reference, atol=1e-10)
+
+    def test_1d_shapes(self, transform, rng):
+        n, r = transform.n, transform.r
+        assert data_transform_1d(transform, rng.standard_normal(n)).shape == (n,)
+        assert filter_transform_1d(transform, rng.standard_normal(r)).shape == (n,)
+        assert inverse_transform_1d(transform, rng.standard_normal(n)).shape == (transform.m,)
+
+    def test_1d_wrong_length_rejected(self, transform):
+        with pytest.raises(ValueError):
+            data_transform_1d(transform, np.zeros(transform.n + 1))
+        with pytest.raises(ValueError):
+            filter_transform_1d(transform, np.zeros(transform.r + 2))
+        with pytest.raises(ValueError):
+            inverse_transform_1d(transform, np.zeros(transform.n - 1))
+
+    def test_1d_batched_leading_dims(self, transform, rng):
+        batch = rng.standard_normal((5, transform.n))
+        assert data_transform_1d(transform, batch).shape == (5, transform.n)
+
+
+class Test2D:
+    def test_tile_matches_direct(self, transform, rng):
+        n, r, m = transform.n, transform.r, transform.m
+        d = rng.standard_normal((n, n))
+        g = rng.standard_normal((r, r))
+        fast = winograd_tile_2d(transform, d, g)
+        reference = np.zeros((m, m))
+        for y in range(m):
+            for x in range(m):
+                reference[y, x] = np.sum(d[y : y + r, x : x + r] * g)
+        np.testing.assert_allclose(fast, reference, atol=1e-9)
+
+    def test_precomputed_filter_transform(self, transform, rng):
+        n, r = transform.n, transform.r
+        d = rng.standard_normal((n, n))
+        g = rng.standard_normal((r, r))
+        v = filter_transform(transform, g)
+        assert v.shape == (n, n)
+        np.testing.assert_allclose(
+            winograd_tile_2d(transform, d, g),
+            winograd_tile_2d(transform, d, None, v=v),
+            atol=1e-12,
+        )
+
+    def test_linearity_of_data_transform(self, transform, rng):
+        n = transform.n
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        np.testing.assert_allclose(
+            data_transform(transform, a + 2 * b),
+            data_transform(transform, a) + 2 * data_transform(transform, b),
+            atol=1e-10,
+        )
+
+    def test_batched_shapes(self, transform, rng):
+        n, r = transform.n, transform.r
+        tiles = rng.standard_normal((2, 3, n, n))
+        kernels = rng.standard_normal((4, r, r))
+        products = rng.standard_normal((7, n, n))
+        assert data_transform(transform, tiles).shape == (2, 3, n, n)
+        assert filter_transform(transform, kernels).shape == (4, n, n)
+        assert inverse_transform(transform, products).shape == (7, transform.m, transform.m)
+
+    def test_wrong_trailing_dims_rejected(self, transform):
+        with pytest.raises(ValueError):
+            data_transform(transform, np.zeros((transform.n, transform.n + 1)))
+        with pytest.raises(ValueError):
+            filter_transform(transform, np.zeros((transform.r + 1, transform.r)))
+        with pytest.raises(ValueError):
+            inverse_transform(transform, np.zeros(transform.n))

@@ -1,0 +1,130 @@
+"""Property-based tests (hypothesis) for the Winograd substrate invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.reference import direct_conv2d
+from repro.winograd.fast_conv import winograd_conv2d
+from repro.winograd.matrices import get_transform
+from repro.winograd.op_count import matvec_ops
+from repro.winograd.strength_reduction import constant_cost, csd_digits
+from repro.winograd.tiling import assemble_output, extract_tiles, plan_tiles
+from repro.winograd.toom_cook import generate_transform
+from repro.winograd.transforms import winograd_1d
+
+
+finite_floats = st.floats(min_value=-10, max_value=10, allow_nan=False, allow_infinity=False)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    m=st.integers(min_value=1, max_value=6),
+    r=st.integers(min_value=2, max_value=4),
+    data=st.data(),
+)
+def test_1d_minimal_algorithm_matches_correlation(m, r, data):
+    """F(m, r) equals direct correlation for any tile and filter contents."""
+    transform = generate_transform(m, r)
+    n = transform.n
+    d = np.array(data.draw(st.lists(finite_floats, min_size=n, max_size=n)))
+    g = np.array(data.draw(st.lists(finite_floats, min_size=r, max_size=r)))
+    fast = winograd_1d(transform, d, g)
+    reference = np.array([np.dot(d[i : i + r], g) for i in range(m)])
+    np.testing.assert_allclose(fast, reference, atol=1e-6 * max(1.0, np.abs(reference).max()))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    m=st.sampled_from([2, 3, 4]),
+    height=st.integers(min_value=5, max_value=14),
+    width=st.integers(min_value=5, max_value=14),
+    channels=st.integers(min_value=1, max_value=3),
+    kernels=st.integers(min_value=1, max_value=3),
+    padding=st.integers(min_value=0, max_value=1),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_tiled_winograd_equals_direct_conv(m, height, width, channels, kernels, padding, seed):
+    """The tiled fast convolution equals direct convolution for any geometry."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((1, channels, height, width))
+    w = rng.standard_normal((kernels, channels, 3, 3))
+    fast = winograd_conv2d(x, w, m=m, padding=padding)
+    reference = direct_conv2d(x, w, padding=padding)
+    np.testing.assert_allclose(fast, reference, atol=1e-8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    height=st.integers(min_value=3, max_value=30),
+    width=st.integers(min_value=3, max_value=30),
+    m=st.integers(min_value=1, max_value=6),
+    padding=st.integers(min_value=0, max_value=2),
+)
+def test_tile_plan_covers_output_exactly(height, width, m, padding):
+    """The tile grid always covers the full output and never undershoots."""
+    r = 3
+    if height + 2 * padding < r or width + 2 * padding < r:
+        return
+    grid = plan_tiles(height, width, m, r, padding)
+    assert grid.tiles_y * m >= grid.output_height
+    assert grid.tiles_x * m >= grid.output_width
+    assert (grid.tiles_y - 1) * m < grid.output_height
+    assert (grid.tiles_x - 1) * m < grid.output_width
+    # Padded input must be exactly large enough for the last tile.
+    assert grid.padded_height == (grid.tiles_y - 1) * m + grid.tile_size
+    assert grid.padded_width == (grid.tiles_x - 1) * m + grid.tile_size
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    height=st.integers(min_value=4, max_value=16),
+    width=st.integers(min_value=4, max_value=16),
+    m=st.sampled_from([2, 3, 4]),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_extract_assemble_roundtrip_on_aligned_tiles(height, width, m, seed):
+    """Assembling per-tile crops of a plane reproduces the original plane."""
+    rng = np.random.default_rng(seed)
+    grid = plan_tiles(height, width, m, 3, padding=0)
+    plane = rng.standard_normal((height, width))
+    tiles = extract_tiles(plane, grid, padding=0)
+    crops = tiles[..., :m, :m]
+    rebuilt = assemble_output(crops, grid)
+    np.testing.assert_array_equal(rebuilt, plane[: grid.output_height, : grid.output_width])
+
+
+@settings(max_examples=100, deadline=None)
+@given(value=st.integers(min_value=0, max_value=10**6))
+def test_csd_reconstruction_and_sparsity(value):
+    """CSD digits always reconstruct the value and have no adjacent non-zeros."""
+    digits = csd_digits(value)
+    assert sum(d * (1 << i) for i, d in enumerate(digits)) == value
+    assert all(not (a and b) for a, b in zip(digits, digits[1:]))
+
+
+@settings(max_examples=100, deadline=None)
+@given(numerator=st.integers(min_value=-64, max_value=64), log_denominator=st.integers(min_value=0, max_value=6))
+def test_constant_cost_classification(numerator, log_denominator):
+    """Dyadic rationals never need a true multiplier; cost fields stay sane."""
+    from fractions import Fraction
+
+    value = Fraction(numerator, 2 ** log_denominator)
+    cost = constant_cost(value)
+    assert not cost.needs_multiplier
+    assert cost.adders >= 0 and cost.shifts >= 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    m=st.integers(min_value=1, max_value=5),
+    r=st.integers(min_value=2, max_value=4),
+)
+def test_transform_matrix_op_counts_bounded(m, r):
+    """Matrix-vector op counts are bounded by the dense matrix size."""
+    transform = generate_transform(m, r)
+    for matrix in (transform.at_exact, transform.g_exact, transform.bt_exact):
+        ops = matvec_ops(matrix)
+        rows = len(matrix)
+        cols = len(matrix[0])
+        assert 0 <= ops.additions <= rows * (cols - 1)
+        assert ops.multiplier_ops + ops.shift_multiplications <= rows * cols
