@@ -12,7 +12,8 @@ Subpackages
     canonical matrices, tiled fast convolution, operator counting.
 ``repro.nn``
     CNN workload substrate: layer/network descriptors (VGG-16, AlexNet,
-    ResNet), reference convolutions, functional forward passes.
+    ResNet), a named network registry, reference convolutions, functional
+    forward passes.
 ``repro.hw``
     FPGA hardware models: devices, PE/engine resource estimation, power,
     frequency, buffers.
@@ -22,11 +23,17 @@ Subpackages
     The paper's contribution: complexity/throughput models (Eqs. 4-10),
     design-space exploration, Pareto/roofline analysis, proposed designs and
     comparison tables.
+``repro.dse``
+    Campaign-scale exploration engine: a memoised evaluation layer, a
+    chunked process-pool executor with a serial fallback, and
+    ``Campaign``/``CampaignResult`` aggregation (per-network Pareto fronts,
+    best-by-metric picks, comparison tables).
 ``repro.baselines``
     Podili et al. [3], Qiu et al. [12] and spatial-convolution baselines,
     plus the paper's published table/figure values.
 ``repro.reporting``
-    Text tables, CSV export and ASCII figures used by the benchmark harness.
+    Text tables, CSV export, campaign summaries and ASCII figures used by
+    the benchmark harness.
 
 Quickstart
 ----------
@@ -34,16 +41,32 @@ Quickstart
 >>> designs = proposed_designs(vgg16_d())
 >>> round(designs[-1].throughput_gops, 1)
 1094.4
+
+Campaign quickstart — sweep three networks across two devices, with
+memoised evaluation and per-network Pareto fronts:
+
+>>> from repro import Campaign, SweepSpec, frequency_range
+>>> result = Campaign(
+...     networks=("vgg16-d", "alexnet", "resnet18"),
+...     devices=("xc7vx485t", "xc7vx690t"),
+...     sweeps=(SweepSpec(m_values=(2, 3, 4, 5, 6),
+...                       multiplier_budgets=(512, 1024),
+...                       frequencies_mhz=frequency_range(150, 250, 50)),),
+... ).run()
+>>> fronts = result.pareto_fronts()          # per-network Pareto fronts
+>>> best = result.best("power_efficiency")   # best-by-metric pick
 """
 
 from .core import (
     DesignPoint,
+    GridEntry,
     HeadlineClaims,
     SweepSpec,
     best_by,
     complexity_breakdown,
     evaluate_design,
     explore,
+    frequency_range,
     headline_claims,
     ideal_throughput_gops,
     multiplication_complexity,
@@ -58,12 +81,21 @@ from .core import (
     sweep_tile_sizes,
     transform_complexity,
 )
-from .hw import EngineConfig, FpgaDevice, PowerModel, build_engine, virtex7_485t
-from .nn import Network, alexnet, resnet18, vgg, vgg16_d
+from .dse import (
+    Campaign,
+    CampaignResult,
+    EvaluationCache,
+    ExecutorConfig,
+    evaluate_design_cached,
+    iter_explore,
+    run_campaign,
+)
+from .hw import EngineConfig, FpgaDevice, PowerModel, build_engine, get_device, virtex7_485t
+from .nn import Network, alexnet, get_network, resnet18, vgg, vgg16_d
 from .sim import EngineSimConfig, WinogradEngineSim
 from .winograd import WinogradConv2D, get_transform, winograd_conv2d
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -77,9 +109,11 @@ __all__ = [
     "vgg16_d",
     "alexnet",
     "resnet18",
+    "get_network",
     # hw
     "FpgaDevice",
     "virtex7_485t",
+    "get_device",
     "EngineConfig",
     "build_engine",
     "PowerModel",
@@ -95,6 +129,8 @@ __all__ = [
     "DesignPoint",
     "evaluate_design",
     "SweepSpec",
+    "GridEntry",
+    "frequency_range",
     "explore",
     "sweep_tile_sizes",
     "sweep_multiplier_budgets",
@@ -107,4 +143,12 @@ __all__ = [
     "resource_table",
     "headline_claims",
     "HeadlineClaims",
+    # dse
+    "Campaign",
+    "CampaignResult",
+    "EvaluationCache",
+    "ExecutorConfig",
+    "evaluate_design_cached",
+    "iter_explore",
+    "run_campaign",
 ]

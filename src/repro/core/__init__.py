@@ -18,9 +18,11 @@ from .complexity import (
 )
 from .design_point import DesignPoint, evaluate_design
 from .design_space import (
+    GridEntry,
     SweepSpec,
     best_by,
     explore,
+    frequency_range,
     sweep_multiplier_budgets,
     sweep_tile_sizes,
 )
@@ -62,6 +64,8 @@ __all__ = [
     "DesignPoint",
     "evaluate_design",
     "SweepSpec",
+    "GridEntry",
+    "frequency_range",
     "explore",
     "sweep_tile_sizes",
     "sweep_multiplier_budgets",

@@ -11,7 +11,7 @@ vocabulary.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Protocol
 
 from ..hw.calibration import Calibration, DEFAULT_CALIBRATION
 from ..hw.device import FpgaDevice, virtex7_485t
@@ -26,7 +26,7 @@ from .complexity import (
 )
 from .throughput import LatencyReport, network_latency
 
-__all__ = ["DesignPoint", "evaluate_design"]
+__all__ = ["ComponentProvider", "DesignPoint", "DirectComponents", "evaluate_design"]
 
 
 @dataclass(frozen=True)
@@ -112,6 +112,58 @@ class DesignPoint:
         return row
 
 
+class ComponentProvider(Protocol):
+    """Interface ``evaluate_design`` uses to resolve its sub-models.
+
+    ``evaluate_design`` resolves the engine build, latency and complexity
+    terms through a provider object so that alternative strategies —
+    notably the memoising cache of :mod:`repro.dse` — can reuse the *same*
+    evaluation body instead of maintaining a diverging copy.
+    """
+
+    def engine(self, config, device, calibration): ...
+
+    def latency(self, network, m, pes, frequency_mhz, r, pipeline_depth): ...
+
+    def spatial_multiplications(self, network): ...
+
+    def multiplication_complexity(self, network, m): ...
+
+    def implementation_transform_complexity(self, network, m, parallel_pes): ...
+
+
+class DirectComponents:
+    """Default :class:`ComponentProvider`: every model evaluated directly.
+
+    Each method mirrors the signature of the underlying function.
+    """
+
+    def engine(self, config, device, calibration):
+        return build_engine(config, device=device, calibration=calibration)
+
+    def latency(self, network, m, pes, frequency_mhz, r, pipeline_depth):
+        return network_latency(
+            network,
+            m=m,
+            pes=pes,
+            frequency_mhz=frequency_mhz,
+            r=r,
+            pipeline_depth=pipeline_depth,
+        )
+
+    def spatial_multiplications(self, network):
+        return spatial_multiplications(network)
+
+    def multiplication_complexity(self, network, m):
+        return multiplication_complexity(network, m)
+
+    def implementation_transform_complexity(self, network, m, parallel_pes):
+        return implementation_transform_complexity(network, m, parallel_pes)
+
+
+_DIRECT_COMPONENTS = DirectComponents()
+
+
 def evaluate_design(
     network: Network,
     m: int,
@@ -124,6 +176,7 @@ def evaluate_design(
     calibration: Calibration = DEFAULT_CALIBRATION,
     include_pipeline_depth: bool = True,
     name: Optional[str] = None,
+    components: Optional[ComponentProvider] = None,
 ) -> DesignPoint:
     """Evaluate one engine configuration on one workload.
 
@@ -131,9 +184,14 @@ def evaluate_design(
     are omitted the PE count is derived from the device's DSP budget
     (Eq. (8)).
 
+    ``components`` swaps the sub-model provider (see
+    :class:`DirectComponents`); the memoising DSE layer passes its cache
+    here so cached and uncached evaluation share this single body.
+
     Returns a :class:`DesignPoint` carrying performance, resource, power and
     complexity metrics.
     """
+    components = components or _DIRECT_COMPONENTS
     device = device or virtex7_485t()
     if parallel_pes is None and multiplier_budget is not None:
         per_pe = (m + r - 1) ** 2
@@ -149,16 +207,11 @@ def evaluate_design(
         shared_data_transform=shared_data_transform,
         frequency_mhz=frequency_mhz,
     )
-    engine = build_engine(config, device=device, calibration=calibration)
+    engine = components.engine(config, device, calibration)
 
     pipeline_depth = engine.pipeline_depth if include_pipeline_depth else 0
-    latency = network_latency(
-        network,
-        m=m,
-        pes=engine.parallel_pes,
-        frequency_mhz=frequency_mhz,
-        r=r,
-        pipeline_depth=pipeline_depth,
+    latency = components.latency(
+        network, m, engine.parallel_pes, frequency_mhz, r, pipeline_depth
     )
     throughput = latency.throughput_gops
     power_model = PowerModel(calibration.power)
@@ -181,9 +234,9 @@ def evaluate_design(
         resources=engine.resources,
         power_watts=power,
         power_efficiency=throughput / power,
-        spatial_multiplications=float(spatial_multiplications(network)),
-        winograd_multiplications=multiplication_complexity(network, m),
-        implementation_transform_ops=implementation_transform_complexity(
+        spatial_multiplications=float(components.spatial_multiplications(network)),
+        winograd_multiplications=components.multiplication_complexity(network, m),
+        implementation_transform_ops=components.implementation_transform_complexity(
             network, m, engine.parallel_pes
         ),
         engine=engine,

@@ -4,22 +4,86 @@ The paper explores the space spanned by the output tile size ``m``, the
 multiplier budget ``mT`` (equivalently the PE count ``P``) and the clock
 frequency, looking for the configurations with the best throughput, resource
 efficiency and power efficiency (Section III plus the Fig. 6 sweep).  This
-module runs those sweeps over arbitrary workloads and devices and returns
-fully evaluated :class:`~repro.core.design_point.DesignPoint` objects ready
-for Pareto analysis, ranking and reporting.
+module owns the *specification* side of those sweeps — :class:`SweepSpec` and
+its cartesian-product expansion — plus the classic single-network entry
+points (:func:`explore`, :func:`sweep_tile_sizes`,
+:func:`sweep_multiplier_budgets`, :func:`best_by`).
+
+The evaluation itself is delegated to :mod:`repro.dse`, the campaign-scale
+engine that memoises repeated ``(m, r)`` transform/complexity work and can
+fan evaluations out over a process pool; ``explore`` keeps its historical
+signature and ordering, so existing callers see the same points — just
+faster.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+import math
+from dataclasses import dataclass, replace
+from typing import (
+    TYPE_CHECKING,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..hw.calibration import Calibration, DEFAULT_CALIBRATION
 from ..hw.device import FpgaDevice, virtex7_485t
 from ..nn.model import Network
 from .design_point import DesignPoint, evaluate_design
 
-__all__ = ["SweepSpec", "explore", "sweep_tile_sizes", "sweep_multiplier_budgets", "best_by"]
+if TYPE_CHECKING:  # pragma: no cover - typing only; runtime import would cycle
+    from ..dse.engine import CacheLike, ExecutorConfig
+
+__all__ = [
+    "GridEntry",
+    "SweepSpec",
+    "frequency_range",
+    "explore",
+    "sweep_tile_sizes",
+    "sweep_multiplier_budgets",
+    "best_by",
+]
+
+
+class GridEntry(NamedTuple):
+    """One fully specified configuration of a design-space grid."""
+
+    m: int
+    r: int
+    multiplier_budget: Optional[int]
+    frequency_mhz: float
+    shared_data_transform: bool
+
+
+def frequency_range(
+    start_mhz: float, stop_mhz: float, step_mhz: float = 50.0
+) -> Tuple[float, ...]:
+    """Inclusive frequency ladder from ``start_mhz`` to ``stop_mhz``.
+
+    ``frequency_range(100, 300, 50)`` yields ``(100.0, 150.0, 200.0, 250.0,
+    300.0)``.  The stop point is included whenever it lands within a small
+    tolerance of a step, so fractional steps behave intuitively.
+    """
+    if start_mhz <= 0 or stop_mhz <= 0:
+        raise ValueError("frequencies must be positive")
+    if step_mhz <= 0:
+        raise ValueError("step must be positive")
+    if stop_mhz < start_mhz:
+        raise ValueError("stop frequency must be >= start frequency")
+    count = int(math.floor((stop_mhz - start_mhz) / step_mhz + 1e-9)) + 1
+    return tuple(float(start_mhz + index * step_mhz) for index in range(count))
+
+
+def _field_tuple(value) -> tuple:
+    """Materialize a sweep field: iterables become tuples, scalars wrap."""
+    if hasattr(value, "__iter__") and not isinstance(value, str):
+        return tuple(value)
+    return (value,)
 
 
 @dataclass(frozen=True)
@@ -39,6 +103,9 @@ class SweepSpec:
         Architecture variant(s) to include.
     r:
         Kernel size (3 throughout the paper).
+    r_values:
+        Optional sequence of kernel sizes to sweep; when given it overrides
+        ``r`` and the grid becomes ``m x r x budget x frequency x shared``.
     """
 
     m_values: Sequence[int] = (2, 3, 4, 5, 6, 7)
@@ -46,6 +113,66 @@ class SweepSpec:
     frequencies_mhz: Sequence[float] = (200.0,)
     shared_data_transform: Sequence[bool] = (True,)
     r: int = 3
+    r_values: Optional[Sequence[int]] = None
+
+    def __post_init__(self) -> None:
+        # Materialize every sequence field once: one-shot iterables (e.g.
+        # generators) must survive being read by both ``size`` and
+        # ``configurations()``, tuples keep the frozen spec hashable, and a
+        # bare scalar (``m_values=4``, ``shared_data_transform=False``)
+        # means a one-value sweep rather than a TypeError.
+        for field_name in ("m_values", "multiplier_budgets", "frequencies_mhz", "shared_data_transform"):
+            object.__setattr__(self, field_name, _field_tuple(getattr(self, field_name)))
+        if self.r_values is not None:
+            object.__setattr__(self, "r_values", _field_tuple(self.r_values))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def effective_r_values(self) -> Tuple[int, ...]:
+        """Kernel sizes actually swept: ``r_values`` when given, else ``(r,)``.
+
+        An explicitly empty ``r_values`` sequence means "sweep nothing",
+        exactly like an empty ``m_values``; only ``None`` falls back to
+        ``r``.
+        """
+        if self.r_values is not None:
+            return tuple(self.r_values)
+        return (self.r,)
+
+    @property
+    def size(self) -> int:
+        """Number of grid configurations this spec expands to."""
+        return (
+            len(self.m_values)
+            * len(self.effective_r_values)
+            * len(self.multiplier_budgets)
+            * len(self.frequencies_mhz)
+            * len(self.shared_data_transform)
+        )
+
+    def configurations(self) -> Iterator[GridEntry]:
+        """Expand the spec into grid entries in canonical nesting order.
+
+        The nesting (``m`` -> ``r`` -> budget -> frequency -> shared) matches
+        the historical ``explore`` loop, so results keep their ordering.
+        """
+        for m in self.m_values:
+            for r in self.effective_r_values:
+                for budget in self.multiplier_budgets:
+                    for frequency in self.frequencies_mhz:
+                        for shared in self.shared_data_transform:
+                            yield GridEntry(m, r, budget, frequency, shared)
+
+    # ------------------------------------------------------------------ #
+    def with_frequencies(self, frequencies_mhz: Sequence[float]) -> "SweepSpec":
+        """Copy of the spec with a different frequency list."""
+        return replace(self, frequencies_mhz=tuple(frequencies_mhz))
+
+    def with_frequency_range(
+        self, start_mhz: float, stop_mhz: float, step_mhz: float = 50.0
+    ) -> "SweepSpec":
+        """Copy of the spec sweeping an inclusive frequency ladder."""
+        return self.with_frequencies(frequency_range(start_mhz, stop_mhz, step_mhz))
 
 
 def explore(
@@ -54,6 +181,9 @@ def explore(
     device: Optional[FpgaDevice] = None,
     calibration: Calibration = DEFAULT_CALIBRATION,
     skip_infeasible: bool = True,
+    *,
+    cache: "CacheLike" = None,
+    executor: "Optional[ExecutorConfig]" = None,
 ) -> List[DesignPoint]:
     """Evaluate every configuration of ``spec`` on ``network``.
 
@@ -63,32 +193,28 @@ def explore(
         Drop configurations that cannot host a single PE within the given
         multiplier budget or that exceed the device's DSP capacity; when
         ``False`` such configurations raise instead.
+    cache:
+        A :class:`repro.dse.EvaluationCache` to memoise repeated work in, the
+        shared global cache when ``None``, or ``False`` to disable caching
+        entirely (every point is re-evaluated from scratch).  A supplied
+        cache serves the serial path; process-pool workers memoise in their
+        own per-process caches (``False`` disables both).
+    executor:
+        A :class:`repro.dse.ExecutorConfig` selecting serial or process-pool
+        execution; ``None`` uses the serial path.
     """
+    from ..dse.engine import explore_cached  # deferred: repro.dse builds on this module
+
     device = device or virtex7_485t()
-    points: List[DesignPoint] = []
-    for m in spec.m_values:
-        for budget in spec.multiplier_budgets:
-            for frequency in spec.frequencies_mhz:
-                for shared in spec.shared_data_transform:
-                    try:
-                        point = evaluate_design(
-                            network,
-                            m=m,
-                            r=spec.r,
-                            multiplier_budget=budget,
-                            frequency_mhz=frequency,
-                            shared_data_transform=shared,
-                            device=device,
-                            calibration=calibration,
-                        )
-                    except ValueError:
-                        if skip_infeasible:
-                            continue
-                        raise
-                    if skip_infeasible and not point.resources.fits(device):
-                        continue
-                    points.append(point)
-    return points
+    return explore_cached(
+        network,
+        spec,
+        device=device,
+        calibration=calibration,
+        skip_infeasible=skip_infeasible,
+        cache=cache,
+        executor=executor,
+    )
 
 
 def sweep_tile_sizes(
@@ -127,13 +253,26 @@ def best_by(points: Iterable[DesignPoint], metric: str, maximize: bool = True) -
     ``metric`` is any numeric attribute of :class:`DesignPoint`, e.g.
     ``"throughput_gops"``, ``"power_efficiency"``, ``"multiplier_efficiency"``
     or ``"total_latency_ms"`` (use ``maximize=False`` for latency).
+
+    Ties are broken by insertion order (the first of the tied points wins),
+    so the choice is deterministic for any input ordering of equal-metric
+    points.  A NaN metric value raises ``ValueError`` rather than silently
+    poisoning the comparison.
     """
-    points = list(points)
-    if not points:
+    best: Optional[DesignPoint] = None
+    best_value = 0.0
+    for point in points:
+        try:
+            value = float(getattr(point, metric))
+        except AttributeError as error:
+            raise ValueError(f"unknown metric {metric!r}") from error
+        if math.isnan(value):
+            raise ValueError(
+                f"metric {metric!r} is NaN for design point {point.name!r}"
+            )
+        if best is None or (value > best_value if maximize else value < best_value):
+            best = point
+            best_value = value
+    if best is None:
         raise ValueError("no design points to choose from")
-    try:
-        keyed = [(getattr(point, metric), point) for point in points]
-    except AttributeError as error:
-        raise ValueError(f"unknown metric {metric!r}") from error
-    keyed.sort(key=lambda pair: pair[0], reverse=maximize)
-    return keyed[0][1]
+    return best

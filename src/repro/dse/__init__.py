@@ -1,0 +1,59 @@
+"""Campaign-scale design-space exploration: caching, parallelism, aggregation.
+
+The seed :func:`repro.core.explore` evaluated one network on one device with
+a scalar nested loop, recomputing identical ``(m, r)`` transform and
+complexity work for every budget x frequency combination.  This subsystem
+turns that into a campaign engine:
+
+* :mod:`repro.dse.cache` — :class:`EvaluationCache`, a layered memo keyed on
+  ``(network, device, calibration, m, r, budget, frequency, shared)`` that
+  makes repeated sweeps and overlapping grids near-free;
+* :mod:`repro.dse.engine` — :func:`iter_explore`, a streaming evaluator over
+  networks x devices x sweep specs with a chunked ``ProcessPoolExecutor``
+  path and a serial fallback, both returning identical points in identical
+  order;
+* :mod:`repro.dse.campaign` — :class:`Campaign` / :class:`CampaignResult`,
+  the declarative campaign description and its aggregated outcome
+  (per-network Pareto fronts, best-by-metric picks, comparison tables).
+
+Quickstart — a 3-network x 2-device campaign:
+
+>>> from repro.dse import Campaign
+>>> result = Campaign(
+...     networks=("vgg16-d", "alexnet", "resnet18"),
+...     devices=("xc7vx485t", "xc7vx690t"),
+... ).run()
+>>> result.best("throughput_gops").name
+'F(7x7,3x3)-P11'
+"""
+
+from .cache import CacheStats, EvaluationCache, global_cache, network_fingerprint
+from .campaign import (
+    Campaign,
+    CampaignResult,
+    DEFAULT_OBJECTIVES,
+    METRIC_DIRECTIONS,
+    run_campaign,
+)
+from .engine import (
+    ExecutorConfig,
+    evaluate_design_cached,
+    explore_cached,
+    iter_explore,
+)
+
+__all__ = [
+    "CacheStats",
+    "EvaluationCache",
+    "global_cache",
+    "network_fingerprint",
+    "Campaign",
+    "CampaignResult",
+    "DEFAULT_OBJECTIVES",
+    "METRIC_DIRECTIONS",
+    "run_campaign",
+    "ExecutorConfig",
+    "evaluate_design_cached",
+    "explore_cached",
+    "iter_explore",
+]

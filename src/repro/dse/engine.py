@@ -1,0 +1,515 @@
+"""Cached, parallel evaluation engine behind ``explore`` and campaigns.
+
+Three pieces live here:
+
+* :func:`evaluate_design_cached` — a drop-in for
+  :func:`repro.core.design_point.evaluate_design` that routes every
+  sub-computation through an :class:`~repro.dse.cache.EvaluationCache`.
+  Results are bit-identical to the uncached path (the cache only memoises
+  calls the uncached path would make with the same arguments).
+* :func:`iter_explore` — a streaming iterator over the cross-product of
+  networks x devices x sweep configurations, yielding fully evaluated
+  design points in deterministic order.
+* the process-pool executor — work is chunked so that every chunk shares one
+  ``(network, device)`` cell and a contiguous run of grid entries (which the
+  canonical ``m``-major ordering keeps clustered by ``(m, r)``), letting each
+  worker's cache serve most of its chunk.  Results are re-assembled in
+  submission order, so the parallel path returns exactly the serial
+  sequence; a serial fallback runs everything in-process when the machine
+  has a single core, the grid is small, or ``mode="serial"`` is forced.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..core.design_point import DesignPoint, evaluate_design
+from ..core.design_space import GridEntry, SweepSpec
+from ..hw.calibration import Calibration, DEFAULT_CALIBRATION
+from ..hw.device import FpgaDevice, resolve_device, virtex7_485t
+from ..nn.model import Network
+from ..nn.registry import resolve_network
+from .cache import CacheStats, EvaluationCache, global_cache, network_fingerprint
+
+__all__ = [
+    "ExecutorConfig",
+    "evaluate_design_cached",
+    "iter_explore",
+    "explore_cached",
+]
+
+NetworkLike = Union[Network, str]
+DeviceLike = Union[FpgaDevice, str]
+SpecLike = Union[SweepSpec, Sequence[SweepSpec]]
+CacheLike = Union[EvaluationCache, None, bool]
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """How a sweep's evaluations are executed.
+
+    Attributes
+    ----------
+    mode:
+        ``"serial"`` evaluates in-process, ``"process"`` forces a
+        ``ProcessPoolExecutor``, and ``"auto"`` picks the pool only when the
+        machine has more than one core and the grid is big enough to amortise
+        worker start-up.
+    max_workers:
+        Pool size; defaults to ``os.cpu_count()`` capped at 8.
+    chunk_size:
+        Grid entries per work chunk; auto-sized to give each worker several
+        chunks while keeping per-chunk pickling overhead small.
+    min_grid_for_processes:
+        ``"auto"`` stays serial below this many total evaluations.
+    """
+
+    mode: str = "auto"
+    max_workers: Optional[int] = None
+    chunk_size: Optional[int] = None
+    min_grid_for_processes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("auto", "serial", "process"):
+            raise ValueError(f"unknown executor mode {self.mode!r}")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+
+    def resolved_workers(self) -> int:
+        if self.max_workers is not None:
+            return self.max_workers
+        return max(1, min(os.cpu_count() or 1, 8))
+
+    def use_processes(self, total_evaluations: int) -> bool:
+        if self.mode == "serial":
+            return False
+        if self.mode == "process":
+            return True
+        return (
+            (os.cpu_count() or 1) > 1
+            and self.resolved_workers() > 1
+            and total_evaluations >= self.min_grid_for_processes
+        )
+
+    def resolved_chunk_size(self, cell_entries: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        workers = self.resolved_workers()
+        return max(4, -(-cell_entries // (workers * 4)))
+
+
+# --------------------------------------------------------------------- #
+# Cached single-point evaluation
+# --------------------------------------------------------------------- #
+def evaluate_design_cached(
+    network: Network,
+    m: int,
+    r: int = 3,
+    parallel_pes: Optional[int] = None,
+    multiplier_budget: Optional[int] = None,
+    frequency_mhz: float = 200.0,
+    shared_data_transform: bool = True,
+    device: Optional[FpgaDevice] = None,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    include_pipeline_depth: bool = True,
+    name: Optional[str] = None,
+    cache: CacheLike = None,
+    fingerprint: Optional[str] = None,
+) -> DesignPoint:
+    """Memoised twin of :func:`repro.core.design_point.evaluate_design`.
+
+    Identical semantics and results; repeated evaluations with overlapping
+    ``(m, r)``, engine or workload sub-problems are served from ``cache``
+    (the process-wide cache when ``None``; ``False`` falls through to the
+    uncached evaluator).  Infeasible configurations raise the same
+    ``ValueError`` as the uncached path — and the failure itself is
+    memoised, so re-probing an infeasible corner of the grid is free.
+    """
+    if cache is False:
+        return evaluate_design(
+            network,
+            m=m,
+            r=r,
+            parallel_pes=parallel_pes,
+            multiplier_budget=multiplier_budget,
+            frequency_mhz=frequency_mhz,
+            shared_data_transform=shared_data_transform,
+            device=device,
+            calibration=calibration,
+            include_pipeline_depth=include_pipeline_depth,
+            name=name,
+        )
+    cache = cache if cache is not None else global_cache()
+    device = device or virtex7_485t()
+    fingerprint = fingerprint or network_fingerprint(network)
+    key = (
+        fingerprint,
+        device,
+        calibration,
+        m,
+        r,
+        parallel_pes,
+        multiplier_budget,
+        frequency_mhz,
+        shared_data_transform,
+        include_pipeline_depth,
+        name,
+    )
+    entry = cache.lookup_point(key)
+    if entry is not None:
+        status, value = entry
+        if status == "err":
+            # Replay the original exception class and args so callers see
+            # the same error whether the probe was cached or not.
+            error_type, error_args = value
+            raise error_type(*error_args)
+        return _detached(value)
+
+    try:
+        point = evaluate_design(
+            network,
+            m=m,
+            r=r,
+            parallel_pes=parallel_pes,
+            multiplier_budget=multiplier_budget,
+            frequency_mhz=frequency_mhz,
+            shared_data_transform=shared_data_transform,
+            device=device,
+            calibration=calibration,
+            include_pipeline_depth=include_pipeline_depth,
+            name=name,
+            components=_CachedComponents(cache, fingerprint),
+        )
+    except ValueError as error:
+        cache.store_point(key, ("err", (type(error), error.args)))
+        raise
+    cache.store_point(key, ("ok", point))
+    return _detached(point)
+
+
+def _detached(point: DesignPoint) -> DesignPoint:
+    """Copy of a cached point whose mutable latency mapping is private.
+
+    Cached points (and the latency reports they embed) are shared across
+    callers and processes-lifetime; handing each caller its own
+    ``group_latency_ms`` dict means mutating a result can never corrupt
+    later cache hits.  Everything else on the point is immutable or
+    provenance-only.
+    """
+    latency = point.latency
+    return replace(
+        point,
+        latency=replace(latency, group_latency_ms=dict(latency.group_latency_ms)),
+    )
+
+
+class _CachedComponents:
+    """Component provider backed by an :class:`EvaluationCache`.
+
+    Plugged into :func:`repro.core.design_point.evaluate_design` so the
+    cached and uncached evaluators share one body — the only difference is
+    where each sub-model result comes from.
+    """
+
+    def __init__(self, cache: EvaluationCache, fingerprint: str) -> None:
+        self._cache = cache
+        self._fingerprint = fingerprint
+
+    def engine(self, config, device, calibration):
+        return self._cache.engine(config, device, calibration)
+
+    def latency(self, network, m, pes, frequency_mhz, r, pipeline_depth):
+        return self._cache.latency(
+            self._fingerprint, network, m, pes, frequency_mhz, r, pipeline_depth
+        )
+
+    def spatial_multiplications(self, network):
+        return self._cache.spatial_multiplications(self._fingerprint, network)
+
+    def multiplication_complexity(self, network, m):
+        return self._cache.multiplication_complexity(self._fingerprint, network, m)
+
+    def implementation_transform_complexity(self, network, m, parallel_pes):
+        return self._cache.implementation_transform_complexity(
+            self._fingerprint, network, m, parallel_pes
+        )
+
+
+# --------------------------------------------------------------------- #
+# Grid evaluation (serial and chunked-parallel)
+# --------------------------------------------------------------------- #
+def _evaluate_entry(
+    network: Network,
+    device: FpgaDevice,
+    calibration: Calibration,
+    entry: GridEntry,
+    skip_infeasible: bool,
+    cache: CacheLike,
+    fingerprint: Optional[str],
+) -> Optional[DesignPoint]:
+    """Evaluate one grid entry with the seed ``explore`` feasibility rules."""
+    try:
+        point = evaluate_design_cached(
+            network,
+            m=entry.m,
+            r=entry.r,
+            multiplier_budget=entry.multiplier_budget,
+            frequency_mhz=entry.frequency_mhz,
+            shared_data_transform=entry.shared_data_transform,
+            device=device,
+            calibration=calibration,
+            cache=cache,
+            fingerprint=fingerprint,
+        )
+    except ValueError:
+        if skip_infeasible:
+            return None
+        raise
+    if skip_infeasible and not point.resources.fits(device):
+        return None
+    return point
+
+
+@dataclass(frozen=True)
+class _Chunk:
+    """One unit of parallel work: a slice of grid entries on one cell."""
+
+    network: Network
+    device: FpgaDevice
+    calibration: Calibration
+    entries: Tuple[GridEntry, ...]
+    skip_infeasible: bool
+    use_cache: bool
+
+
+def _evaluate_chunk(chunk: _Chunk) -> Tuple[List[Optional[DesignPoint]], int, int]:
+    """Worker entry point.
+
+    Caches cannot cross process boundaries, so a worker uses its own
+    process-wide cache when caching is enabled (warm-started by fork on
+    platforms that fork) and the raw evaluator when it is disabled.
+    Returns the evaluated slice plus the cache hits/misses it incurred, so
+    the parent can aggregate per-run statistics.
+    """
+    cache = global_cache() if chunk.use_cache else False
+    before = global_cache().total if chunk.use_cache else None
+    fingerprint = network_fingerprint(chunk.network) if chunk.use_cache else None
+    results = [
+        _evaluate_entry(
+            chunk.network,
+            chunk.device,
+            chunk.calibration,
+            entry,
+            chunk.skip_infeasible,
+            cache,
+            fingerprint,
+        )
+        for entry in chunk.entries
+    ]
+    if before is None:
+        return results, 0, 0
+    delta = global_cache().total.delta_since(before)
+    return results, delta.hits, delta.misses
+
+
+def _ensure_tuple(value, scalar_types: tuple) -> tuple:
+    """Wrap a bare scalar (a name would otherwise iterate per character)
+    into a one-element tuple; materialize any other iterable."""
+    if isinstance(value, scalar_types):
+        return (value,)
+    return tuple(value)
+
+
+def _normalize_specs(spec: SpecLike) -> Tuple[SweepSpec, ...]:
+    specs = _ensure_tuple(spec, (SweepSpec,))
+    if not specs or not all(isinstance(item, SweepSpec) for item in specs):
+        raise TypeError("spec must be a SweepSpec or a non-empty sequence of SweepSpecs")
+    return specs
+
+
+def _normalize_networks(networks: Union[NetworkLike, Sequence[NetworkLike]]) -> List[Network]:
+    resolved = [
+        resolve_network(network) for network in _ensure_tuple(networks, (Network, str))
+    ]
+    if not resolved:
+        raise ValueError("at least one network is required")
+    return resolved
+
+
+def _normalize_devices(
+    devices: Union[DeviceLike, Sequence[DeviceLike], None]
+) -> List[FpgaDevice]:
+    if devices is None:
+        return [virtex7_485t()]
+    resolved = [
+        resolve_device(device) for device in _ensure_tuple(devices, (FpgaDevice, str))
+    ]
+    if not resolved:
+        raise ValueError("at least one device is required")
+    return resolved
+
+
+def iter_explore(
+    networks: Union[NetworkLike, Sequence[NetworkLike]],
+    spec: SpecLike = SweepSpec(),
+    devices: Union[DeviceLike, Sequence[DeviceLike], None] = None,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    skip_infeasible: bool = True,
+    cache: CacheLike = None,
+    executor: Optional[ExecutorConfig] = None,
+    stats_out: Optional[CacheStats] = None,
+) -> Iterator[DesignPoint]:
+    """Stream design points for a networks x devices x sweeps cross-product.
+
+    Points are yielded in deterministic order — network-major, then device,
+    then sweep-spec, then the spec's canonical grid order — regardless of the
+    execution mode, so serial and parallel runs are interchangeable.
+
+    ``networks`` and ``devices`` accept registry names (see
+    :func:`repro.nn.registry.get_network` / :func:`repro.hw.device.get_device`)
+    as well as concrete objects.  ``cache=None`` uses the process-wide cache
+    and ``cache=False`` disables memoisation, in every execution mode; a
+    caller-supplied :class:`EvaluationCache` serves the serial path, while
+    process-pool workers always memoise in their own per-process caches
+    (objects cannot be shared across process boundaries — fork-based
+    platforms warm-start workers from the parent's process-wide cache).
+
+    ``stats_out``, when given, accumulates the cache hits/misses incurred by
+    this call (including worker-side counters in process mode).  Attribution
+    works by snapshotting the serving cache's counters around the run, so
+    when several explorations share one cache *concurrently* (threads, or
+    interleaved generators) the split between them is approximate.
+
+    ``executor=None`` runs strictly serially — the safe library default.
+    Pass ``ExecutorConfig(mode="auto")`` or ``mode="process"`` to enable the
+    chunked process pool; as with any ``ProcessPoolExecutor`` user, scripts
+    on spawn-start platforms (Windows, macOS) must then guard their entry
+    point with ``if __name__ == "__main__":``.
+    """
+    nets = _normalize_networks(networks)
+    devs = _normalize_devices(devices)
+    specs = _normalize_specs(spec)
+    executor = executor or ExecutorConfig(mode="serial")
+
+    entries: List[GridEntry] = [
+        entry for one_spec in specs for entry in one_spec.configurations()
+    ]
+    total = len(nets) * len(devs) * len(entries)
+    if total == 0:
+        return
+
+    use_cache = cache is not False
+    explicit_cache = isinstance(cache, EvaluationCache)
+    shared_cache = (cache if explicit_cache else global_cache()) if use_cache else False
+
+    # A caller-supplied cache is a request for isolation from process-global
+    # state; worker processes can only memoise in their own global caches,
+    # so auto mode prefers the serial path then.  Forcing mode="process"
+    # overrides (the explicit mode wins over the cache preference), but the
+    # supplied cache then goes unused — warn rather than silently ignore it.
+    use_processes = executor.use_processes(total) and not (
+        explicit_cache and executor.mode == "auto"
+    )
+    if use_processes and explicit_cache:
+        import warnings
+
+        warnings.warn(
+            "iter_explore: the supplied EvaluationCache cannot serve "
+            "process-pool workers (they memoise in per-process caches); "
+            "use mode='auto' or 'serial' to evaluate through it",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    if not use_processes:
+        before = shared_cache.total if use_cache else CacheStats()
+        try:
+            for network in nets:
+                fingerprint = network_fingerprint(network) if use_cache else None
+                for device in devs:
+                    for entry in entries:
+                        point = _evaluate_entry(
+                            network, device, calibration, entry, skip_infeasible,
+                            shared_cache, fingerprint,
+                        )
+                        if point is not None:
+                            yield point
+        finally:
+            if stats_out is not None and use_cache:
+                delta = shared_cache.total.delta_since(before)
+                stats_out.hits += delta.hits
+                stats_out.misses += delta.misses
+        return
+
+    chunk_size = executor.resolved_chunk_size(len(entries))
+    chunks = [
+        _Chunk(
+            network=network,
+            device=device,
+            calibration=calibration,
+            entries=tuple(entries[start : start + chunk_size]),
+            skip_infeasible=skip_infeasible,
+            use_cache=use_cache,
+        )
+        for network in nets
+        for device in devs
+        for start in range(0, len(entries), chunk_size)
+    ]
+
+    from collections import deque
+    from concurrent.futures import ProcessPoolExecutor
+
+    workers = executor.resolved_workers()
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        # Submit chunks with a bounded in-flight window rather than all at
+        # once, so abandoning the iterator early cancels the un-started
+        # tail instead of evaluating the whole grid.  FIFO consumption of
+        # the window preserves the serial ordering.
+        chunk_iter = iter(chunks)
+        in_flight = deque()
+        try:
+            for _ in range(2 * workers):
+                chunk = next(chunk_iter, None)
+                if chunk is None:
+                    break
+                in_flight.append(pool.submit(_evaluate_chunk, chunk))
+            while in_flight:
+                results, hits, misses = in_flight.popleft().result()
+                chunk = next(chunk_iter, None)
+                if chunk is not None:
+                    in_flight.append(pool.submit(_evaluate_chunk, chunk))
+                if stats_out is not None:
+                    stats_out.hits += hits
+                    stats_out.misses += misses
+                for point in results:
+                    if point is not None:
+                        yield point
+        finally:
+            for future in in_flight:
+                future.cancel()
+
+
+def explore_cached(
+    network: Network,
+    spec: SweepSpec = SweepSpec(),
+    device: Optional[FpgaDevice] = None,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    skip_infeasible: bool = True,
+    cache: CacheLike = None,
+    executor: Optional[ExecutorConfig] = None,
+) -> List[DesignPoint]:
+    """List-returning single-network sweep used by ``repro.core.explore``."""
+    return list(
+        iter_explore(
+            network,
+            spec,
+            devices=device,
+            calibration=calibration,
+            skip_infeasible=skip_infeasible,
+            cache=cache,
+            executor=executor,
+        )
+    )

@@ -23,6 +23,7 @@ from .device import (
     DEVICES,
     FpgaDevice,
     get_device,
+    resolve_device,
     stratix_v_gt,
     virtex7_485t,
     virtex7_690t,
@@ -38,6 +39,7 @@ __all__ = [
     "FpgaDevice",
     "DEVICES",
     "get_device",
+    "resolve_device",
     "virtex7_485t",
     "virtex7_690t",
     "zynq_7045",

@@ -13,7 +13,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-__all__ = ["FpgaDevice", "DEVICES", "get_device", "virtex7_485t", "virtex7_690t", "zynq_7045", "stratix_v_gt"]
+__all__ = [
+    "FpgaDevice",
+    "DEVICES",
+    "get_device",
+    "resolve_device",
+    "virtex7_485t",
+    "virtex7_690t",
+    "zynq_7045",
+    "stratix_v_gt",
+]
 
 
 @dataclass(frozen=True)
@@ -133,3 +142,12 @@ def get_device(name: str) -> FpgaDevice:
         raise KeyError(
             f"unknown device {name!r}; known devices: {sorted(DEVICES)}"
         ) from None
+
+
+def resolve_device(device: "FpgaDevice | str") -> FpgaDevice:
+    """Pass through an :class:`FpgaDevice`, or look one up by registry name."""
+    if isinstance(device, FpgaDevice):
+        return device
+    if isinstance(device, str):
+        return get_device(device)
+    raise TypeError(f"expected an FpgaDevice or device name, got {type(device).__name__}")

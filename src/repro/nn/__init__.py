@@ -10,6 +10,13 @@ from .inference import InferenceResult, generate_weights, max_pool2d, relu, run_
 from .layers import ConvLayer, FullyConnectedLayer, InputSpec, PoolLayer
 from .model import Layer, Network
 from .reference import conv_output_shape, direct_conv2d, im2col, im2col_conv2d
+from .registry import (
+    NETWORK_BUILDERS,
+    get_network,
+    known_networks,
+    register_network,
+    resolve_network,
+)
 from .resnet import basic_block_layers, resnet18, resnet34
 from .vgg import VGG_CONFIGS, vgg, vgg16_d, vgg16_group_workloads
 from .workloads import (
@@ -36,6 +43,11 @@ __all__ = [
     "resnet18",
     "resnet34",
     "basic_block_layers",
+    "NETWORK_BUILDERS",
+    "get_network",
+    "known_networks",
+    "register_network",
+    "resolve_network",
     "direct_conv2d",
     "im2col",
     "im2col_conv2d",

@@ -1,0 +1,68 @@
+"""Named network registry for campaign-scale exploration.
+
+Campaigns describe their workloads by name (``"vgg16-d"``, ``"alexnet"``,
+``"resnet18"``) so that sweep specifications stay declarative and picklable;
+this registry maps those names to the builder functions.  Builders are
+invoked per lookup, so every caller gets a fresh, independently mutable
+:class:`~repro.nn.model.Network`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Union
+
+from .alexnet import alexnet
+from .model import Network
+from .resnet import resnet18, resnet34
+from .vgg import vgg16_d
+
+__all__ = [
+    "NETWORK_BUILDERS",
+    "get_network",
+    "known_networks",
+    "register_network",
+    "resolve_network",
+]
+
+NetworkBuilder = Callable[[], Network]
+
+#: Known workload builders, keyed by canonical name (plus common aliases).
+NETWORK_BUILDERS: Dict[str, NetworkBuilder] = {
+    "vgg16-d": vgg16_d,
+    "vgg16": vgg16_d,
+    "alexnet": alexnet,
+    "resnet18": resnet18,
+    "resnet34": resnet34,
+}
+
+
+def register_network(name: str, builder: NetworkBuilder) -> None:
+    """Register (or override) a workload builder under ``name``."""
+    if not callable(builder):
+        raise TypeError("builder must be callable")
+    NETWORK_BUILDERS[name] = builder
+
+
+def known_networks() -> List[str]:
+    """Sorted names the registry can build."""
+    return sorted(NETWORK_BUILDERS)
+
+
+def get_network(name: str) -> Network:
+    """Build a fresh network by registry name."""
+    try:
+        builder = NETWORK_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown network {name!r}; known networks: {known_networks()}"
+        ) from None
+    return builder()
+
+
+def resolve_network(network: Union[str, Network]) -> Network:
+    """Pass through a :class:`Network`, or build one from a registry name."""
+    if isinstance(network, Network):
+        return network
+    if isinstance(network, str):
+        return get_network(network)
+    raise TypeError(f"expected a Network or registry name, got {type(network).__name__}")

@@ -1,5 +1,6 @@
 """Reporting helpers: plain-text tables, CSV export and ASCII figures."""
 
+from .campaign import campaign_comparison_table, campaign_summary_table, campaign_to_csv
 from .figures import bar_chart, grouped_series
 from .tables import format_comparison, format_ratio, format_table, rows_to_csv
 
@@ -10,4 +11,7 @@ __all__ = [
     "format_ratio",
     "bar_chart",
     "grouped_series",
+    "campaign_summary_table",
+    "campaign_comparison_table",
+    "campaign_to_csv",
 ]

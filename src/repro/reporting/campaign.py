@@ -1,0 +1,77 @@
+"""Rendering of campaign results: summary tables, comparisons, CSV export.
+
+Sits on top of the generic :mod:`repro.reporting.tables` primitives and the
+aggregate views a :class:`~repro.dse.campaign.CampaignResult` computes, so
+benchmark scripts and notebooks can print a whole campaign in one call.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .tables import format_table, rows_to_csv
+
+__all__ = [
+    "campaign_summary_table",
+    "campaign_comparison_table",
+    "campaign_to_csv",
+]
+
+SUMMARY_COLUMNS = (
+    "network",
+    "device",
+    "points",
+    "pareto",
+    "best_gops",
+    "best_gops_design",
+    "best_gops_per_w",
+    "min_latency_ms",
+)
+
+
+def campaign_summary_table(result, title: Optional[str] = None, precision: int = 2) -> str:
+    """One-line-per-cell summary of a :class:`~repro.dse.CampaignResult`.
+
+    Shows, per (network, device) cell: the number of feasible points, how
+    many sit on the per-network Pareto front, and the best
+    throughput / power-efficiency / latency picks.
+    """
+    if title is None:
+        result_name = result.campaign.name
+        title = (
+            f"Campaign {result_name!r}: {result.feasible}/{result.evaluations} "
+            f"feasible points in {result.elapsed_seconds * 1e3:.1f} ms "
+            f"(cache hit rate {result.cache_stats.hit_rate:.0%})"
+        )
+    return format_table(result.summary_rows(), columns=SUMMARY_COLUMNS, title=title, precision=precision)
+
+
+def campaign_comparison_table(
+    result,
+    metric: str = "throughput_gops",
+    title: Optional[str] = None,
+    precision: int = 2,
+) -> str:
+    """Networks x devices table of the best ``metric`` per cell."""
+    if title is None:
+        title = f"Best {metric} by network and device"
+    rows = result.comparison_rows(metric)
+    return format_table(rows, title=title, precision=precision)
+
+
+def campaign_to_csv(result, columns: Optional[Sequence[str]] = None) -> str:
+    """Every feasible design point of a campaign as CSV text.
+
+    Columns default to the union of keys across all rows in first-seen
+    order: different networks report different per-group latency columns
+    (``latency_conv1_ms`` vs ResNet stage groups), and taking only the
+    first row's keys would silently drop the rest.
+    """
+    rows = result.point_rows()
+    if columns is None:
+        seen: dict = {}
+        for row in rows:
+            for key in row:
+                seen.setdefault(key)
+        columns = list(seen)
+    return rows_to_csv(rows, columns=columns)

@@ -102,3 +102,37 @@ class TestSweeps:
             best_by(points, "no_such_metric")
         with pytest.raises(ValueError):
             best_by([], "throughput_gops")
+
+
+class TestBestByTieBreaking:
+    """Regression tests: equal metrics must resolve by insertion order and
+    NaN metrics must raise instead of silently winning or losing a sort."""
+
+    def _tied_points(self, vgg16):
+        # Same configuration evaluated twice under different names: every
+        # metric is exactly equal, only the insertion order differs.
+        first = evaluate_design(vgg16, m=4, parallel_pes=19, name="first")
+        second = evaluate_design(vgg16, m=4, parallel_pes=19, name="second")
+        return first, second
+
+    def test_ties_resolve_to_first_inserted(self, vgg16):
+        first, second = self._tied_points(vgg16)
+        assert best_by([first, second], "throughput_gops").name == "first"
+        assert best_by([second, first], "throughput_gops").name == "second"
+        assert best_by([first, second], "total_latency_ms", maximize=False).name == "first"
+
+    def test_tie_break_is_stable_under_distractors(self, vgg16):
+        first, second = self._tied_points(vgg16)
+        worse = evaluate_design(vgg16, m=2, parallel_pes=16, name="worse")
+        assert best_by([worse, first, second], "throughput_gops").name == "first"
+        assert best_by([first, worse, second], "throughput_gops").name == "first"
+
+    def test_nan_metric_raises(self, vgg16):
+        from dataclasses import replace
+
+        point = evaluate_design(vgg16, m=4, parallel_pes=19, name="nan-point")
+        poisoned = replace(point, throughput_gops=float("nan"))
+        with pytest.raises(ValueError, match="NaN"):
+            best_by([point, poisoned], "throughput_gops")
+        with pytest.raises(ValueError, match="nan-point"):
+            best_by([poisoned], "throughput_gops")

@@ -1,0 +1,61 @@
+"""Smoke-run every benchmark script in fast mode.
+
+The ``benchmarks/bench_*.py`` files double as the reproduction report, but
+their filenames do not match pytest's default collection patterns, so
+nothing ran them in tier-1 — an import error or a drifted API could hide
+there until someone ran the benchmark harness by hand.  This test executes
+each benchmark file in a subprocess with ``--benchmark-disable`` (every
+benchmarked function runs exactly once, untimed) and ``REPRO_BENCH_FAST=1``
+(scripts with scalable grids shrink them), turning the whole harness into a
+CI-friendly smoke target.
+"""
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_DIR = REPO_ROOT / "benchmarks"
+BENCH_FILES = sorted(BENCH_DIR.glob("bench_*.py"))
+
+
+def test_benchmark_suite_is_discovered():
+    """The repository ships benchmark scripts and this smoke test sees them."""
+    assert len(BENCH_FILES) >= 10
+    assert any(path.name == "bench_dse_campaign.py" for path in BENCH_FILES)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("bench_file", BENCH_FILES, ids=lambda path: path.stem)
+def test_benchmark_runs_in_fast_mode(bench_file):
+    env = dict(os.environ)
+    env["REPRO_BENCH_FAST"] = "1"
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    process = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(bench_file),
+            "-q",
+            "--benchmark-disable",
+            "-p",
+            "no:cacheprovider",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    output = process.stdout + process.stderr
+    assert process.returncode == 0, f"{bench_file.name} failed:\n{output}"
+    match = re.search(r"(\d+) passed", output)
+    assert match and int(match.group(1)) >= 1, (
+        f"{bench_file.name} collected no tests:\n{output}"
+    )

@@ -1,0 +1,181 @@
+"""Golden regression tests: lock the headline outputs against fixed values.
+
+Two layers of locking, both against ``repro.baselines.published``-era truth:
+
+* **paper agreement** — the quantities the reproduction claims to match
+  (Table II latency/throughput/efficiency, the abstract's 4.75x / 2.67x
+  factors) are asserted against the published numbers with the documented
+  tolerances;
+* **model snapshot** — every metric of ``headline_claims()``,
+  ``performance_table()`` and ``resource_table()`` is locked to the exact
+  value the models produce today (tolerance 1e-9 relative).  These snapshots
+  are intentionally brittle: any refactor that drifts a modelled number —
+  even one still "within paper tolerance" — must show up in review as an
+  explicit golden-value update, not slip through silently.
+"""
+
+import pytest
+
+from repro import headline_claims, performance_table, resource_table, vgg16_d
+from repro.baselines import TABLE2_PUBLISHED
+
+EXACT = 1e-9
+
+#: Snapshot of ``headline_claims(vgg16_d()).as_dict()``.
+GOLDEN_HEADLINE = {
+    "throughput_improvement": 4.75,
+    "power_efficiency_improvement_m2": 1.587901391444568,
+    "multiplier_ratio": 2.671875,
+    "lut_savings_pct": 51.61568820917613,
+    "multiplier_efficiency_best": 1.5999999999999999,
+}
+
+#: Snapshot of ``performance_table(vgg16_d())`` — one row per design.
+GOLDEN_PERFORMANCE = {
+    "qiu-fpga16": {
+        "total_latency_ms": 163.4,
+        "throughput_gops": 187.8,
+        "multiplier_efficiency": 0.24,
+        "power_watts": 9.63,
+        "power_efficiency": 19.5,
+        "multipliers": 780,
+        "parallel_pes": 0,
+    },
+    "podili-asap17": {
+        "total_latency_ms": 133.21728000000002,
+        "throughput_gops": 230.39999999999998,
+        "multiplier_efficiency": 0.8999999999999999,
+        "power_watts": 12.047559999999999,
+        "power_efficiency": 19.124204403215256,
+        "multipliers": 256,
+        "parallel_pes": 16,
+    },
+    "podili-normalized": {
+        "total_latency_ms": 49.56922046511628,
+        "throughput_gops": 619.2,
+        "multiplier_efficiency": 0.9,
+        "power_watts": 29.045679999999997,
+        "power_efficiency": 21.318144384982556,
+        "multipliers": 688,
+        "parallel_pes": 43,
+    },
+    "proposed-m2": {
+        "total_latency_ms": 49.56922046511628,
+        "throughput_gops": 619.2,
+        "multiplier_efficiency": 0.9,
+        "power_watts": 20.39032,
+        "power_efficiency": 30.36735078213584,
+        "multipliers": 688,
+        "parallel_pes": 43,
+    },
+    "proposed-m3": {
+        "total_latency_ms": 33.83296000000001,
+        "throughput_gops": 907.1999999999997,
+        "multiplier_efficiency": 1.2959999999999996,
+        "power_watts": 26.58744,
+        "power_efficiency": 34.12137460394832,
+        "multipliers": 700,
+        "parallel_pes": 28,
+    },
+    "proposed-m4": {
+        "total_latency_ms": 28.04574315789474,
+        "throughput_gops": 1094.3999999999999,
+        "multiplier_efficiency": 1.5999999999999999,
+        "power_watts": 32.60912,
+        "power_efficiency": 33.56116325739548,
+        "multipliers": 684,
+        "parallel_pes": 19,
+    },
+}
+
+#: Snapshot of ``resource_table(vgg16_d(), m=4)``.
+GOLDEN_RESOURCES = {
+    "reference_design": {
+        "luts": 259456.0,
+        "registers": 127728.0,
+        "dsp_slices": 2736,
+        "multipliers": 684,
+    },
+    "proposed_design": {
+        "luts": 125536.0,
+        "registers": 73296.0,
+        "dsp_slices": 2736,
+        "multipliers": 684,
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def network():
+    return vgg16_d()
+
+
+class TestGoldenHeadlineClaims:
+    def test_snapshot(self, network):
+        claims = headline_claims(network).as_dict()
+        assert set(claims) == set(GOLDEN_HEADLINE)
+        for key, expected in GOLDEN_HEADLINE.items():
+            assert claims[key] == pytest.approx(expected, rel=EXACT), key
+
+    def test_abstract_factors_against_paper(self, network):
+        claims = headline_claims(network)
+        # The abstract quotes 4.75x throughput and 2.67x multipliers exactly.
+        assert claims.throughput_improvement == pytest.approx(4.75, abs=0.005)
+        assert claims.multiplier_ratio == pytest.approx(2.67, abs=0.005)
+        # Power efficiency (1.44x) and LUT savings (53.6 %) come from the
+        # calibrated analytical power/resource models; the reproduction lands
+        # in the same regime and, critically, on the same side of 1x / 50 %.
+        assert claims.power_efficiency_improvement_m2 > 1.0
+        assert claims.power_efficiency_improvement_m2 == pytest.approx(1.44, rel=0.25)
+        assert claims.lut_savings_pct == pytest.approx(53.6, abs=5.0)
+        assert claims.multiplier_efficiency_best == pytest.approx(1.60, abs=0.005)
+
+
+class TestGoldenPerformanceTable:
+    def test_lineup(self, network):
+        names = [point.name for point in performance_table(network)]
+        assert names == list(GOLDEN_PERFORMANCE)
+
+    @pytest.mark.parametrize("design", list(GOLDEN_PERFORMANCE))
+    def test_snapshot(self, network, design):
+        table = {point.name: point for point in performance_table(network)}
+        point = table[design]
+        golden = GOLDEN_PERFORMANCE[design]
+        for metric, expected in golden.items():
+            assert getattr(point, metric) == pytest.approx(expected, rel=EXACT), metric
+
+    @pytest.mark.parametrize("design", list(GOLDEN_PERFORMANCE))
+    def test_latency_against_paper(self, network, design):
+        published = TABLE2_PUBLISHED[design.replace("-", "_")]
+        table = {point.name: point for point in performance_table(network)}
+        assert table[design].total_latency_ms == pytest.approx(
+            published["overall_latency_ms"], rel=0.005
+        )
+        assert table[design].throughput_gops == pytest.approx(
+            published["throughput_gops"], rel=0.005
+        )
+
+
+class TestGoldenResourceTable:
+    def test_snapshot(self, network):
+        table = resource_table(network, m=4)
+        assert set(table) == set(GOLDEN_RESOURCES)
+        for design, golden in GOLDEN_RESOURCES.items():
+            point = table[design]
+            assert point.resources.luts == pytest.approx(golden["luts"], rel=EXACT)
+            assert point.resources.registers == pytest.approx(golden["registers"], rel=EXACT)
+            assert point.resources.dsp_slices == golden["dsp_slices"]
+            assert point.multipliers == golden["multipliers"]
+
+    def test_orderings_match_paper(self, network):
+        table = resource_table(network, m=4)
+        # Table I's qualitative content: same DSP/multiplier budget, large
+        # LUT and register savings for the proposed design.
+        assert (
+            table["proposed_design"].resources.luts
+            < table["reference_design"].resources.luts * 0.55
+        )
+        assert (
+            table["proposed_design"].resources.registers
+            < table["reference_design"].resources.registers
+        )
