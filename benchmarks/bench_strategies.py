@@ -1,0 +1,145 @@
+"""Search-strategy benchmark — Pareto-front quality vs evaluations spent.
+
+Runs the same experiment three ways — exhaustive :class:`GridStrategy`,
+seeded :class:`RandomStrategy` subsampling and :class:`ParetoRefineStrategy`
+(coarse pass + front-neighbourhood refinement) — and reports, per strategy:
+how many grid configurations were evaluated, how many feasible points came
+back, and how close its Pareto front gets to the exhaustive one on the
+campaign objectives (throughput and power efficiency).
+
+Asserts that the refinement strategy reaches the exhaustive front within a
+small relative tolerance while spending materially fewer evaluations than
+the full grid.  Set ``REPRO_BENCH_FAST=1`` to shrink the grid for smoke
+runs (the evaluation-saving ratio is relaxed there: tiny coarse grids
+amortise little).
+"""
+
+import os
+
+from conftest import emit
+
+from repro.core.design_space import SweepSpec, frequency_range
+from repro.dse import EvaluationCache
+from repro.experiments import ExperimentSpec, run_experiment
+from repro.reporting import format_table
+
+FAST = os.environ.get("REPRO_BENCH_FAST") == "1"
+
+OBJECTIVES = (("throughput_gops", True), ("power_efficiency", True))
+
+if FAST:
+    SWEEP = SweepSpec(
+        m_values=(2, 3, 4),
+        multiplier_budgets=(256, 512),
+        frequencies_mhz=(150.0, 200.0),
+    )
+    NETWORKS = ("vgg16-d",)
+    MAX_EVAL_FRACTION = 1.0  # a 12-entry grid leaves nothing to skip
+else:
+    SWEEP = SweepSpec(
+        m_values=(2, 3, 4, 5, 6),
+        multiplier_budgets=(256, 512, 768, 1024),
+        frequencies_mhz=frequency_range(150.0, 250.0, 25.0),
+    )
+    NETWORKS = ("vgg16-d", "alexnet")
+    MAX_EVAL_FRACTION = 0.7  # refinement must skip >= 30% of the grid
+
+#: Maximum acceptable relative gap, per objective, between the exhaustive
+#: front and the closest refined-front point covering it.
+FRONT_TOLERANCE = 0.02
+
+BASE = ExperimentSpec(
+    name="bench-strategies",
+    networks=NETWORKS,
+    devices=("xc7vx485t",),
+    sweeps=(SWEEP,),
+    objectives=OBJECTIVES,
+)
+
+
+def _front_gap(reference_front, candidate_front):
+    """Worst-case relative shortfall of ``candidate_front`` vs the reference.
+
+    For every reference front point, find the candidate point that best
+    covers it (smallest max relative shortfall across the objectives; both
+    objectives here are maximised) and take the worst such cover — 0.0 means
+    the candidate front matches or dominates the reference everywhere.
+    """
+    if not candidate_front:
+        return 1.0 if reference_front else 0.0
+    worst = 0.0
+    for reference in reference_front:
+        best_cover = min(
+            max(
+                max(0.0, (getattr(reference, metric) - getattr(candidate, metric))
+                    / getattr(reference, metric))
+                for metric, _ in OBJECTIVES
+            )
+            for candidate in candidate_front
+        )
+        worst = max(worst, best_cover)
+    return worst
+
+
+def _strategy_rows():
+    specs = {
+        "grid": BASE,
+        "random": BASE.with_strategy("random", samples=max(4, BASE.grid_size // (4 * len(NETWORKS))), seed=2019),
+        "pareto-refine": BASE.with_strategy("pareto-refine", coarse=2, neighborhood=1),
+    }
+    results = {
+        name: run_experiment(spec, cache=EvaluationCache()) for name, spec in specs.items()
+    }
+    grid_fronts = results["grid"].pareto_fronts()
+    rows = []
+    for name, result in results.items():
+        gap = max(
+            _front_gap(grid_fronts[network], result.pareto_fronts().get(network) or [])
+            if grid_fronts[network]
+            else 0.0
+            for network in grid_fronts
+        )
+        rows.append(
+            {
+                "strategy": name,
+                "evaluations": result.evaluations,
+                "grid_fraction": result.evaluations / BASE.grid_size,
+                "feasible": result.feasible,
+                "front_gap": gap,
+                "time_ms": result.elapsed_seconds * 1e3,
+            }
+        )
+    return results, rows
+
+
+def test_pareto_refine_matches_grid_front_with_fewer_evaluations(benchmark):
+    results, rows = _strategy_rows()
+    benchmark(
+        lambda: run_experiment(
+            BASE.with_strategy("pareto-refine", coarse=2, neighborhood=1),
+            cache=EvaluationCache(),
+        )
+    )
+    emit(
+        f"Search strategies on a {BASE.grid_size}-configuration experiment "
+        f"({len(NETWORKS)} network(s), front tolerance {FRONT_TOLERANCE:.0%})",
+        format_table(rows, precision=3),
+    )
+
+    refine = next(row for row in rows if row["strategy"] == "pareto-refine")
+    assert refine["front_gap"] <= FRONT_TOLERANCE, (
+        f"pareto-refine front is {refine['front_gap']:.2%} below the exhaustive "
+        f"front (tolerance {FRONT_TOLERANCE:.0%})"
+    )
+    assert refine["evaluations"] <= MAX_EVAL_FRACTION * BASE.grid_size, (
+        f"pareto-refine evaluated {refine['evaluations']}/{BASE.grid_size} "
+        f"configurations — expected <= {MAX_EVAL_FRACTION:.0%} of the grid"
+    )
+    # Every strategy's points lie inside the declared grid.
+    entries = {
+        (entry.m, entry.r, entry.frequency_mhz, entry.shared_data_transform)
+        for entry in SWEEP.configurations()
+    }
+    for result in results.values():
+        for point in result.points:
+            assert (point.m, point.r, point.frequency_mhz, point.shared_data_transform) in entries

@@ -3,15 +3,26 @@
 
 The paper motivates fast algorithms with modern small-kernel CNNs in general;
 this example shows how to run the same exploration on ResNet-18, AlexNet and a
-user-defined network, how to identify which layers are Winograd-eligible and
-how to pick the best engine configuration per workload with the optimizer.
+user-defined network, how to identify which layers are Winograd-eligible, how
+to pick the best engine configuration per workload with the optimizer — and
+how registering the custom network makes it addressable by name from a
+declarative :class:`~repro.experiments.ExperimentSpec` (and hence from
+``python -m repro run`` spec files).
 
 Run with:  python examples/custom_network_dse.py
 """
 
-from repro import Network, alexnet, optimize, resnet18
+from repro import (
+    ExperimentSpec,
+    Network,
+    alexnet,
+    optimize,
+    register_network,
+    resnet18,
+    run_experiment,
+)
 from repro.nn import ConvLayer, InputSpec, winograd_eligible_layers
-from repro.reporting import format_table
+from repro.reporting import campaign_summary_table, format_table
 
 
 def tiny_detector() -> Network:
@@ -64,6 +75,21 @@ def main() -> None:
         " strided convolutions) fall back to spatial convolution and are not"
         " timed by the Winograd engine model."
     )
+
+    # ------------------------------------------------------------------ #
+    # Declarative route: once registered, the custom workload is reachable
+    # by name from any ExperimentSpec (including JSON spec files run via
+    # `python -m repro run`).
+    # ------------------------------------------------------------------ #
+    register_network("tiny-detector", tiny_detector)
+    spec = ExperimentSpec(
+        name="custom-network-demo",
+        networks=("tiny-detector", "resnet18", "alexnet"),
+        strategy="pareto-refine",
+    )
+    result = run_experiment(spec)
+    print()
+    print(campaign_summary_table(result))
 
 
 if __name__ == "__main__":

@@ -43,6 +43,11 @@ def main() -> None:
     print(f"  multiplier ratio (m=4 vs [3])      : {claims.multiplier_ratio:.2f}x  (paper: 2.67x)")
     print(f"  LUT savings at m=4, 19 PEs         : {claims.lut_savings_pct:.1f}%   (paper: 53.6%)")
     print(f"  best multiplier efficiency          : {claims.multiplier_efficiency_best:.2f} GOPS/mult (paper: 1.60)")
+    print(
+        "\nNext: describe a whole exploration declaratively with "
+        "ExperimentSpec (see examples/declarative_experiment.py) or run a "
+        "spec file end-to-end with `python -m repro run examples/experiment_spec.json`."
+    )
 
 
 if __name__ == "__main__":

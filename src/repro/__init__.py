@@ -24,10 +24,16 @@ Subpackages
     design-space exploration, Pareto/roofline analysis, proposed designs and
     comparison tables.
 ``repro.dse``
-    Campaign-scale exploration engine: a memoised evaluation layer, a
+    Campaign-scale evaluation engine: a memoised evaluation layer, a
     chunked process-pool executor with a serial fallback, and
     ``Campaign``/``CampaignResult`` aggregation (per-network Pareto fronts,
     best-by-metric picks, comparison tables).
+``repro.experiments``
+    The declarative experiment layer: ``ExperimentSpec`` (a frozen,
+    JSON-round-trippable description of an exploration), pluggable
+    ``SearchStrategy`` solvers (exhaustive grid, seeded random subsampling,
+    Pareto-front refinement), result persistence
+    (``CampaignResult.save``/``load``) and the ``python -m repro`` CLI.
 ``repro.baselines``
     Podili et al. [3], Qiu et al. [12] and spatial-convolution baselines,
     plus the paper's published table/figure values.
@@ -42,19 +48,29 @@ Quickstart
 >>> round(designs[-1].throughput_gops, 1)
 1094.4
 
-Campaign quickstart — sweep three networks across two devices, with
-memoised evaluation and per-network Pareto fronts:
+Experiment quickstart — experiments are declarative artifacts: describe
+the search as data, pick a solver by name, run it, persist the result:
 
->>> from repro import Campaign, SweepSpec, frequency_range
->>> result = Campaign(
+>>> from repro import ExperimentSpec, SweepSpec, frequency_range, run_experiment
+>>> spec = ExperimentSpec(
 ...     networks=("vgg16-d", "alexnet", "resnet18"),
 ...     devices=("xc7vx485t", "xc7vx690t"),
 ...     sweeps=(SweepSpec(m_values=(2, 3, 4, 5, 6),
 ...                       multiplier_budgets=(512, 1024),
 ...                       frequencies_mhz=frequency_range(150, 250, 50)),),
-... ).run()
+...     strategy="pareto-refine",            # or "grid", "random", ...
+... )
+>>> spec == ExperimentSpec.from_dict(spec.to_dict())   # lossless artifact
+True
+>>> result = run_experiment(spec)
 >>> fronts = result.pareto_fronts()          # per-network Pareto fronts
 >>> best = result.best("power_efficiency")   # best-by-metric pick
+>>> path = result.save("result.json")        # doctest: +SKIP
+
+The same spec runs from a file via the CLI: ``python -m repro run
+spec.json -o result.json`` (see ``python -m repro --help``).  The legacy
+``Campaign``/``explore`` entry points remain as thin shims over this API
+with identical signatures, ordering and results.
 """
 
 from .core import (
@@ -90,12 +106,43 @@ from .dse import (
     iter_explore,
     run_campaign,
 )
-from .hw import EngineConfig, FpgaDevice, PowerModel, build_engine, get_device, virtex7_485t
-from .nn import Network, alexnet, get_network, resnet18, vgg, vgg16_d
+from .experiments import (
+    ExperimentSpec,
+    GridStrategy,
+    ParetoRefineStrategy,
+    RandomStrategy,
+    SearchStrategy,
+    StrategySpec,
+    get_strategy,
+    known_strategies,
+    load_result,
+    register_strategy,
+    run_experiment,
+)
+from .hw import (
+    EngineConfig,
+    FpgaDevice,
+    PowerModel,
+    build_engine,
+    get_device,
+    known_devices,
+    register_device,
+    virtex7_485t,
+)
+from .nn import (
+    Network,
+    alexnet,
+    get_network,
+    known_networks,
+    register_network,
+    resnet18,
+    vgg,
+    vgg16_d,
+)
 from .sim import EngineSimConfig, WinogradEngineSim
 from .winograd import WinogradConv2D, get_transform, winograd_conv2d
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -110,10 +157,14 @@ __all__ = [
     "alexnet",
     "resnet18",
     "get_network",
+    "known_networks",
+    "register_network",
     # hw
     "FpgaDevice",
     "virtex7_485t",
     "get_device",
+    "known_devices",
+    "register_device",
     "EngineConfig",
     "build_engine",
     "PowerModel",
@@ -151,4 +202,16 @@ __all__ = [
     "evaluate_design_cached",
     "iter_explore",
     "run_campaign",
+    # experiments
+    "ExperimentSpec",
+    "StrategySpec",
+    "SearchStrategy",
+    "GridStrategy",
+    "RandomStrategy",
+    "ParetoRefineStrategy",
+    "register_strategy",
+    "known_strategies",
+    "get_strategy",
+    "run_experiment",
+    "load_result",
 ]

@@ -13,7 +13,10 @@ The evaluation itself is delegated to :mod:`repro.dse`, the campaign-scale
 engine that memoises repeated ``(m, r)`` transform/complexity work and can
 fan evaluations out over a process pool; ``explore`` keeps its historical
 signature and ordering, so existing callers see the same points — just
-faster.
+faster.  :class:`SweepSpec` is also the grid vocabulary of the declarative
+:mod:`repro.experiments` layer: its ``to_dict``/``from_dict`` round-trip is
+what lets an :class:`~repro.experiments.ExperimentSpec` describe sweeps in a
+JSON file and hand them to any registered search strategy.
 """
 
 from __future__ import annotations
@@ -69,12 +72,19 @@ def frequency_range(
     300.0)``.  The stop point is included whenever it lands within a small
     tolerance of a step, so fractional steps behave intuitively.
     """
+    for label, value in (("start", start_mhz), ("stop", stop_mhz), ("step", step_mhz)):
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(f"{label} frequency must be a number, got {value!r}")
+        if not math.isfinite(value):
+            raise ValueError(f"{label} frequency must be finite, got {value!r}")
     if start_mhz <= 0 or stop_mhz <= 0:
         raise ValueError("frequencies must be positive")
     if step_mhz <= 0:
-        raise ValueError("step must be positive")
+        raise ValueError(f"step must be positive, got {step_mhz!r}")
     if stop_mhz < start_mhz:
-        raise ValueError("stop frequency must be >= start frequency")
+        raise ValueError(
+            f"stop frequency {stop_mhz!r} must be >= start frequency {start_mhz!r}"
+        )
     count = int(math.floor((stop_mhz - start_mhz) / step_mhz + 1e-9)) + 1
     return tuple(float(start_mhz + index * step_mhz) for index in range(count))
 
@@ -125,6 +135,51 @@ class SweepSpec:
             object.__setattr__(self, field_name, _field_tuple(getattr(self, field_name)))
         if self.r_values is not None:
             object.__setattr__(self, "r_values", _field_tuple(self.r_values))
+        self._validate()
+
+    def _validate(self) -> None:
+        """Reject empty axes and out-of-domain values with clear errors.
+
+        An accidentally empty axis (``m_values=()``) used to expand to a
+        silent zero-point sweep; every axis except ``r_values`` now raises
+        instead (an explicitly empty ``r_values`` keeps its documented
+        "sweep nothing" meaning, since ``None`` — not ``()`` — is its
+        neutral value).
+        """
+        for field_name in ("m_values", "multiplier_budgets", "frequencies_mhz", "shared_data_transform"):
+            if not getattr(self, field_name):
+                raise ValueError(
+                    f"SweepSpec.{field_name} is empty — an empty axis would "
+                    "silently sweep nothing; list at least one value"
+                )
+        for m in self.m_values:
+            if not isinstance(m, int) or isinstance(m, bool) or m < 1:
+                raise ValueError(f"m_values entries must be integers >= 1, got {m!r}")
+        for r in self.effective_r_values:
+            if not isinstance(r, int) or isinstance(r, bool) or r < 1:
+                raise ValueError(f"kernel sizes must be integers >= 1, got {r!r}")
+        for budget in self.multiplier_budgets:
+            if budget is None:
+                continue
+            if not isinstance(budget, int) or isinstance(budget, bool) or budget < 1:
+                raise ValueError(
+                    f"multiplier_budgets entries must be None or integers >= 1, got {budget!r}"
+                )
+        for frequency in self.frequencies_mhz:
+            if (
+                not isinstance(frequency, (int, float))
+                or isinstance(frequency, bool)
+                or not math.isfinite(frequency)
+                or frequency <= 0
+            ):
+                raise ValueError(
+                    f"frequencies_mhz entries must be positive finite numbers, got {frequency!r}"
+                )
+        for shared in self.shared_data_transform:
+            if not isinstance(shared, bool):
+                raise ValueError(
+                    f"shared_data_transform entries must be booleans, got {shared!r}"
+                )
 
     # ------------------------------------------------------------------ #
     @property
@@ -173,6 +228,34 @@ class SweepSpec:
     ) -> "SweepSpec":
         """Copy of the spec sweeping an inclusive frequency ladder."""
         return self.with_frequencies(frequency_range(start_mhz, stop_mhz, step_mhz))
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """JSON-ready representation; inverse of :meth:`from_dict`."""
+        return {
+            "m_values": list(self.m_values),
+            "multiplier_budgets": list(self.multiplier_budgets),
+            "frequencies_mhz": [float(f) for f in self.frequencies_mhz],
+            "shared_data_transform": list(self.shared_data_transform),
+            "r": self.r,
+            "r_values": None if self.r_values is None else list(self.r_values),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepSpec":
+        """Rebuild a spec from :meth:`to_dict` output (unknown keys raise)."""
+        if not isinstance(data, dict):
+            raise ValueError(f"sweep spec must be a mapping, got {type(data).__name__}")
+        known = {
+            "m_values", "multiplier_budgets", "frequencies_mhz",
+            "shared_data_transform", "r", "r_values",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown SweepSpec fields {sorted(unknown)}; known fields: {sorted(known)}"
+            )
+        return cls(**data)
 
 
 def explore(

@@ -13,8 +13,14 @@ turns that into a campaign engine:
   path and a serial fallback, both returning identical points in identical
   order;
 * :mod:`repro.dse.campaign` — :class:`Campaign` / :class:`CampaignResult`,
-  the declarative campaign description and its aggregated outcome
-  (per-network Pareto fronts, best-by-metric picks, comparison tables).
+  the campaign description and its aggregated outcome (per-network Pareto
+  fronts, best-by-metric picks, comparison tables, JSON ``save``/``load``).
+
+This package is the *evaluation engine*; the declarative layer on top of it
+lives in :mod:`repro.experiments` (``ExperimentSpec`` + pluggable search
+strategies + the ``python -m repro`` CLI).  ``Campaign.run()`` and
+:func:`run_campaign` are thin shims over that API's exhaustive
+``GridStrategy`` — signatures, ordering and results are unchanged.
 
 Quickstart — a 3-network x 2-device campaign:
 

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.design_point import DesignPoint
 from ..core.design_space import SweepSpec, best_by
@@ -34,8 +35,10 @@ from .engine import (
     _normalize_devices,
     _normalize_networks,
     _normalize_specs,
-    iter_explore,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; runtime import would cycle
+    from ..experiments.spec import ExperimentSpec
 
 __all__ = ["Campaign", "CampaignResult", "run_campaign", "METRIC_DIRECTIONS"]
 
@@ -122,13 +125,20 @@ class Campaign:
 
 @dataclass
 class CampaignResult:
-    """Evaluated campaign: every feasible design point plus aggregate views."""
+    """Evaluated campaign: every feasible design point plus aggregate views.
+
+    ``spec`` carries the declarative :class:`~repro.experiments.ExperimentSpec`
+    the run came from (set by :func:`repro.experiments.run_experiment`;
+    ``None`` for legacy ``Campaign.run()`` calls, where an equivalent spec is
+    derived on save), making every saved result a re-runnable artifact.
+    """
 
     campaign: Campaign
     points: List[DesignPoint]
     evaluations: int
     elapsed_seconds: float
     cache_stats: CacheStats = field(default_factory=CacheStats)
+    spec: Optional["ExperimentSpec"] = field(default=None, repr=False)
 
     # ------------------------------------------------------------------ #
     @property
@@ -273,6 +283,23 @@ class CampaignResult:
             rows.append(row)
         return rows
 
+    # ------------------------------------------------------------------ #
+    def save(self, path: Union[str, "Path"]) -> "Path":
+        """Persist the result (points, bookkeeping and the embedded spec) as
+        versioned JSON, so it can be reloaded and re-analysed — or the spec
+        re-run — without re-evaluating anything.  Returns the path written.
+        """
+        from ..experiments.persistence import save_result  # deferred: avoids cycle
+
+        return save_result(self, path)
+
+    @classmethod
+    def load(cls, path: Union[str, "Path"]) -> "CampaignResult":
+        """Reload a result previously written by :meth:`save`."""
+        from ..experiments.persistence import load_result  # deferred: avoids cycle
+
+        return load_result(path)
+
 
 def run_campaign(
     campaign: Campaign,
@@ -281,34 +308,38 @@ def run_campaign(
 ) -> CampaignResult:
     """Evaluate every cell of ``campaign`` and aggregate the results.
 
-    Uses the shared memoising evaluator (so overlapping grids across sweeps
-    and repeated campaigns are near-free).  Runs serially unless an
+    A thin shim over the :mod:`repro.experiments` runner with the exhaustive
+    :class:`~repro.experiments.GridStrategy` — signatures, point ordering
+    and results are unchanged from the historical campaign engine (the
+    strategy streams through the same :func:`~repro.dse.engine.iter_explore`
+    core).  Uses the shared memoising evaluator (so overlapping grids across
+    sweeps and repeated campaigns are near-free).  Runs serially unless an
     ``executor`` opting into the chunked process pool is given
-    (``ExecutorConfig(mode="auto")`` or ``"process"``).  The points come
-    back in deterministic network-major order either way.  ``cache_stats``
-    on the result counts this run's cache traffic (worker-side counters
+    (``ExecutorConfig(mode="auto")`` or ``"process"``).  ``cache_stats`` on
+    the result counts this run's cache traffic (worker-side counters
     included in process mode; approximate if other threads share the same
     cache concurrently); it stays zero when ``cache=False``.
     """
-    stats = CacheStats()
-    started = time.perf_counter()
-    points = list(
-        iter_explore(
-            campaign.resolved_networks(),
-            campaign.resolved_sweeps(),
-            devices=campaign.resolved_devices(),
-            calibration=campaign.calibration,
-            skip_infeasible=campaign.skip_infeasible,
-            cache=cache,
-            executor=executor,
-            stats_out=stats,
-        )
+    from ..experiments.runner import Evaluator  # deferred: avoids import cycle
+    from ..experiments.strategies import GridStrategy
+
+    evaluator = Evaluator(
+        networks=campaign.resolved_networks(),
+        devices=campaign.resolved_devices(),
+        sweeps=campaign.resolved_sweeps(),
+        calibration=campaign.calibration,
+        skip_infeasible=campaign.skip_infeasible,
+        objectives=campaign.objectives,
+        cache=cache,
+        executor=executor,
     )
+    started = time.perf_counter()
+    points = list(GridStrategy().search(None, evaluator))
     elapsed = time.perf_counter() - started
     return CampaignResult(
         campaign=campaign,
         points=points,
         evaluations=campaign.grid_size,
         elapsed_seconds=elapsed,
-        cache_stats=stats,
+        cache_stats=evaluator.stats,
     )

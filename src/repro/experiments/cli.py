@@ -1,0 +1,180 @@
+"""``python -m repro`` — run declarative experiments from the command line.
+
+Subcommands
+-----------
+``run SPEC.json``
+    Execute an experiment spec file end-to-end (resolve networks/devices,
+    run its search strategy, print the campaign report) and optionally
+    persist the evaluated result (``-o``) and/or a CSV of every point
+    (``--csv``).
+``report RESULT.json``
+    Reload a previously saved result and re-print its summary, comparison
+    and best-by-metric views — no re-evaluation.
+``list networks|devices|strategies``
+    Show what the registries can resolve, one name per line.
+
+Examples
+--------
+::
+
+    python -m repro run examples/experiment_spec.json -o result.json
+    python -m repro report result.json --metric power_efficiency
+    python -m repro list strategies
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from ..dse.campaign import CampaignResult, metric_direction
+from ..dse.engine import ExecutorConfig
+from ..hw.device import known_devices
+from ..nn.registry import known_networks
+from ..reporting import (
+    campaign_comparison_table,
+    campaign_summary_table,
+    campaign_to_csv,
+    format_table,
+)
+from .runner import run_experiment
+from .spec import ExperimentSpec
+from .strategies import known_strategies
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run, report and inspect declarative design-space experiments.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser(
+        "run", help="execute an experiment spec file end-to-end"
+    )
+    run_parser.add_argument("spec", help="path to an ExperimentSpec JSON file")
+    run_parser.add_argument(
+        "-o", "--output", metavar="PATH", help="save the evaluated result as JSON"
+    )
+    run_parser.add_argument(
+        "--csv", metavar="PATH", help="export every feasible point as CSV"
+    )
+    run_parser.add_argument(
+        "--executor",
+        choices=("serial", "auto", "process"),
+        help="override the spec's executor mode",
+    )
+    run_parser.add_argument(
+        "--no-cache", action="store_true", help="disable evaluation memoisation"
+    )
+    run_parser.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress the report tables"
+    )
+
+    report_parser = commands.add_parser(
+        "report", help="re-print the report of a saved result (no re-evaluation)"
+    )
+    report_parser.add_argument("result", help="path to a saved CampaignResult JSON file")
+    report_parser.add_argument(
+        "--metric",
+        default=None,
+        help="comparison metric (defaults to the spec's first metric)",
+    )
+    report_parser.add_argument(
+        "--csv", metavar="PATH", help="export every feasible point as CSV"
+    )
+
+    list_parser = commands.add_parser("list", help="show registry contents")
+    list_parser.add_argument("what", choices=("networks", "devices", "strategies"))
+    return parser
+
+
+def _print_report(result: CampaignResult, metric: Optional[str] = None) -> None:
+    spec = result.spec
+    metrics: Sequence[str] = (metric,) if metric else (spec.metrics if spec else ("throughput_gops",))
+    print(campaign_summary_table(result))
+    for name in metrics[:1]:
+        print()
+        print(campaign_comparison_table(result, metric=name))
+    if result.points:
+        rows = []
+        for name in metrics:
+            best = result.best(name)
+            rows.append(
+                {
+                    "metric": name,
+                    "direction": "max" if metric_direction(name) else "min",
+                    "best": float(getattr(best, name)),
+                    "design": best.name,
+                    "network": best.workload_name,
+                    "device": best.device_name,
+                }
+            )
+        print()
+        print(format_table(rows, title="Best by metric", precision=3))
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = ExperimentSpec.load(args.spec)
+    executor = ExecutorConfig(mode=args.executor) if args.executor else None
+    result = run_experiment(
+        spec,
+        cache=False if args.no_cache else None,
+        executor=executor,
+    )
+    if not args.quiet:
+        print(
+            f"experiment {spec.name!r}: strategy={spec.strategy.name} "
+            f"evaluations={result.evaluations}/{spec.grid_size} "
+            f"feasible={result.feasible} "
+            f"elapsed={result.elapsed_seconds * 1e3:.1f} ms"
+        )
+        print()
+        _print_report(result)
+    if args.output:
+        path = result.save(args.output)
+        print(f"result saved to {path}")
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(campaign_to_csv(result))
+        print(f"points exported to {args.csv}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    result = CampaignResult.load(args.result)
+    _print_report(result, metric=args.metric)
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(campaign_to_csv(result))
+        print(f"points exported to {args.csv}")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    names = {
+        "networks": known_networks,
+        "devices": known_devices,
+        "strategies": known_strategies,
+    }[args.what]()
+    for name in names:
+        print(name)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = {"run": _cmd_run, "report": _cmd_report, "list": _cmd_list}[args.command]
+    try:
+        return handler(args)
+    except FileNotFoundError as error:
+        print(f"error: no such file: {error.filename or error}", file=sys.stderr)
+    except (ValueError, KeyError) as error:
+        message = error.args[0] if error.args else error
+        print(f"error: {message}", file=sys.stderr)
+    return 2

@@ -23,6 +23,8 @@ from .device import (
     DEVICES,
     FpgaDevice,
     get_device,
+    known_devices,
+    register_device,
     resolve_device,
     stratix_v_gt,
     virtex7_485t,
@@ -39,6 +41,8 @@ __all__ = [
     "FpgaDevice",
     "DEVICES",
     "get_device",
+    "known_devices",
+    "register_device",
     "resolve_device",
     "virtex7_485t",
     "virtex7_690t",

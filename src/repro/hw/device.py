@@ -17,6 +17,8 @@ __all__ = [
     "FpgaDevice",
     "DEVICES",
     "get_device",
+    "known_devices",
+    "register_device",
     "resolve_device",
     "virtex7_485t",
     "virtex7_690t",
@@ -134,13 +136,36 @@ DEVICES: Dict[str, FpgaDevice] = {
 }
 
 
+def register_device(name: str, device: FpgaDevice, overwrite: bool = False) -> None:
+    """Register ``device`` under ``name``, mirroring the network registry.
+
+    Experiment specs reference devices declaratively by name; a silent
+    overwrite would retarget every saved spec, so collisions raise unless
+    ``overwrite=True`` is passed.
+    """
+    if not isinstance(name, str) or not name:
+        raise TypeError("name must be a non-empty string")
+    if not isinstance(device, FpgaDevice):
+        raise TypeError(f"expected an FpgaDevice, got {type(device).__name__}")
+    if not overwrite and name in DEVICES:
+        raise ValueError(
+            f"device {name!r} is already registered; pass overwrite=True to replace it"
+        )
+    DEVICES[name] = device
+
+
+def known_devices() -> "list[str]":
+    """Sorted names the device registry can resolve."""
+    return sorted(DEVICES)
+
+
 def get_device(name: str) -> FpgaDevice:
     """Look up a device by name (see :data:`DEVICES` for the known names)."""
     try:
         return DEVICES[name]
     except KeyError:
         raise KeyError(
-            f"unknown device {name!r}; known devices: {sorted(DEVICES)}"
+            f"unknown device {name!r}; known devices: {known_devices()}"
         ) from None
 
 

@@ -36,10 +36,21 @@ NETWORK_BUILDERS: Dict[str, NetworkBuilder] = {
 }
 
 
-def register_network(name: str, builder: NetworkBuilder) -> None:
-    """Register (or override) a workload builder under ``name``."""
+def register_network(name: str, builder: NetworkBuilder, overwrite: bool = False) -> None:
+    """Register a workload builder under ``name``.
+
+    Collisions raise rather than silently shadowing an existing workload
+    (which would change the meaning of every saved experiment spec naming
+    it); pass ``overwrite=True`` to replace an entry deliberately.
+    """
+    if not isinstance(name, str) or not name:
+        raise TypeError("name must be a non-empty string")
     if not callable(builder):
         raise TypeError("builder must be callable")
+    if not overwrite and name in NETWORK_BUILDERS:
+        raise ValueError(
+            f"network {name!r} is already registered; pass overwrite=True to replace it"
+        )
     NETWORK_BUILDERS[name] = builder
 
 

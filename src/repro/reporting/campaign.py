@@ -2,7 +2,10 @@
 
 Sits on top of the generic :mod:`repro.reporting.tables` primitives and the
 aggregate views a :class:`~repro.dse.campaign.CampaignResult` computes, so
-benchmark scripts and notebooks can print a whole campaign in one call.
+benchmark scripts, notebooks and the ``python -m repro`` CLI can print a
+whole campaign in one call — whether the result came from a live
+:func:`~repro.experiments.run_experiment` call or was reloaded from a saved
+JSON artifact via ``CampaignResult.load``.
 """
 
 from __future__ import annotations

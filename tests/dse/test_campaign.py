@@ -11,7 +11,7 @@ from repro.dse import (
     iter_explore,
     run_campaign,
 )
-from repro.hw.device import get_device, resolve_device, virtex7_485t
+from repro.hw.device import FpgaDevice, get_device, resolve_device, virtex7_485t
 from repro.nn import Network, get_network, known_networks, register_network, resolve_network
 from repro.reporting import (
     campaign_comparison_table,
@@ -74,6 +74,49 @@ class TestRegistries:
         from repro.hw import resolve_device as from_hw
 
         assert from_hw is resolve_device
+
+    def test_register_network_collision_guard(self, tiny_network):
+        with pytest.raises(ValueError, match="already registered"):
+            register_network("vgg16-d", lambda: tiny_network)
+        assert get_network("vgg16-d").name == "vgg16-d"  # untouched
+        register_network("vgg16-d-tmp", lambda: tiny_network)
+        try:
+            with pytest.raises(ValueError, match="overwrite=True"):
+                register_network("vgg16-d-tmp", lambda: tiny_network)
+            register_network("vgg16-d-tmp", lambda: tiny_network, overwrite=True)
+        finally:
+            from repro.nn.registry import NETWORK_BUILDERS
+
+            NETWORK_BUILDERS.pop("vgg16-d-tmp")
+        with pytest.raises(TypeError):
+            register_network("", lambda: tiny_network)
+        with pytest.raises(TypeError):
+            register_network("not-callable", 42)
+
+    def test_register_device_mirrors_network_registry(self):
+        from repro.hw import DEVICES, known_devices, register_device
+
+        assert {"xc7vx485t", "xc7vx690t"} <= set(known_devices())
+        custom = FpgaDevice(
+            name="unit-test-fpga",
+            luts=10_000,
+            registers=20_000,
+            dsp_slices=100,
+            bram_kbits=1_000,
+        )
+        register_device("unit-test-fpga", custom)
+        try:
+            assert resolve_device("unit-test-fpga") == custom
+            assert "unit-test-fpga" in known_devices()
+            with pytest.raises(ValueError, match="already registered"):
+                register_device("unit-test-fpga", custom)
+            register_device("unit-test-fpga", custom, overwrite=True)
+        finally:
+            DEVICES.pop("unit-test-fpga")
+        with pytest.raises(TypeError):
+            register_device("bad", "not-a-device")
+        with pytest.raises(TypeError):
+            register_device("", custom)
 
 
 class TestSweepSpecExtensions:
@@ -140,6 +183,56 @@ class TestSweepSpecExtensions:
             frequency_range(200.0, 100.0, 50.0)
         with pytest.raises(ValueError):
             frequency_range(100.0, 200.0, 0.0)
+
+    def test_frequency_range_edge_cases_raise(self):
+        with pytest.raises(ValueError, match="step must be positive"):
+            frequency_range(100.0, 200.0, -25.0)
+        with pytest.raises(ValueError, match="positive"):
+            frequency_range(0.0, 200.0)
+        with pytest.raises(ValueError, match="positive"):
+            frequency_range(100.0, -5.0)
+        with pytest.raises(ValueError, match="finite"):
+            frequency_range(100.0, float("nan"))
+        with pytest.raises(ValueError, match="finite"):
+            frequency_range(100.0, float("inf"), 50.0)
+        with pytest.raises(ValueError, match="number"):
+            frequency_range(100.0, "300", 50.0)
+
+    @pytest.mark.parametrize(
+        "field_name",
+        ["m_values", "multiplier_budgets", "frequencies_mhz", "shared_data_transform"],
+    )
+    def test_empty_sweep_axes_raise(self, field_name):
+        with pytest.raises(ValueError, match="empty"):
+            SweepSpec(**{field_name: ()})
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            ({"m_values": (0,)}, "m_values"),
+            ({"m_values": (2.5,)}, "m_values"),
+            ({"r": 0}, "kernel"),
+            ({"r_values": (3, -1)}, "kernel"),
+            ({"multiplier_budgets": (0,)}, "multiplier_budgets"),
+            ({"multiplier_budgets": (256.0,)}, "multiplier_budgets"),
+            ({"frequencies_mhz": (0.0,)}, "frequencies_mhz"),
+            ({"frequencies_mhz": (-150.0,)}, "frequencies_mhz"),
+            ({"frequencies_mhz": (float("nan"),)}, "frequencies_mhz"),
+            ({"shared_data_transform": (1,)}, "shared_data_transform"),
+        ],
+    )
+    def test_out_of_domain_sweep_values_raise(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            SweepSpec(**kwargs)
+
+    def test_valid_edge_values_still_accepted(self):
+        spec = SweepSpec(
+            m_values=(1,),
+            multiplier_budgets=(1, None),
+            frequencies_mhz=(0.5,),
+            r_values=(1, 3),
+        )
+        assert spec.size == 4
 
     def test_with_frequency_range(self):
         spec = SweepSpec(m_values=(4,)).with_frequency_range(100.0, 200.0, 50.0)

@@ -22,7 +22,7 @@ class TestPublicApi:
             assert hasattr(repro, name), name
 
     def test_version(self):
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
 
     def test_docstring_example(self):
         designs = repro.proposed_designs(repro.vgg16_d())
