@@ -9,7 +9,6 @@ how far m can be pushed before accuracy degrades).
 """
 
 import numpy as np
-import pytest
 
 from conftest import emit
 from repro.reporting import format_table

@@ -9,7 +9,6 @@ uses Lavin's normalised per-element counts; the benchmark asserts the growth
 relative step increases that drive the paper's Fig. 3 discussion.
 """
 
-import pytest
 
 from conftest import emit
 from repro.baselines import FIG2_PUBLISHED_MFLOPS

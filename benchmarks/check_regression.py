@@ -1,0 +1,133 @@
+"""Gate CI on the benchmark trend records in ``BENCH_*.json``.
+
+Usage::
+
+    python benchmarks/check_regression.py [BENCH_dse.json ...]
+        [--baselines benchmarks/baselines.json]
+
+For every benchmark named in the baselines file, the newest matching record
+across the given trend files is compared against the committed bounds.  A
+missing record, a metric below its ``min`` or above its ``max`` fails the
+check (exit code 1) — so a pipeline cannot silently skip the benchmark and
+a real regression cannot merge.  Bounds live in ``benchmarks/baselines.json``:
+
+.. code-block:: json
+
+    {
+      "dse_vectorized": {
+        "mode": "full",
+        "metrics": {"speedup": {"min": 10.0}}
+      }
+    }
+
+``mode`` restricts which records qualify (the fast smoke grid measures
+nothing meaningful); each entry under ``metrics`` names a record field and
+its inclusive bounds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+RECORD_SCHEMA = "repro.bench/1"
+DEFAULT_BASELINES = Path(__file__).resolve().parent / "baselines.json"
+DEFAULT_TREND_FILES = (Path(__file__).resolve().parent.parent / "BENCH_dse.json",)
+
+
+def load_records(paths) -> List[dict]:
+    """All trend records of the given files, oldest first per file."""
+    records: List[dict] = []
+    for path in paths:
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"trend file not found: {path}")
+        data = json.loads(path.read_text())
+        if data.get("schema") != RECORD_SCHEMA:
+            raise ValueError(f"{path}: unexpected schema {data.get('schema')!r}")
+        file_records = data.get("records")
+        if not isinstance(file_records, list):
+            raise ValueError(f"{path}: 'records' must be a list")
+        records.extend(file_records)
+    return records
+
+
+def newest_matching(records: List[dict], benchmark: str, mode: Optional[str]) -> Optional[dict]:
+    """The last record for ``benchmark`` (restricted to ``mode`` when set)."""
+    matching = [
+        record
+        for record in records
+        if record.get("benchmark") == benchmark
+        and (mode is None or record.get("mode") == mode)
+    ]
+    return matching[-1] if matching else None
+
+
+def check(records: List[dict], baselines: Dict[str, dict]) -> List[str]:
+    """Return a list of human-readable failures (empty means pass)."""
+    failures: List[str] = []
+    for benchmark, baseline in baselines.items():
+        mode = baseline.get("mode")
+        record = newest_matching(records, benchmark, mode)
+        if record is None:
+            qualifier = f" with mode={mode!r}" if mode else ""
+            failures.append(f"{benchmark}: no trend record found{qualifier}")
+            continue
+        for metric, bounds in baseline.get("metrics", {}).items():
+            value = record.get(metric)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                failures.append(
+                    f"{benchmark}: record has no numeric {metric!r} (got {value!r})"
+                )
+                continue
+            minimum = bounds.get("min")
+            maximum = bounds.get("max")
+            if minimum is not None and value < minimum:
+                failures.append(
+                    f"{benchmark}: {metric} = {value} regressed below baseline "
+                    f"minimum {minimum} (record of {record.get('timestamp')})"
+                )
+            if maximum is not None and value > maximum:
+                failures.append(
+                    f"{benchmark}: {metric} = {value} exceeds baseline "
+                    f"maximum {maximum} (record of {record.get('timestamp')})"
+                )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "trend_files",
+        nargs="*",
+        default=[str(path) for path in DEFAULT_TREND_FILES],
+        help="BENCH_*.json trend files (default: BENCH_dse.json at the repo root)",
+    )
+    parser.add_argument(
+        "--baselines",
+        default=str(DEFAULT_BASELINES),
+        help="baseline bounds file (default: benchmarks/baselines.json)",
+    )
+    args = parser.parse_args(argv)
+
+    baselines = json.loads(Path(args.baselines).read_text())
+    records = load_records(args.trend_files)
+    failures = check(records, baselines)
+    if failures:
+        for failure in failures:
+            print(f"FAIL  {failure}")
+        return 1
+    for benchmark, baseline in baselines.items():
+        record = newest_matching(records, benchmark, baseline.get("mode"))
+        summary = ", ".join(
+            f"{metric}={record.get(metric)}" for metric in baseline.get("metrics", {})
+        )
+        print(f"OK    {benchmark}: {summary} (record of {record.get('timestamp')})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,7 @@ whole :class:`~repro.nn.model.Network` (in which case layers are summed).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..nn.layers import ConvLayer
 from ..nn.model import Network
@@ -34,6 +34,7 @@ __all__ = [
     "multiplication_complexity",
     "transform_complexity",
     "implementation_transform_complexity",
+    "batch_implementation_transform_complexity",
     "complexity_breakdown",
     "multiplication_reduction",
 ]
@@ -139,6 +140,33 @@ def implementation_transform_complexity(
         total += (
             layer.nhwck / (m * m) * (counts.beta / parallel_pes + counts.delta)
         )
+    return total
+
+
+def batch_implementation_transform_complexity(
+    workload: LayerOrNetwork,
+    m: int,
+    parallel_pes,
+    prefer_canonical: bool = True,
+):
+    """Vector twin of :func:`implementation_transform_complexity` over ``P``.
+
+    ``parallel_pes`` is an integer array (one PE count per design of the
+    grid group); the per-layer walk and accumulation order mirror the
+    scalar path so every element is bit-identical to a scalar call with the
+    same ``P``.
+    """
+    import numpy as np  # gated: only the vectorized DSE path needs numpy
+
+    from ..winograd.op_count import cached_transform_ops
+
+    parallel_pes = np.asarray(parallel_pes)
+    if np.any(parallel_pes < 1):
+        raise ValueError("parallel_pes must be >= 1")
+    total = 0.0
+    for layer in conv_layers_of(workload):
+        counts = cached_transform_ops(m, layer.kernel_size, prefer_canonical)
+        total = total + layer.nhwck / (m * m) * (counts.beta / parallel_pes + counts.delta)
     return total
 
 

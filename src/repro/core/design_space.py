@@ -37,7 +37,7 @@ from typing import (
 from ..hw.calibration import Calibration, DEFAULT_CALIBRATION
 from ..hw.device import FpgaDevice, virtex7_485t
 from ..nn.model import Network
-from .design_point import DesignPoint, evaluate_design
+from .design_point import DesignPoint
 
 if TYPE_CHECKING:  # pragma: no cover - typing only; runtime import would cycle
     from ..dse.engine import CacheLike, ExecutorConfig
@@ -283,8 +283,9 @@ def explore(
         cache serves the serial path; process-pool workers memoise in their
         own per-process caches (``False`` disables both).
     executor:
-        A :class:`repro.dse.ExecutorConfig` selecting serial or process-pool
-        execution; ``None`` uses the serial path.
+        A :class:`repro.dse.ExecutorConfig` selecting serial, vectorized
+        (NumPy batch, bit-identical results) or process-pool execution;
+        ``None`` uses the serial path.
     """
     from ..dse.engine import explore_cached  # deferred: repro.dse builds on this module
 

@@ -10,7 +10,7 @@ report the non-dominated configurations for any metric combination.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
 
 from .design_point import DesignPoint
 

@@ -20,7 +20,7 @@ consistent; otherwise the model reports which layers are bandwidth-bound.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..hw.device import FpgaDevice, virtex7_485t
 from ..nn.layers import ConvLayer
@@ -93,7 +93,9 @@ class RooflineReport:
         """Mean ratio of attainable to peak throughput across layers."""
         if not self.layers:
             return 1.0
-        return sum(l.attainable_gops for l in self.layers) / (self.peak_gops * len(self.layers))
+        return sum(
+            layer.attainable_gops for layer in self.layers
+        ) / (self.peak_gops * len(self.layers))
 
 
 def roofline_report(

@@ -18,18 +18,19 @@ Fig. 6 (where throughput scales exactly linearly with the multiplier budget).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Optional
 
 from ..nn.layers import ConvLayer
 from ..nn.model import Network
-from .complexity import LayerOrNetwork, conv_layers_of
 
 __all__ = [
     "parallel_pes",
     "layer_cycles",
     "layer_latency_seconds",
     "LatencyReport",
+    "BatchLatencyTable",
     "network_latency",
+    "batch_network_latency",
     "throughput_gops",
     "ideal_throughput_gops",
     "multiplier_efficiency",
@@ -151,6 +152,89 @@ def network_latency(
         r=r,
         parallel_pes=pes,
         frequency_mhz=frequency_mhz,
+        pipeline_depth=pipeline_depth,
+        group_latency_ms=group_latency,
+        total_latency_ms=total,
+        spatial_ops=spatial_ops,
+    )
+
+
+@dataclass(frozen=True)
+class BatchLatencyTable:
+    """Per-group and total latency of one network over a plane of designs.
+
+    The array twin of :class:`LatencyReport`: each mapping value (and the
+    total) is an array aligned with the evaluated design plane.  Produced by
+    :func:`batch_network_latency`; consumed by the vectorized DSE engine,
+    which slices per-design :class:`LatencyReport` objects out of it.
+    """
+
+    m: int
+    r: int
+    pipeline_depth: int
+    group_latency_ms: Dict[str, "object"]
+    total_latency_ms: "object"
+    spatial_ops: int
+
+    @property
+    def throughput_gops(self):
+        """Eq. (10) per design — identical op order to the scalar property."""
+        return self.spatial_ops / (self.total_latency_ms * 1e-3) / 1e9
+
+
+def batch_network_latency(
+    network: Network,
+    m: int,
+    pes,
+    frequencies_mhz,
+    r: int = 3,
+    pipeline_depth: int = 0,
+    only_kernel_size: Optional[int] = 3,
+) -> BatchLatencyTable:
+    """Vector twin of :func:`network_latency` over aligned design arrays.
+
+    ``pes`` (integer PE counts) and ``frequencies_mhz`` are aligned arrays —
+    one entry per design sharing this ``(m, r, pipeline_depth)`` group.  The
+    per-layer walk, the group accumulation order and every float operation
+    mirror the scalar path, so each slice of the result is bit-identical to
+    the :class:`LatencyReport` the scalar evaluator would produce.
+    """
+    import numpy as np  # gated: only the vectorized DSE path needs numpy
+
+    pes = np.asarray(pes)
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    if np.any(pes <= 0):
+        raise ValueError("number of PEs must be positive")
+    frequencies_mhz = np.asarray(frequencies_mhz)
+    if np.any(frequencies_mhz <= 0):
+        raise ValueError("frequency must be positive")
+    from ..hw.frequency import batch_cycle_time_ms  # deferred: keeps core free of hw at import
+
+    denominator = (m * m) * pes
+    group_cycles: Dict[str, "object"] = {}
+    spatial_ops = 0
+    for layer in network.conv_layers:
+        if only_kernel_size is not None and layer.kernel_size != only_kernel_size:
+            continue
+        group = layer.group or layer.name
+        cycles = layer.nhwck / denominator
+        if pipeline_depth > 0:
+            cycles = cycles + (pipeline_depth - 1)
+        previous = group_cycles.get(group)
+        group_cycles[group] = cycles if previous is None else previous + cycles
+        spatial_ops += layer.flops
+    cycle_time_ms = batch_cycle_time_ms(frequencies_mhz)
+    group_latency = {
+        group: cycles * cycle_time_ms for group, cycles in group_cycles.items()
+    }
+    total = sum(group_latency.values())
+    if not group_latency:
+        # The scalar path divides by a zero total latency in this case.
+        raise ZeroDivisionError("float division by zero")
+    return BatchLatencyTable(
+        m=m,
+        r=r,
         pipeline_depth=pipeline_depth,
         group_latency_ms=group_latency,
         total_latency_ms=total,

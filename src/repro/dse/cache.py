@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import hashlib
 import threading
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..core.complexity import (

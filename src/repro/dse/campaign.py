@@ -27,7 +27,7 @@ from ..core.pareto import Objective, ObjectiveLike, pareto_front
 from ..hw.calibration import Calibration, DEFAULT_CALIBRATION
 from ..hw.device import FpgaDevice
 from ..nn.model import Network
-from .cache import CacheStats, EvaluationCache
+from .cache import CacheStats
 from .engine import (
     CacheLike,
     ExecutorConfig,
@@ -314,8 +314,10 @@ def run_campaign(
     strategy streams through the same :func:`~repro.dse.engine.iter_explore`
     core).  Uses the shared memoising evaluator (so overlapping grids across
     sweeps and repeated campaigns are near-free).  Runs serially unless an
-    ``executor`` opting into the chunked process pool is given
-    (``ExecutorConfig(mode="auto")`` or ``"process"``).  ``cache_stats`` on
+    ``executor`` opting into the vectorized batch engine or the chunked
+    process pool is given (``ExecutorConfig(mode="auto")``, ``"vectorized"``
+    or ``"process"``; the vectorized engine evaluates whole cells as NumPy
+    array operations with bit-identical results).  ``cache_stats`` on
     the result counts this run's cache traffic (worker-side counters
     included in process mode; approximate if other threads share the same
     cache concurrently); it stays zero when ``cache=False``.

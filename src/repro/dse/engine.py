@@ -53,47 +53,93 @@ class ExecutorConfig:
     Attributes
     ----------
     mode:
-        ``"serial"`` evaluates in-process, ``"process"`` forces a
-        ``ProcessPoolExecutor``, and ``"auto"`` picks the pool only when the
-        machine has more than one core and the grid is big enough to amortise
-        worker start-up.
+        ``"serial"`` evaluates in-process one entry at a time;
+        ``"vectorized"`` evaluates each ``(network, device)`` cell as
+        stacked NumPy array operations (see :mod:`repro.dse.vectorized`),
+        bit-identical to serial; ``"process"`` forces a
+        ``ProcessPoolExecutor``; ``"auto"`` picks the vectorized engine for
+        grids of at least ``min_grid_for_vectorized`` entries (falling back
+        to the process pool, then serial, when numpy or cores are missing).
     max_workers:
         Pool size; defaults to ``os.cpu_count()`` capped at 8.
     chunk_size:
         Grid entries per work chunk; auto-sized to give each worker several
         chunks while keeping per-chunk pickling overhead small.
     min_grid_for_processes:
-        ``"auto"`` stays serial below this many total evaluations.
+        ``"auto"`` does not use the process pool below this many total
+        evaluations.
+    min_grid_for_vectorized:
+        ``"auto"`` does not use the vectorized engine below this many total
+        evaluations (tiny grids do not amortise the array set-up).
     """
 
     mode: str = "auto"
     max_workers: Optional[int] = None
     chunk_size: Optional[int] = None
     min_grid_for_processes: int = 64
+    min_grid_for_vectorized: int = 32
 
     def __post_init__(self) -> None:
-        if self.mode not in ("auto", "serial", "process"):
+        if self.mode not in ("auto", "serial", "vectorized", "process"):
             raise ValueError(f"unknown executor mode {self.mode!r}")
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
+        if self.min_grid_for_vectorized < 0:
+            raise ValueError("min_grid_for_vectorized must be >= 0")
 
     def resolved_workers(self) -> int:
         if self.max_workers is not None:
             return self.max_workers
         return max(1, min(os.cpu_count() or 1, 8))
 
-    def use_processes(self, total_evaluations: int) -> bool:
+    def choose_mode(self, total_evaluations: int, explicit_cache: bool = False) -> str:
+        """Resolve the execution mode for a run of ``total_evaluations``.
+
+        ``explicit_cache`` marks a caller-supplied
+        :class:`~repro.dse.cache.EvaluationCache`: that is a request for
+        evaluation *through* the cache, which only the serial path honours
+        (workers memoise per-process, the vectorized engine not at all), so
+        ``"auto"`` prefers serial then.  Forced modes win over the cache
+        preference; a forced ``"vectorized"`` without numpy degrades to
+        serial (identical results, just slower) with a warning.
+        """
+        from .vectorized import numpy_available  # deferred: optional numpy gate
+
         if self.mode == "serial":
-            return False
+            return "serial"
+        if self.mode == "vectorized":
+            if not numpy_available():
+                import warnings
+
+                warnings.warn(
+                    "ExecutorConfig(mode='vectorized') requires numpy, which is "
+                    "not importable; falling back to the serial path "
+                    "(identical results)",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                return "serial"
+            return "vectorized"
         if self.mode == "process":
-            return True
-        return (
+            return "process"
+        # auto
+        if explicit_cache:
+            return "serial"
+        if numpy_available() and total_evaluations >= self.min_grid_for_vectorized:
+            return "vectorized"
+        if (
             (os.cpu_count() or 1) > 1
             and self.resolved_workers() > 1
             and total_evaluations >= self.min_grid_for_processes
-        )
+        ):
+            return "process"
+        return "serial"
+
+    def use_processes(self, total_evaluations: int) -> bool:
+        """Whether the resolved mode is the process pool (legacy helper)."""
+        return self.choose_mode(total_evaluations) == "process"
 
     def resolved_chunk_size(self, cell_entries: int) -> int:
         if self.chunk_size is not None:
@@ -385,10 +431,15 @@ def iter_explore(
     interleaved generators) the split between them is approximate.
 
     ``executor=None`` runs strictly serially — the safe library default.
-    Pass ``ExecutorConfig(mode="auto")`` or ``mode="process"`` to enable the
-    chunked process pool; as with any ``ProcessPoolExecutor`` user, scripts
-    on spawn-start platforms (Windows, macOS) must then guard their entry
-    point with ``if __name__ == "__main__":``.
+    Pass ``ExecutorConfig(mode="vectorized")`` to evaluate each cell as
+    stacked NumPy array operations (bit-identical results, an order of
+    magnitude faster on Fig. 6-scale grids; no cache traffic, so
+    ``stats_out`` stays untouched), or ``mode="process"`` for the chunked
+    process pool; ``mode="auto"`` picks the vectorized engine for grids of
+    ``min_grid_for_vectorized`` entries or more.  As with any
+    ``ProcessPoolExecutor`` user, scripts that may select the pool on
+    spawn-start platforms (Windows, macOS) must guard their entry point
+    with ``if __name__ == "__main__":``.
     """
     nets = _normalize_networks(networks)
     devs = _normalize_devices(devices)
@@ -406,25 +457,40 @@ def iter_explore(
     explicit_cache = isinstance(cache, EvaluationCache)
     shared_cache = (cache if explicit_cache else global_cache()) if use_cache else False
 
-    # A caller-supplied cache is a request for isolation from process-global
-    # state; worker processes can only memoise in their own global caches,
-    # so auto mode prefers the serial path then.  Forcing mode="process"
-    # overrides (the explicit mode wins over the cache preference), but the
-    # supplied cache then goes unused — warn rather than silently ignore it.
-    use_processes = executor.use_processes(total) and not (
-        explicit_cache and executor.mode == "auto"
-    )
-    if use_processes and explicit_cache:
+    # A caller-supplied cache is a request for evaluation *through* that
+    # cache, which only the serial path honours — worker processes memoise
+    # in their own per-process caches and the vectorized engine memoises
+    # nothing — so auto mode prefers the serial path then.  Forcing
+    # mode="process"/"vectorized" overrides (the explicit mode wins over
+    # the cache preference), but the supplied cache then goes unused — warn
+    # rather than silently ignore it.
+    mode = executor.choose_mode(total, explicit_cache=explicit_cache)
+    if mode != "serial" and explicit_cache:
         import warnings
 
         warnings.warn(
-            "iter_explore: the supplied EvaluationCache cannot serve "
-            "process-pool workers (they memoise in per-process caches); "
-            "use mode='auto' or 'serial' to evaluate through it",
+            f"iter_explore: the supplied EvaluationCache cannot serve the "
+            f"{mode!r} executor (workers memoise in per-process caches, the "
+            f"vectorized engine not at all); use mode='auto' or 'serial' to "
+            f"evaluate through it",
             RuntimeWarning,
             stacklevel=2,
         )
-    if not use_processes:
+
+    if mode == "vectorized":
+        from .vectorized import evaluate_cell_batch
+
+        for network in nets:
+            for device in devs:
+                batch = evaluate_cell_batch(
+                    network, device, calibration, entries, skip_infeasible
+                )
+                yield from batch.feasible()
+                if batch.pending_error is not None:
+                    raise batch.pending_error
+        return
+
+    if mode == "serial":
         before = shared_cache.total if use_cache else CacheStats()
         try:
             for network in nets:

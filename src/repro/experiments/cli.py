@@ -64,7 +64,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--executor",
-        choices=("serial", "auto", "process"),
+        choices=("serial", "auto", "vectorized", "process"),
         help="override the spec's executor mode",
     )
     run_parser.add_argument(

@@ -50,8 +50,9 @@ class Evaluator:
 
     Bulk path: :meth:`iter_grid` streams the full cross-product through
     :func:`repro.dse.engine.iter_explore`, which honours the configured
-    process-pool executor — this is what :class:`GridStrategy` uses and is
-    byte-identical to the legacy campaign engine.
+    executor (vectorized NumPy batch or process pool) — this is what
+    :class:`GridStrategy` uses and is byte-identical to the legacy campaign
+    engine in every mode.
 
     Bookkeeping: ``evaluations`` counts grid entries probed (feasible or
     not) and ``stats`` accumulates this run's cache hits/misses.

@@ -159,6 +159,7 @@ def executor_to_dict(executor: Optional[ExecutorConfig]) -> Optional[dict]:
         "max_workers": executor.max_workers,
         "chunk_size": executor.chunk_size,
         "min_grid_for_processes": executor.min_grid_for_processes,
+        "min_grid_for_vectorized": executor.min_grid_for_vectorized,
     }
 
 

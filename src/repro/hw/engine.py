@@ -11,17 +11,26 @@ Table I comparison and the shared-transform ablation come from one code path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from functools import lru_cache
+from typing import Optional
 
-from ..winograd.op_count import TransformOpCounts, count_transform_ops
+from ..winograd.op_count import TransformOpCounts, cached_transform_ops, count_transform_ops
 from .arithmetic import Precision
 from .calibration import Calibration, DEFAULT_CALIBRATION
 from .datapath import StageDatapath, adder_tree_depth, datapath_from_op_count
 from .device import FpgaDevice, virtex7_485t
-from .pe import PEModel, build_pe
+from .pe import PEModel, build_pe, cached_pe
 from .resources import ResourceEstimate, Utilization, utilization
 
-__all__ = ["EngineConfig", "EngineModel", "build_engine", "max_parallel_pes"]
+__all__ = [
+    "EngineConfig",
+    "EngineModel",
+    "EngineCellModel",
+    "build_engine",
+    "engine_cell_model",
+    "max_parallel_pes",
+    "batch_max_parallel_pes",
+]
 
 
 @dataclass(frozen=True)
@@ -75,6 +84,21 @@ def max_parallel_pes(m: int, r: int, multiplier_budget: int) -> int:
         raise ValueError("multiplier budget must be non-negative")
     per_pe = (m + r - 1) ** 2
     return multiplier_budget // per_pe
+
+
+def batch_max_parallel_pes(m: int, r: int, multiplier_budgets):
+    """Vector twin of :func:`max_parallel_pes` over an array of budgets.
+
+    Returns an integer array of PE counts; floor division on non-negative
+    integers matches the scalar ``budget // per_pe`` exactly.
+    """
+    import numpy as np  # gated: only the vectorized DSE path needs numpy
+
+    budgets = np.asarray(multiplier_budgets)
+    if np.any(budgets < 0):
+        raise ValueError("multiplier budget must be non-negative")
+    per_pe = (m + r - 1) ** 2
+    return budgets // per_pe
 
 
 @dataclass(frozen=True)
@@ -184,4 +208,111 @@ def build_engine(
         resources=total,
         pipeline_depth=pipeline_depth,
         op_counts=op_counts,
+    )
+
+
+@dataclass(frozen=True)
+class EngineCellModel:
+    """Engine structure shared by every design of one ``(m, r, shared)`` group.
+
+    The engine model factors cleanly into pieces that depend only on the
+    tile parameters and architecture variant — the PE build, the shared
+    transform stage, the fixed overheads, the pipeline depth — and pieces
+    that scale with the PE count ``P``.  The batch evaluator computes the
+    former once per grid group through this skeleton and applies the
+    ``base + slope * P`` closure per design point, reproducing
+    :func:`build_engine` exactly.
+
+    Attributes
+    ----------
+    pe:
+        The per-PE model; ``pe.resources`` is the resource slope per PE.
+    shared_stage:
+        The shared data-transform datapath (``None`` for the per-PE
+        reference architecture).
+    base_resources:
+        Engine overhead plus the shared stage — the ``P``-independent
+        resource intercept, summed in :func:`build_engine`'s order.
+    pipeline_depth:
+        Total pipeline depth ``Dp`` (independent of ``P`` and frequency).
+    device_parallel_pes:
+        Eq. (8) applied to the whole device DSP budget — the PE count used
+        when a design leaves ``multiplier_budget`` unset.  May be < 1 for
+        tiles too large for the device; callers decide how to fail.
+    """
+
+    m: int
+    r: int
+    shared_data_transform: bool
+    device: FpgaDevice
+    pe: PEModel
+    shared_stage: Optional[StageDatapath]
+    op_counts: TransformOpCounts
+    base_resources: ResourceEstimate
+    pipeline_depth: int
+    device_parallel_pes: int
+
+
+@lru_cache(maxsize=None)
+def engine_cell_model(
+    m: int,
+    r: int,
+    shared_data_transform: bool,
+    device: FpgaDevice,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    prefer_canonical: bool = True,
+    buffer_kbits: float = 4096.0,
+) -> EngineCellModel:
+    """Build (and memoise) the :class:`EngineCellModel` for one grid group.
+
+    Mirrors :func:`build_engine` piece for piece — same op counts, same PE
+    build, same overhead/shared-stage addition order — so completing the
+    model with ``base + pe.resources.scaled(P)`` yields bit-identical
+    resources to a direct scalar build.
+    """
+    resources_cal = calibration.resources
+    precision = Precision.float32()
+    op_counts = cached_transform_ops(m, r, prefer_canonical)
+    pe = cached_pe(
+        m=m,
+        r=r,
+        include_data_transform=not shared_data_transform,
+        precision=precision,
+        calibration=resources_cal,
+        prefer_canonical=prefer_canonical,
+    )
+
+    device_budget = device.dsp_slices // max(1, resources_cal.dsps_per_multiplier)
+    device_parallel_pes = max_parallel_pes(m, r, device_budget)
+
+    shared_stage: Optional[StageDatapath] = None
+    base = ResourceEstimate(
+        luts=resources_cal.luts_engine_overhead,
+        registers=resources_cal.registers_engine_overhead,
+        bram_kbits=buffer_kbits,
+    )
+    pipeline_depth = 0
+    if shared_data_transform:
+        shared_stage = datapath_from_op_count(
+            "data_transform",
+            op_counts.data,
+            precision,
+            resources_cal,
+            depth_hint=2 * adder_tree_depth(m + r - 1),
+        )
+        base = base + shared_stage.resources
+        pipeline_depth += shared_stage.pipeline_depth + resources_cal.register_stages_per_transform
+    pipeline_depth += pe.pipeline_depth
+
+    return EngineCellModel(
+        m=m,
+        r=r,
+        shared_data_transform=shared_data_transform,
+        device=device,
+        pe=pe,
+        shared_stage=shared_stage,
+        op_counts=op_counts,
+        base_resources=base,
+        pipeline_depth=pipeline_depth,
+        device_parallel_pes=device_parallel_pes,
     )

@@ -16,7 +16,13 @@ from typing import Iterable
 from .calibration import DEFAULT_CALIBRATION, ResourceCalibration
 from .datapath import StageDatapath
 
-__all__ = ["TimingEstimate", "estimate_fmax", "achievable_frequency"]
+__all__ = [
+    "TimingEstimate",
+    "estimate_fmax",
+    "achievable_frequency",
+    "batch_cycle_time_ms",
+    "batch_estimate_fmax",
+]
 
 #: Approximate propagation delay of one LUT level plus local routing (ns).
 _LUT_LEVEL_DELAY_NS = 0.9
@@ -46,6 +52,26 @@ def estimate_fmax(levels_of_logic: int) -> TimingEstimate:
         levels_of_logic = 1
     path_ns = _CLOCK_OVERHEAD_NS + levels_of_logic * _LUT_LEVEL_DELAY_NS
     return TimingEstimate(critical_path_ns=path_ns, fmax_mhz=1e3 / path_ns)
+
+
+def batch_cycle_time_ms(frequencies_mhz):
+    """Clock-cycle time in milliseconds for an array of clock frequencies.
+
+    Vector twin of the ``1e3 / (frequency_mhz * 1e6)`` expression of the
+    latency model (Eq. (9)); identical operation order keeps every element
+    bit-identical to the scalar path.
+    """
+    import numpy as np  # gated: only the vectorized DSE path needs numpy
+
+    return 1e3 / (np.asarray(frequencies_mhz) * 1e6)
+
+
+def batch_estimate_fmax(levels_of_logic):
+    """Vector twin of :func:`estimate_fmax` (fmax in MHz per path depth)."""
+    import numpy as np  # gated: only the vectorized DSE path needs numpy
+
+    levels = np.maximum(np.asarray(levels_of_logic), 1)
+    return 1e3 / (_CLOCK_OVERHEAD_NS + levels * _LUT_LEVEL_DELAY_NS)
 
 
 def achievable_frequency(

@@ -18,6 +18,7 @@ transform is instantiated *inside* each PE:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict
 
 from ..winograd.op_count import OpCount, TransformOpCounts, count_transform_ops
@@ -26,7 +27,7 @@ from .calibration import DEFAULT_CALIBRATION, ResourceCalibration
 from .datapath import StageDatapath, adder_tree_depth, datapath_from_op_count
 from .resources import ResourceEstimate
 
-__all__ = ["PEModel", "build_pe"]
+__all__ = ["PEModel", "build_pe", "cached_pe"]
 
 
 @dataclass(frozen=True)
@@ -71,6 +72,33 @@ class PEModel:
     @property
     def dsp_slices(self) -> int:
         return self.resources.dsp_slices
+
+
+@lru_cache(maxsize=None)
+def cached_pe(
+    m: int,
+    r: int = 3,
+    include_data_transform: bool = False,
+    precision: Precision = Precision.float32(),
+    calibration: ResourceCalibration = DEFAULT_CALIBRATION.resources,
+    prefer_canonical: bool = True,
+) -> PEModel:
+    """Memoised :func:`build_pe` for the batch evaluator's hot path.
+
+    A PE model depends only on ``(m, r, architecture, precision,
+    calibration)`` — none of the per-grid-point axes — so a whole
+    budget x frequency plane shares one build.  The returned
+    :class:`PEModel` is immutable apart from its ``stages`` mapping, which
+    callers must treat as read-only.
+    """
+    return build_pe(
+        m=m,
+        r=r,
+        include_data_transform=include_data_transform,
+        precision=precision,
+        calibration=calibration,
+        prefer_canonical=prefer_canonical,
+    )
 
 
 def build_pe(

@@ -71,6 +71,30 @@ class PowerModel:
         """Total power in watts."""
         return self.breakdown(resources, frequency_mhz).total_watts
 
+    def batch_total_watts(self, resources, frequency_mhz):
+        """Vector twin of :meth:`total_watts` over arrays of designs.
+
+        ``resources`` is a mapping of resource-class arrays (as produced by
+        :func:`repro.hw.resources.batch_linear_resources`) and
+        ``frequency_mhz`` an aligned array.  Every element is computed with
+        the same float operations, in the same order, as the scalar
+        :meth:`breakdown` path, so results are bit-identical per design.
+        """
+        import numpy as np  # gated: only the vectorized DSE path needs numpy
+
+        frequency_mhz = np.asarray(frequency_mhz)
+        if np.any(frequency_mhz <= 0):
+            raise ValueError("frequency must be positive")
+        cal = self.calibration
+        scale = (frequency_mhz / cal.calibration_frequency_mhz) * cal.activity_factor
+        logic = scale * cal.watts_per_kilo_lut * resources["luts"] / 1e3
+        dsp = scale * cal.watts_per_dsp * resources["dsp_slices"]
+        register = scale * cal.watts_per_kilo_register * resources["registers"] / 1e3
+        bram = scale * cal.watts_per_megabit_bram * resources["bram_kbits"] / 1e3
+        # Same association as PowerBreakdown.total_watts:
+        # static + (((logic + dsp) + register) + bram).
+        return cal.static_watts + (logic + dsp + register + bram)
+
     def power_efficiency(
         self, throughput_gops: float, resources: ResourceEstimate, frequency_mhz: float
     ) -> float:

@@ -13,7 +13,13 @@ from typing import Dict
 
 from .device import FpgaDevice
 
-__all__ = ["ResourceEstimate", "Utilization", "utilization"]
+__all__ = [
+    "ResourceEstimate",
+    "Utilization",
+    "utilization",
+    "batch_linear_resources",
+    "batch_fits",
+]
 
 
 @dataclass(frozen=True)
@@ -96,6 +102,44 @@ class Utilization:
     def feasible(self) -> bool:
         """Whether every resource class stays at or below 100 %."""
         return max(self.luts_pct, self.registers_pct, self.dsp_pct, self.bram_pct) <= 100.0
+
+
+def batch_linear_resources(
+    base: ResourceEstimate, slope: ResourceEstimate, factors
+) -> Dict[str, "object"]:
+    """Vector twin of ``base + slope.scaled(P)`` over an array of ``P`` values.
+
+    ``factors`` is an integer array (one replication count per design); the
+    result maps each resource class to an array computed with exactly the
+    float operations — and operation order — of the scalar
+    ``base + slope.scaled(P)`` path, so every element is bit-identical to
+    its scalar counterpart.  LUT/register/BRAM arrays are float64,
+    DSP/multiplier arrays stay integral.
+    """
+    import numpy as np  # gated: only the vectorized DSE path needs numpy
+
+    factors = np.asarray(factors)
+    return {
+        "luts": base.luts + slope.luts * factors,
+        "registers": base.registers + slope.registers * factors,
+        "dsp_slices": base.dsp_slices + slope.dsp_slices * factors,
+        "bram_kbits": base.bram_kbits + slope.bram_kbits * factors,
+        "multipliers": base.multipliers + slope.multipliers * factors,
+    }
+
+
+def batch_fits(resources: Dict[str, "object"], device: FpgaDevice):
+    """Vector twin of :meth:`ResourceEstimate.fits` over resource arrays.
+
+    Takes the mapping produced by :func:`batch_linear_resources` and returns
+    a boolean array; elementwise comparisons mirror the scalar conjunction.
+    """
+    return (
+        (resources["luts"] <= device.luts)
+        & (resources["registers"] <= device.registers)
+        & (resources["dsp_slices"] <= device.dsp_slices)
+        & (resources["bram_kbits"] <= device.bram_kbits)
+    )
 
 
 def utilization(estimate: ResourceEstimate, device: FpgaDevice) -> Utilization:

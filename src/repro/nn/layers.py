@@ -11,7 +11,7 @@ forward pass when numerical validation is wanted.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 __all__ = ["ConvLayer", "PoolLayer", "FullyConnectedLayer", "InputSpec"]

@@ -11,7 +11,7 @@ reports latency per VGG16 "group layer" (Conv1..Conv5) which is exactly
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from .layers import ConvLayer, FullyConnectedLayer, InputSpec, PoolLayer
 

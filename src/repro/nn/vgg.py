@@ -13,7 +13,7 @@ Table II and the x-axis of Fig. 1.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List
 
 from .layers import ConvLayer, FullyConnectedLayer, InputSpec, PoolLayer
 from .model import Network

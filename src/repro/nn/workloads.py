@@ -9,7 +9,7 @@ mini-batches.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, List, Optional
 
 from .layers import ConvLayer
 from .model import Network

@@ -8,7 +8,7 @@ the linear-in-multipliers scaling of Fig. 6) directly in the benchmark output.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence, Union
+from typing import Mapping, Optional, Union
 
 Number = Union[int, float]
 

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 Number = Union[int, float]
 Row = Mapping[str, Union[str, Number]]

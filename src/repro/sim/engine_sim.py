@@ -22,7 +22,7 @@ The simulator serves two purposes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict
 
 import numpy as np
 
@@ -193,7 +193,6 @@ class WinogradEngineSim:
         )
 
         m = config.m
-        n = self.transform.n
         accumulators = np.zeros(
             (batch, num_kernels, grid.tiles_y, grid.tiles_x, m, m), dtype=np.float64
         )

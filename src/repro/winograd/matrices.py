@@ -17,7 +17,7 @@ is available.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from . import exact
 from .toom_cook import WinogradTransform, generate_transform

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from functools import lru_cache
 from typing import Sequence, Tuple
 
 from .exact import is_power_of_two_fraction
@@ -33,6 +34,7 @@ __all__ = [
     "nested_2d_ops",
     "TransformOpCounts",
     "count_transform_ops",
+    "cached_transform_ops",
     "spatial_tile_ops",
 ]
 
@@ -213,6 +215,23 @@ def count_transform_ops(
     """
     transform = get_transform(m, r, prefer_canonical)
     return count_transform_ops_for(transform)
+
+
+@lru_cache(maxsize=None)
+def cached_transform_ops(
+    m: int, r: int, prefer_canonical: bool = True
+) -> TransformOpCounts:
+    """Memoised :func:`count_transform_ops`.
+
+    The per-tile counts are pure functions of ``(m, r, prefer_canonical)``
+    but deriving them walks exact-``Fraction`` transform matrices, which is
+    by far the most expensive scalar step of a design evaluation.  The batch
+    evaluator (:mod:`repro.dse.vectorized`) hits this for every grid group,
+    so the memo makes whole-campaign sweeps pay the matrix walk once per
+    ``(m, r)`` instead of once per grid cell.  Returns the same
+    (immutable) :class:`TransformOpCounts` the uncached call produces.
+    """
+    return count_transform_ops(m, r, prefer_canonical)
 
 
 def count_transform_ops_for(transform: WinogradTransform) -> TransformOpCounts:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
+from functools import lru_cache
 from typing import List, Sequence, Tuple
 
 from .exact import is_power_of_two_fraction
@@ -94,9 +95,15 @@ def constant_cost(constant: Fraction) -> ConstantCost:
 
     Dyadic rationals (integer numerator, power-of-two denominator) are
     decomposed through CSD; anything else is flagged as needing a real
-    multiplier.
+    multiplier.  Costs are memoised per normalized constant — transform
+    matrices across a whole design-space sweep reuse a small set of
+    constants, so batch evaluation pays the CSD walk once per value.
     """
-    constant = Fraction(constant)
+    return _constant_cost(Fraction(constant))
+
+
+@lru_cache(maxsize=None)
+def _constant_cost(constant: Fraction) -> ConstantCost:
     if constant == 0 or abs(constant) == 1:
         return ConstantCost(constant, adders=0, shifts=0, needs_multiplier=False)
     if is_power_of_two_fraction(constant):

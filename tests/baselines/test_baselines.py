@@ -1,6 +1,5 @@
 """Tests for the baseline accelerator models and published reference data."""
 
-import math
 
 import pytest
 

@@ -11,7 +11,6 @@ from repro.core.complexity import (
     spatial_multiplications,
     transform_complexity,
 )
-from repro.nn import ConvLayer
 from repro.winograd.op_count import count_transform_ops
 
 

@@ -11,7 +11,6 @@ from repro.core.throughput import (
     parallel_pes,
     throughput_gops,
 )
-from repro.nn import ConvLayer
 
 
 class TestEq8ParallelPEs:

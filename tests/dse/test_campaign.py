@@ -12,7 +12,7 @@ from repro.dse import (
     run_campaign,
 )
 from repro.hw.device import FpgaDevice, get_device, resolve_device, virtex7_485t
-from repro.nn import Network, get_network, known_networks, register_network, resolve_network
+from repro.nn import get_network, known_networks, register_network, resolve_network
 from repro.reporting import (
     campaign_comparison_table,
     campaign_summary_table,

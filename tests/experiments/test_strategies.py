@@ -5,7 +5,7 @@ import random
 
 import pytest
 
-from repro.core.design_space import SweepSpec, frequency_range
+from repro.core.design_space import SweepSpec
 from repro.dse import Campaign, EvaluationCache
 from repro.experiments import (
     ExperimentSpec,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.hw.arithmetic import OperatorLibrary, Precision
-from repro.hw.calibration import DEFAULT_CALIBRATION
 from repro.hw.datapath import adder_tree_depth, datapath_from_network, datapath_from_op_count
 from repro.winograd.matrices import get_transform
 from repro.winograd.op_count import OpCount

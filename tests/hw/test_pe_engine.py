@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hw.device import virtex7_485t, zynq_7045
+from repro.hw.device import zynq_7045
 from repro.hw.engine import EngineConfig, build_engine, max_parallel_pes
 from repro.hw.pe import build_pe
 

@@ -3,11 +3,8 @@
 import pytest
 
 from repro.nn import (
-    ConvLayer,
     FullyConnectedLayer,
-    InputSpec,
     Network,
-    PoolLayer,
     alexnet,
     resnet18,
     resnet34,

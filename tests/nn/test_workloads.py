@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.nn import alexnet, vgg16_d
+from repro.nn import alexnet
 from repro.nn.workloads import (
     group_workloads,
     layer_workload,

@@ -1,6 +1,5 @@
 """Tests for the reporting helpers."""
 
-import pytest
 
 from repro.reporting import (
     bar_chart,

@@ -15,7 +15,7 @@ import pytest
 
 from repro.core.throughput import layer_cycles, network_latency
 from repro.nn import ConvLayer, InputSpec, Network
-from repro.sim.engine_sim import EngineSimConfig, WinogradEngineSim
+from repro.sim.engine_sim import EngineSimConfig
 from repro.sim.validation import validate_layer
 
 #: Maximum tolerated disagreement (percent) between the analytical cycle
@@ -50,7 +50,6 @@ def test_network_latency_matches_simulator_on_divisible_network(m):
     network.add(ConvLayer("c2", 4, 2, 60, 60, group="G2"))
 
     config = EngineSimConfig(m=m, parallel_pes=2)
-    simulator = WinogradEngineSim(config)
     report = network_latency(
         network, m=m, pes=2, frequency_mhz=config.frequency_mhz,
         pipeline_depth=config.pipeline_depth,

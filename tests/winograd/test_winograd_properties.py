@@ -5,7 +5,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.nn.reference import direct_conv2d
 from repro.winograd.fast_conv import winograd_conv2d
-from repro.winograd.matrices import get_transform
 from repro.winograd.op_count import matvec_ops
 from repro.winograd.strength_reduction import constant_cost, csd_digits
 from repro.winograd.tiling import assemble_output, extract_tiles, plan_tiles
