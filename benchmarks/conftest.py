@@ -9,10 +9,36 @@ model evaluation.
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.nn import vgg16_d
+
+#: Versioned schema tag shared by every BENCH_*.json trend file (what
+#: ``benchmarks/check_regression.py`` validates on load).
+RECORD_SCHEMA = "repro.bench/1"
+
+
+def record_trend(record: dict, default_path: Path, env_var: str) -> Path:
+    """Append ``record`` to a BENCH_*.json trend file; returns the path.
+
+    ``env_var`` names the environment variable that overrides
+    ``default_path`` (so CI and local runs can redirect records).
+    """
+    path = Path(os.environ.get(env_var) or default_path)
+    if path.exists():
+        data = json.loads(path.read_text())
+        if data.get("schema") != RECORD_SCHEMA:
+            raise ValueError(f"unexpected bench schema in {path}: {data.get('schema')!r}")
+    else:
+        data = {"schema": RECORD_SCHEMA, "records": []}
+    data["records"].append(record)
+    path.write_text(json.dumps(data, indent=2) + "\n")
+    return path
 
 
 def pytest_configure(config):

@@ -17,6 +17,11 @@ turns that into a campaign engine:
   ``(network, device)`` cell's whole ``m x r x budget x frequency`` grid as
   stacked array operations, bit-identical to the scalar path and an order
   of magnitude faster on Fig. 6-scale sweeps;
+* :mod:`repro.dse.batch` — :func:`evaluate_requests`, the heterogeneous
+  batch entry point: a mixed list of (network, device, entry) requests
+  grouped by cell and dispatched through the vectorized engine, one
+  outcome per request — what the :mod:`repro.service` micro-batcher
+  feeds;
 * :mod:`repro.dse.campaign` — :class:`Campaign` / :class:`CampaignResult`,
   the campaign description and its aggregated outcome (per-network Pareto
   fronts, best-by-metric picks, comparison tables, JSON ``save``/``load``).
@@ -38,6 +43,7 @@ Quickstart — a 3-network x 2-device campaign:
 'F(7x7,3x3)-P11'
 """
 
+from .batch import BatchOutcome, EvalRequest, evaluate_requests
 from .cache import CacheStats, EvaluationCache, global_cache, network_fingerprint
 from .campaign import (
     Campaign,
@@ -55,6 +61,9 @@ from .engine import (
 from .vectorized import BatchResult, evaluate_cell_batch, numpy_available
 
 __all__ = [
+    "BatchOutcome",
+    "EvalRequest",
+    "evaluate_requests",
     "BatchResult",
     "evaluate_cell_batch",
     "numpy_available",

@@ -109,6 +109,13 @@ class EvaluationCache:
         #: evaluated; the shared (m, r) op-count layer never gets near it.
         self.max_points = max_points
         self._evict_lock = threading.Lock()
+        #: Serializes hit/miss counter updates.  Memo reads/writes are
+        #: individually atomic under the GIL, but ``stats.hits += 1`` is a
+        #: read-modify-write that loses updates under thread interleaving —
+        #: and the result-serving HTTP server shares one cache across
+        #: request threads, so the accounting must stay exact (lookups ==
+        #: hits + misses) no matter how many threads probe concurrently.
+        self._stats_lock = threading.Lock()
         self._op_counts: Dict[Tuple, TransformOpCounts] = {}
         self._engines: Dict[Tuple, EngineModel] = {}
         self._latency: Dict[Tuple, LatencyReport] = {}
@@ -127,11 +134,18 @@ class EvaluationCache:
         try:
             value = store[key]
         except KeyError:
-            stats.misses += 1
+            with self._stats_lock:
+                stats.misses += 1
+            # The factory runs outside any lock so concurrent misses never
+            # serialize on model evaluation; two threads racing the same
+            # key each compute the (bit-identical) value and the last
+            # store wins — both count as misses, keeping lookups ==
+            # hits + misses exact.
             value = store[key] = factory()
             self._evict_over_bound(store)
             return value
-        stats.hits += 1
+        with self._stats_lock:
+            stats.hits += 1
         return value
 
     # ------------------------------------------------------------------ #
@@ -250,10 +264,11 @@ class EvaluationCache:
     def lookup_point(self, key: Tuple) -> Optional[Tuple[str, Any]]:
         """Raw design-point lookup: ``("ok", point)``, ``("err", msg)`` or None."""
         entry = self._points.get(key)
-        if entry is None:
-            self.stats["points"].misses += 1
-        else:
-            self.stats["points"].hits += 1
+        with self._stats_lock:
+            if entry is None:
+                self.stats["points"].misses += 1
+            else:
+                self.stats["points"].hits += 1
         return entry
 
     def store_point(self, key: Tuple, entry: Tuple[str, Any]) -> None:

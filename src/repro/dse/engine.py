@@ -137,10 +137,6 @@ class ExecutorConfig:
             return "process"
         return "serial"
 
-    def use_processes(self, total_evaluations: int) -> bool:
-        """Whether the resolved mode is the process pool (legacy helper)."""
-        return self.choose_mode(total_evaluations) == "process"
-
     def resolved_chunk_size(self, cell_entries: int) -> int:
         if self.chunk_size is not None:
             return self.chunk_size

@@ -51,7 +51,12 @@ from ..hw.power import PowerModel
 from ..hw.resources import ResourceEstimate, batch_fits, batch_linear_resources
 from ..nn.model import Network
 
-__all__ = ["numpy_available", "BatchResult", "evaluate_cell_batch"]
+__all__ = ["numpy_available", "BatchResult", "evaluate_cell_batch", "DOES_NOT_FIT"]
+
+#: Skip reason for designs that evaluate but exceed the device budget
+#: (the scalar path has no message for this case — it silently drops the
+#: point — so batch consumers share this one).
+DOES_NOT_FIT = "design does not fit device {device!r}"
 
 
 def numpy_available() -> bool:
@@ -91,10 +96,17 @@ class BatchResult:
     entries before the failing one are evaluated (so a streaming caller can
     yield them first, exactly like the serial generator), entries at and
     after it are left ``None``, and the caller re-raises after draining.
+
+    ``errors`` (populated only when ``collect_errors=True``) is aligned
+    with the entries too: the scalar path's ``ValueError`` message for
+    each skipped entry, or the :data:`DOES_NOT_FIT` reason for designs
+    that evaluate but exceed the device budget — what a serving layer
+    reports back instead of a point, with no re-evaluation.
     """
 
     points: List[Optional[DesignPoint]]
     pending_error: Optional[ValueError] = None
+    errors: Optional[List[Optional[str]]] = None
 
     def feasible(self) -> List[DesignPoint]:
         """The evaluated points in entry order, infeasible entries dropped."""
@@ -149,6 +161,7 @@ def evaluate_cell_batch(
     calibration: Calibration,
     entries: Sequence[GridEntry],
     skip_infeasible: bool = True,
+    collect_errors: bool = False,
 ) -> BatchResult:
     """Evaluate every grid entry of one ``(network, device)`` cell at once.
 
@@ -163,11 +176,17 @@ def evaluate_cell_batch(
     :class:`~repro.core.design_space.SweepSpec` (positive finite
     frequencies, integral ``m``/``r``/budgets), which is what every caller
     in :mod:`repro.dse` guarantees.
+
+    ``collect_errors=True`` additionally records *why* each skipped entry
+    was skipped on ``BatchResult.errors`` (only meaningful with
+    ``skip_infeasible=True``) — the request-batching service uses this to
+    answer infeasible queries without a second evaluation.
     """
     import numpy as np
 
     entries = list(entries)
     results: List[Optional[DesignPoint]] = [None] * len(entries)
+    errors: Optional[List[Optional[str]]] = [None] * len(entries) if collect_errors else None
 
     # ---- pass 1: resolve PE counts, engine skeletons and scalar errors --- #
     models: Dict[Tuple[int, int, bool], object] = {}
@@ -191,6 +210,8 @@ def evaluate_cell_batch(
         pes, error = _entry_pes(entry, get_model, device)
         if error is not None:
             if skip_infeasible:
+                if errors is not None:
+                    errors[index] = str(error)
                 continue
             pending_error = error
             break
@@ -223,6 +244,10 @@ def evaluate_cell_batch(
         )
         resources = batch_linear_resources(model.base_resources, model.pe.resources, pes)
         keep = batch_fits(resources, device) if skip_infeasible else np.ones(len(pes), bool)
+        if errors is not None:
+            for j, index in enumerate(group.indexes):
+                if not keep[j]:
+                    errors[index] = DOES_NOT_FIT.format(device=device.name)
         if not keep.any():
             continue
 
@@ -317,4 +342,4 @@ def evaluate_cell_batch(
                 workload_name=network.name,
             )
 
-    return BatchResult(points=results, pending_error=pending_error)
+    return BatchResult(points=results, pending_error=pending_error, errors=errors)

@@ -12,6 +12,10 @@ Subcommands
     and best-by-metric views — no re-evaluation.
 ``list networks|devices|strategies``
     Show what the registries can resolve, one name per line.
+``serve``
+    Start the :mod:`repro.service` HTTP server: a persistent
+    :class:`~repro.service.ResultStore` plus micro-batched ``evaluate`` /
+    ``query`` / ``pareto`` / ``best`` / ``campaign`` JSON endpoints.
 
 Examples
 --------
@@ -20,6 +24,7 @@ Examples
     python -m repro run examples/experiment_spec.json -o result.json
     python -m repro report result.json --metric power_efficiency
     python -m repro list strategies
+    python -m repro serve --store .repro-store --port 8787
 """
 
 from __future__ import annotations
@@ -89,6 +94,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     list_parser = commands.add_parser("list", help="show registry contents")
     list_parser.add_argument("what", choices=("networks", "devices", "strategies"))
+
+    serve_parser = commands.add_parser(
+        "serve", help="start the result-store + design-query HTTP server"
+    )
+    serve_parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=".repro-store",
+        help="result-store directory (created if missing; default: .repro-store)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument(
+        "--port", type=int, default=8787, help="bind port (0 picks a free one)"
+    )
+    serve_parser.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        help="micro-batch collection window for /v1/evaluate (default: 2.0)",
+    )
+    serve_parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=256,
+        help="dispatch a batch immediately at this many pending requests",
+    )
+    serve_parser.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress the startup banner"
+    )
     return parser
 
 
@@ -165,11 +199,29 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from ..service.server import serve  # deferred: keep plain CLI imports light
+
+    return serve(
+        args.store,
+        host=args.host,
+        port=args.port,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+        quiet=args.quiet,
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    handler = {"run": _cmd_run, "report": _cmd_report, "list": _cmd_list}[args.command]
+    handler = {
+        "run": _cmd_run,
+        "report": _cmd_report,
+        "list": _cmd_list,
+        "serve": _cmd_serve,
+    }[args.command]
     try:
         return handler(args)
     except FileNotFoundError as error:

@@ -148,10 +148,18 @@ def result_from_dict(data: dict) -> CampaignResult:
     """Rebuild a :class:`CampaignResult` from :func:`result_to_dict` output."""
     if not isinstance(data, dict):
         raise ValueError(f"campaign result must be a mapping, got {type(data).__name__}")
-    schema = data.get("schema")
+    if "schema" not in data:
+        raise ValueError(
+            f"campaign result has no 'schema' field (not a repro campaign-result "
+            f"file, or written by a pre-versioning tool); this reader supports "
+            f"schema {RESULT_SCHEMA!r}"
+        )
+    schema = data["schema"]
     if schema != RESULT_SCHEMA:
         raise ValueError(
-            f"unsupported campaign-result schema {schema!r}; expected {RESULT_SCHEMA!r}"
+            f"unsupported campaign-result schema: found {schema!r}, supported "
+            f"{RESULT_SCHEMA!r} (the file was written by a newer or incompatible "
+            f"version of repro)"
         )
     unknown = set(data) - {
         "schema", "spec", "evaluations", "elapsed_seconds", "cache_stats", "points",

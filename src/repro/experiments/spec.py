@@ -18,6 +18,7 @@ True
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -38,6 +39,7 @@ from ..nn.model import Network
 
 __all__ = [
     "EXPERIMENT_SCHEMA",
+    "canonical_json_hash",
     "StrategySpec",
     "ExperimentSpec",
     "calibration_to_dict",
@@ -48,6 +50,17 @@ __all__ = [
 
 #: Versioned schema tag embedded in every serialized spec.
 EXPERIMENT_SCHEMA = "repro.experiment/1"
+
+
+def canonical_json_hash(data: dict) -> str:
+    """sha256 over the canonical (sorted-key, whitespace-free) JSON form.
+
+    The one canonicalization policy shared by spec fingerprints and the
+    :mod:`repro.service` store's content keys — a single definition so the
+    two can never drift apart.
+    """
+    canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 _JSON_SCALARS = (str, int, float, bool, type(None))
 
@@ -316,6 +329,31 @@ class ExperimentSpec:
         elif params:
             raise ValueError("pass params either in the StrategySpec or as kwargs, not both")
         return replace(self, strategy=strategy)
+
+    #: ``to_dict`` keys that tune *how* evaluation executes without
+    #: affecting *what* it computes (every executor mode is bit-identical
+    #: and the cache only memoises): excluded from the fingerprint so
+    #: results computed under any execution settings are interchangeable.
+    EXECUTION_ONLY_FIELDS = ("executor", "cache")
+
+    def fingerprint(self) -> str:
+        """Stable content hash identifying this spec's search semantics.
+
+        Computed over the canonical (sorted-key, whitespace-free) JSON
+        form of :meth:`to_dict` minus the execution-tuning fields
+        (:attr:`EXECUTION_ONLY_FIELDS`) — two specs that describe the same
+        search share a fingerprint however they were constructed and
+        however their evaluation is executed, while any semantic change
+        (a sweep value, an objective, a network) produces a fresh one.
+        This is the primary key the :class:`repro.service.ResultStore`
+        indexes campaign results under.
+        """
+        data = {
+            key: value
+            for key, value in self.to_dict().items()
+            if key not in self.EXECUTION_ONLY_FIELDS
+        }
+        return canonical_json_hash(data)
 
     # ------------------------------------------------------------------ #
     def to_campaign(self) -> Campaign:

@@ -1,6 +1,13 @@
 """Reporting helpers: plain-text tables, CSV export and ASCII figures."""
 
-from .campaign import campaign_comparison_table, campaign_summary_table, campaign_to_csv
+from .campaign import (
+    campaign_comparison_table,
+    campaign_report_payload,
+    campaign_summary_table,
+    campaign_to_csv,
+    json_sanitize,
+    jsonable_rows,
+)
 from .figures import bar_chart, grouped_series
 from .tables import format_comparison, format_ratio, format_table, rows_to_csv
 
@@ -13,5 +20,8 @@ __all__ = [
     "grouped_series",
     "campaign_summary_table",
     "campaign_comparison_table",
+    "campaign_report_payload",
     "campaign_to_csv",
+    "json_sanitize",
+    "jsonable_rows",
 ]

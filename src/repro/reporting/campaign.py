@@ -10,7 +10,8 @@ JSON artifact via ``CampaignResult.load``.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import math
+from typing import Any, Dict, List, Optional, Sequence
 
 from .tables import format_table, rows_to_csv
 
@@ -18,6 +19,9 @@ __all__ = [
     "campaign_summary_table",
     "campaign_comparison_table",
     "campaign_to_csv",
+    "json_sanitize",
+    "jsonable_rows",
+    "campaign_report_payload",
 ]
 
 SUMMARY_COLUMNS = (
@@ -60,6 +64,56 @@ def campaign_comparison_table(
         title = f"Best {metric} by network and device"
     rows = result.comparison_rows(metric)
     return format_table(rows, title=title, precision=precision)
+
+
+def json_sanitize(value: Any) -> Any:
+    """``value`` made strict-JSON-safe: non-finite floats become ``None``.
+
+    Recurses through dicts and lists/tuples.  The comparison view marks
+    empty (network, device) cells with ``NaN``, which ``json.dumps``
+    emits as the non-standard ``NaN`` token most HTTP clients reject —
+    this is the single implementation of the scrub policy, shared by
+    :func:`jsonable_rows` and the ``repro.service`` HTTP server.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: json_sanitize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_sanitize(item) for item in value]
+    return value
+
+
+def jsonable_rows(rows: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Row tables made strict-JSON-safe (see :func:`json_sanitize`)."""
+    return [json_sanitize(row) for row in rows]
+
+
+def campaign_report_payload(result, metric: Optional[str] = None) -> Dict[str, Any]:
+    """One JSON-ready report of a campaign: the summary and comparison
+    views a :class:`~repro.dse.CampaignResult` computes, as plain row
+    dicts instead of formatted tables — what the ``repro.service`` HTTP
+    server returns for a stored result's ``/report`` endpoint.
+
+    ``metric`` picks the comparison metric (defaults to the embedded
+    spec's first metric, falling back to throughput).
+    """
+    spec = getattr(result, "spec", None)
+    if metric is None:
+        metric = spec.metrics[0] if spec is not None else "throughput_gops"
+    return {
+        "name": result.campaign.name,
+        "evaluations": result.evaluations,
+        "feasible": result.feasible,
+        "elapsed_seconds": result.elapsed_seconds,
+        "networks": result.network_names(),
+        "devices": result.device_names(),
+        "summary": jsonable_rows(result.summary_rows()),
+        "comparison": {
+            "metric": metric,
+            "rows": jsonable_rows(result.comparison_rows(metric)),
+        },
+    }
 
 
 def campaign_to_csv(result, columns: Optional[Sequence[str]] = None) -> str:

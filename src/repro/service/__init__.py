@@ -1,0 +1,51 @@
+"""Persistent result store + batching design-query server.
+
+The layers below this package compute; this package *serves*.  It turns
+evaluated campaigns into long-lived, queryable artifacts and single
+design-point questions into micro-batched vectorized evaluations:
+
+* :mod:`repro.service.store` — :class:`ResultStore`, an append-only,
+  content-addressed store of campaign results (JSONL segments + a
+  rebuildable index keyed by spec fingerprint, network and device) with
+  ``put``/``get``/``query``/``latest`` and compaction;
+* :mod:`repro.service.batching` — :class:`MicroBatcher`, the scheduler
+  that holds concurrent ``evaluate`` requests for a small window and
+  dispatches them as one stacked :func:`repro.dse.batch.evaluate_requests`
+  call (bit-identical to serial evaluation, an order of magnitude more
+  throughput);
+* :mod:`repro.service.server` — :class:`ResultServer` / :func:`serve`,
+  the stdlib-only asyncio HTTP server behind ``python -m repro serve``
+  (``/v1/query``, ``/v1/pareto``, ``/v1/best``, ``/v1/evaluate``,
+  ``/v1/campaign``);
+* :mod:`repro.service.client` — :class:`ServiceClient`, the thin
+  synchronous client used by tests, benchmarks and CI.
+
+Quickstart::
+
+    python -m repro serve --store .repro-store --port 8787
+
+    >>> from repro.service import ServiceClient
+    >>> client = ServiceClient(port=8787)
+    >>> receipt = client.submit_campaign(spec)       # computed once, stored
+    >>> fronts = client.pareto(key=receipt["key"])   # served from the store
+    >>> point = client.evaluate("vgg16-d", m=4, multiplier_budget=512)
+"""
+
+from .batching import BatcherStats, MicroBatcher
+from .client import InfeasibleDesignError, ServiceClient, ServiceError
+from .server import ApiError, ResultServer, serve
+from .store import ResultStore, StoreRecord, result_key
+
+__all__ = [
+    "BatcherStats",
+    "MicroBatcher",
+    "ServiceClient",
+    "ServiceError",
+    "InfeasibleDesignError",
+    "ApiError",
+    "ResultServer",
+    "serve",
+    "ResultStore",
+    "StoreRecord",
+    "result_key",
+]

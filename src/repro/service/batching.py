@@ -1,0 +1,182 @@
+"""Micro-batching scheduler for concurrent evaluate requests.
+
+An online design-query server receives many small, independent
+``evaluate`` requests.  Answering each alone walks the scalar model once
+per request; but the vectorized engine (:mod:`repro.dse.vectorized`)
+evaluates a whole stacked batch for barely more than the cost of one —
+so the profitable schedule is to *wait a tiny window*, coalesce every
+request that arrived, and dispatch them as one
+:func:`repro.dse.batch.evaluate_requests` call.
+
+:class:`MicroBatcher` implements that schedule on asyncio:
+
+* the first request to arrive opens a collection window of
+  ``window_ms`` milliseconds;
+* every request arriving inside the window joins the pending batch;
+* when the window closes (or the batch hits ``max_batch`` first), the
+  batch is dispatched on a worker thread — evaluation is CPU-bound
+  Python/NumPy, so it must not block the event loop — and each request's
+  future resolves with its own :class:`~repro.dse.batch.BatchOutcome`.
+
+Because :func:`~repro.dse.batch.evaluate_requests` is bit-identical to
+serial per-request evaluation regardless of batch composition, batching
+is *invisible* in the responses: a client gets the same bytes whether its
+request rode alone or with a thousand others.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import Executor
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..dse.batch import BatchOutcome, EvalRequest, evaluate_requests
+from ..dse.engine import CacheLike
+
+__all__ = ["BatcherStats", "MicroBatcher"]
+
+
+@dataclass
+class BatcherStats:
+    """Aggregate counters of one :class:`MicroBatcher`'s lifetime."""
+
+    requests: int = 0
+    batches: int = 0
+    largest_batch: int = 0
+    errors: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "largest_batch": self.largest_batch,
+            "mean_batch_size": round(self.mean_batch_size, 3),
+            "errors": self.errors,
+        }
+
+
+class MicroBatcher:
+    """Coalesce concurrent evaluation requests into vectorized batches.
+
+    Parameters
+    ----------
+    window_ms:
+        How long the first request of a batch waits for company.  ``0``
+        still coalesces whatever arrives within one event-loop tick.
+    max_batch:
+        Dispatch immediately once this many requests are pending.
+    cache / vectorized:
+        Forwarded to :func:`repro.dse.batch.evaluate_requests`.
+    executor:
+        Where dispatches run; ``None`` uses the loop's default thread
+        pool.  Pass a single-thread executor to serialize evaluation
+        against other CPU-bound work (the HTTP server does).
+    """
+
+    def __init__(
+        self,
+        window_ms: float = 2.0,
+        max_batch: int = 256,
+        cache: CacheLike = None,
+        vectorized: Optional[bool] = None,
+        executor: Optional[Executor] = None,
+    ) -> None:
+        if window_ms < 0:
+            raise ValueError("window_ms must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.window_ms = window_ms
+        self.max_batch = max_batch
+        self.cache = cache
+        self.vectorized = vectorized
+        self.executor = executor
+        self.stats = BatcherStats()
+        self._stats_lock = threading.Lock()
+        self._pending: List[Tuple[EvalRequest, "asyncio.Future[BatchOutcome]"]] = []
+        self._flush_task: Optional["asyncio.Task"] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    async def submit(self, request: EvalRequest) -> BatchOutcome:
+        """Enqueue one request and await its outcome.
+
+        Requests submitted while a window is open join its batch; the
+        caller's coroutine resumes when the batch completes.
+        """
+        if self._closed:
+            raise RuntimeError("MicroBatcher is closed")
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[BatchOutcome]" = loop.create_future()
+        self._pending.append((request, future))
+        if len(self._pending) >= self.max_batch:
+            self._cancel_window()
+            self._dispatch_pending(loop)
+        elif self._flush_task is None:
+            self._flush_task = loop.create_task(self._window(loop))
+        return await future
+
+    async def _window(self, loop: asyncio.AbstractEventLoop) -> None:
+        try:
+            await asyncio.sleep(self.window_ms / 1000.0)
+        except asyncio.CancelledError:
+            return
+        self._flush_task = None
+        self._dispatch_pending(loop)
+
+    def _cancel_window(self) -> None:
+        if self._flush_task is not None:
+            self._flush_task.cancel()
+            self._flush_task = None
+
+    def _dispatch_pending(self, loop: asyncio.AbstractEventLoop) -> None:
+        batch, self._pending = self._pending, []
+        if not batch:
+            return
+        with self._stats_lock:
+            self.stats.requests += len(batch)
+            self.stats.batches += 1
+            self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+        requests = [request for request, _ in batch]
+        futures = [future for _, future in batch]
+
+        def run() -> List[BatchOutcome]:
+            return evaluate_requests(
+                requests, cache=self.cache, vectorized=self.vectorized
+            )
+
+        dispatch = loop.run_in_executor(self.executor, run)
+
+        def finish(done: "asyncio.Future") -> None:
+            error = done.exception()
+            if error is not None:
+                with self._stats_lock:
+                    self.stats.errors += len(futures)
+                for future in futures:
+                    if not future.done():
+                        future.set_exception(error)
+                return
+            for future, outcome in zip(futures, done.result()):
+                if not future.done():
+                    future.set_result(outcome)
+
+        dispatch.add_done_callback(finish)
+
+    # ------------------------------------------------------------------ #
+    async def flush(self) -> None:
+        """Dispatch any pending batch now and wait for it to finish."""
+        self._cancel_window()
+        pending = [future for _, future in self._pending]
+        self._dispatch_pending(asyncio.get_running_loop())
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+
+    async def close(self) -> None:
+        """Flush outstanding work and refuse further submissions."""
+        self._closed = True
+        await self.flush()

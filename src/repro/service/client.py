@@ -1,0 +1,212 @@
+"""Thin stdlib HTTP client for the ``repro.service`` server.
+
+Used by the test suite, the service benchmark and the CI smoke step; it
+is also the reference for how any other consumer should talk to the
+server.  Every call opens its own ``http.client`` connection, so one
+:class:`ServiceClient` may be shared freely across threads.
+
+>>> client = ServiceClient(port=8787)
+>>> point = client.evaluate("vgg16-d", m=4, multiplier_budget=512)
+>>> front = client.pareto(fingerprint=spec.fingerprint())
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, List, Optional, Union
+
+from ..core.design_point import DesignPoint
+from ..experiments.persistence import point_from_dict
+from ..experiments.spec import ExperimentSpec
+
+__all__ = ["ServiceError", "InfeasibleDesignError", "ServiceClient"]
+
+
+class ServiceError(Exception):
+    """An HTTP error response from the service (status + server message)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class InfeasibleDesignError(ValueError):
+    """An ``evaluate`` request whose design is infeasible on the device.
+
+    Subclasses ``ValueError`` because that is what the in-process
+    evaluator raises for the same configuration.
+    """
+
+
+class ServiceClient:
+    """Synchronous JSON client for one ``repro.service`` endpoint."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {"Content-Type": "application/json"} if payload else {}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            data = json.loads(response.read().decode() or "{}")
+            if response.status >= 400:
+                raise ServiceError(
+                    response.status, data.get("error", response.reason or "error")
+                )
+            return data
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _query_string(params: Dict[str, Optional[str]]) -> str:
+        from urllib.parse import urlencode
+
+        filtered = {key: value for key, value in params.items() if value is not None}
+        return f"?{urlencode(filtered)}" if filtered else ""
+
+    # ------------------------------------------------------------------ #
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/health")
+
+    def results(
+        self,
+        network: Optional[str] = None,
+        device: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """Metadata of stored results matching the filters, oldest first."""
+        query = self._query_string(
+            {"network": network, "device": device, "fingerprint": fingerprint, "name": name}
+        )
+        return self._request("GET", f"/v1/results{query}")["results"]
+
+    def result(self, key: str) -> Dict[str, Any]:
+        """The full persistence payload of one stored result."""
+        return self._request("GET", f"/v1/results/{key}")["result"]
+
+    def report(self, key: str, metric: Optional[str] = None) -> Dict[str, Any]:
+        """Summary/comparison rows of a stored result."""
+        query = self._query_string({"metric": metric})
+        return self._request("GET", f"/v1/results/{key}/report{query}")["report"]
+
+    # ------------------------------------------------------------------ #
+    def query(
+        self,
+        key: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+        network: Optional[str] = None,
+        device: Optional[str] = None,
+        name: Optional[str] = None,
+        metric: Optional[str] = None,
+        top_k: Optional[int] = None,
+        maximize: Optional[bool] = None,
+    ) -> List[DesignPoint]:
+        """Filtered (optionally metric-sorted, top-k) points of a result."""
+        body: Dict[str, Any] = {
+            "key": key, "fingerprint": fingerprint, "network": network,
+            "device": device, "name": name, "metric": metric, "top_k": top_k,
+        }
+        if maximize is not None:
+            body["maximize"] = maximize
+        payload = self._request("POST", "/v1/query", _drop_none(body))
+        return [point_from_dict(point) for point in payload["points"]]
+
+    def pareto(
+        self,
+        key: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+        network: Optional[str] = None,
+        name: Optional[str] = None,
+        objectives: Optional[List] = None,
+    ) -> Dict[str, List[DesignPoint]]:
+        """Per-network Pareto fronts of a stored result."""
+        body: Dict[str, Any] = {
+            "key": key, "fingerprint": fingerprint, "network": network, "name": name,
+        }
+        if objectives is not None:
+            body["objectives"] = [list(pair) for pair in objectives]
+        payload = self._request("POST", "/v1/pareto", _drop_none(body))
+        return {
+            name: [point_from_dict(point) for point in front]
+            for name, front in payload["fronts"].items()
+        }
+
+    def best(
+        self,
+        metric: str,
+        key: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+        network: Optional[str] = None,
+        device: Optional[str] = None,
+        name: Optional[str] = None,
+        maximize: Optional[bool] = None,
+    ) -> DesignPoint:
+        """The best stored point by ``metric``."""
+        body: Dict[str, Any] = {
+            "key": key, "fingerprint": fingerprint, "network": network,
+            "device": device, "name": name, "metric": metric,
+        }
+        if maximize is not None:
+            body["maximize"] = maximize
+        payload = self._request("POST", "/v1/best", _drop_none(body))
+        return point_from_dict(payload["point"])
+
+    # ------------------------------------------------------------------ #
+    def evaluate_raw(self, **request: Any) -> Dict[str, Any]:
+        """Raw ``POST /v1/evaluate`` response (feasible flag + point/error)."""
+        return self._request("POST", "/v1/evaluate", _drop_none(request))
+
+    def evaluate(
+        self,
+        network: str,
+        m: int,
+        r: int = 3,
+        multiplier_budget: Optional[int] = None,
+        frequency_mhz: float = 200.0,
+        shared_data_transform: bool = True,
+        device: str = "xc7vx485t",
+    ) -> DesignPoint:
+        """Evaluate one ad-hoc design point through the batching server.
+
+        Bit-identical to the in-process serial evaluator (modulo the
+        non-persisted ``engine`` provenance field, which comes back
+        ``None`` exactly as a saved-and-reloaded point would).  Raises
+        :class:`InfeasibleDesignError` with the server's message when the
+        configuration is infeasible or does not fit the device.
+        """
+        payload = self.evaluate_raw(
+            network=network,
+            device=device,
+            m=m,
+            r=r,
+            multiplier_budget=multiplier_budget,
+            frequency_mhz=frequency_mhz,
+            shared_data_transform=shared_data_transform,
+        )
+        if not payload["feasible"]:
+            raise InfeasibleDesignError(payload["error"])
+        return point_from_dict(payload["point"])
+
+    def submit_campaign(self, spec: Union[ExperimentSpec, Dict[str, Any]]) -> Dict[str, Any]:
+        """Run a campaign server-side and persist it; returns the receipt.
+
+        The receipt carries ``key`` (stored-result content key),
+        ``fingerprint`` (the spec's), counts and summary rows.
+        """
+        spec_data = spec.to_dict() if isinstance(spec, ExperimentSpec) else spec
+        return self._request("POST", "/v1/campaign", {"spec": spec_data})
+
+
+def _drop_none(body: Dict[str, Any]) -> Dict[str, Any]:
+    return {key: value for key, value in body.items() if value is not None}

@@ -1,0 +1,593 @@
+"""Stdlib-only asyncio HTTP server for stored and ad-hoc design queries.
+
+``python -m repro serve`` turns the repository from a batch tool into an
+online system: campaigns are computed once (by a ``POST /v1/campaign`` or
+offline via the CLI), persisted in a :class:`~repro.service.store.ResultStore`,
+and every subsequent "what-if" — a Pareto front, a top-k under a budget, a
+single candidate design — is answered from the store or from a
+micro-batched vectorized evaluation, without the client owning any of the
+engine.
+
+Endpoints (all JSON):
+
+``GET  /health``
+    Liveness plus store/batcher statistics.
+``GET  /v1/results``
+    Stored-result metadata; filter with ``?network=&device=&fingerprint=&name=``.
+``GET  /v1/results/<key>``
+    One full stored result (the versioned persistence payload).
+``GET  /v1/results/<key>/report``
+    Summary/comparison rows of a stored result (``?metric=`` optional).
+``POST /v1/query``
+    Filter/select/top-k over a stored result's points.
+``POST /v1/pareto``
+    Per-network Pareto fronts of a stored result.
+``POST /v1/best``
+    Single best point of a stored result by a metric.
+``POST /v1/evaluate``
+    Evaluate one ad-hoc design point.  Concurrent requests are coalesced
+    by the :class:`~repro.service.batching.MicroBatcher` into stacked
+    NumPy batches — responses are bit-identical to serial evaluation.
+``POST /v1/campaign``
+    Submit an :class:`~repro.experiments.ExperimentSpec` (its ``to_dict``
+    form); the server runs it through the existing strategy/evaluator
+    machinery, persists the result and returns its key.
+
+Result selection for ``query``/``pareto``/``best``: pass ``key`` for an
+exact result, or ``fingerprint`` (and/or ``network``/``device``/``name``
+filters) to use the latest matching stored result.
+
+The HTTP layer is deliberately minimal — HTTP/1.1, ``Content-Length``
+bodies, no TLS, no chunked encoding — because the transport is not the
+point; the batching scheduler and the store are.  Run it behind a real
+proxy if it ever faces the internet.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..core.design_space import GridEntry
+from ..dse.batch import EvalRequest
+from ..dse.campaign import CampaignResult, metric_direction
+from ..experiments.persistence import point_to_dict, result_to_dict
+from ..experiments.runner import run_experiment
+from ..experiments.spec import ExperimentSpec
+from ..reporting import campaign_report_payload, json_sanitize, jsonable_rows
+from .batching import MicroBatcher
+from .store import ResultStore
+
+__all__ = ["ApiError", "ResultServer", "serve"]
+
+SERVER_NAME = "repro-service/1"
+
+#: Largest Winograd input tile (``m + r - 1``) ``/v1/evaluate`` accepts.
+#: Transform generation cost grows superlinearly with the tile; an
+#: unbounded ``m`` would wedge the single evaluation worker (and every
+#: request queued behind it) for tens of seconds.  The paper's space tops
+#: out at F(7,3) = tile 9; 16 leaves generous headroom.
+MAX_EVALUATE_TILE = 16
+
+#: Deserialized stored results memoized by key (segments are append-only,
+#: so a cached result can never go stale).  Small: entries can be large.
+RESULT_CACHE_SIZE = 8
+
+
+class ApiError(Exception):
+    """A client-visible error with an HTTP status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+# --------------------------------------------------------------------- #
+# Request parsing helpers
+# --------------------------------------------------------------------- #
+def _field(body: Dict[str, Any], name: str, types: tuple, default: Any, required: bool = False) -> Any:
+    """Typed access to an optional/required JSON body field."""
+    if name not in body or body[name] is None:
+        if required:
+            raise ApiError(400, f"missing required field {name!r}")
+        return default
+    value = body[name]
+    if types == (int,) and isinstance(value, bool):
+        raise ApiError(400, f"field {name!r} must be an integer, got {value!r}")
+    if types == (float,) and isinstance(value, int) and not isinstance(value, bool):
+        value = float(value)
+    if not isinstance(value, types):
+        expected = "/".join(t.__name__ for t in types)
+        raise ApiError(400, f"field {name!r} must be {expected}, got {type(value).__name__}")
+    if isinstance(value, float) and not math.isfinite(value):
+        # json.loads accepts the non-standard NaN/Infinity tokens; they
+        # would flow through the batch math as poison values.
+        raise ApiError(400, f"field {name!r} must be finite, got {value!r}")
+    return value
+
+
+def _check_fields(body: Dict[str, Any], known: set, what: str) -> None:
+    unknown = set(body) - known
+    if unknown:
+        raise ApiError(
+            400, f"unknown {what} fields {sorted(unknown)}; known fields: {sorted(known)}"
+        )
+
+
+class ResultServer:
+    """The asyncio HTTP server: a store, a batcher, one worker thread.
+
+    Evaluation (micro-batches and submitted campaigns) runs on a
+    single-thread executor so CPU-bound work is serialized and never
+    blocks the event loop; the loop itself only parses requests and
+    serves store lookups.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+        batch_window_ms: float = 2.0,
+        max_batch: int = 256,
+        quiet: bool = False,
+    ) -> None:
+        self.store = store
+        self.host = host
+        self.port = port
+        self.quiet = quiet
+        self._worker = ThreadPoolExecutor(max_workers=1, thread_name_prefix="repro-eval")
+        self.batcher = MicroBatcher(
+            window_ms=batch_window_ms, max_batch=max_batch, executor=self._worker
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._started = time.time()
+        self.campaigns_run = 0
+        self._result_cache: "OrderedDict[str, CampaignResult]" = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Bind and start accepting connections (sets ``self.port`` when 0)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockets = self._server.sockets or ()
+        for sock in sockets:
+            self.port = sock.getsockname()[1]
+            break
+        if not self.quiet:
+            print(
+                f"repro.service listening on http://{self.host}:{self.port} "
+                f"(store: {self.store.root}, {len(self.store)} stored results)"
+            )
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.close()
+        self._worker.shutdown(wait=True)
+
+    # ------------------------------------------------------------------ #
+    # HTTP plumbing
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, target, headers, body = request
+                status, payload = await self._route(method, target, body)
+                keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+                data = json.dumps(json_sanitize(payload), indent=None).encode()
+                writer.write(
+                    (
+                        f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+                        f"Server: {SERVER_NAME}\r\n"
+                        "Content-Type: application/json\r\n"
+                        f"Content-Length: {len(data)}\r\n"
+                        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+                        "\r\n"
+                    ).encode()
+                )
+                writer.write(data)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            except asyncio.CancelledError:
+                # Server shutdown cancels handler tasks mid-wait_closed;
+                # the connection is closed either way — end quietly rather
+                # than logging an unhandled-exception traceback.
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        try:
+            request_line = await reader.readline()
+        except (ConnectionResetError, asyncio.LimitOverrunError):
+            return None
+        if not request_line:
+            return None
+        try:
+            method, target, _version = request_line.decode("latin-1").split(None, 2)
+        except ValueError:
+            return None
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            return None  # malformed framing: drop the connection cleanly
+        if length < 0:
+            return None
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, headers, body
+
+    async def _route(self, method: str, target: str, raw_body: bytes) -> Tuple[int, Any]:
+        split = urlsplit(target)
+        path = split.path.rstrip("/") or "/"
+        params = {key: values[-1] for key, values in parse_qs(split.query).items()}
+        try:
+            body: Dict[str, Any] = {}
+            if raw_body:
+                try:
+                    body = json.loads(raw_body)
+                except json.JSONDecodeError as error:
+                    raise ApiError(400, f"request body is not valid JSON: {error}")
+                if not isinstance(body, dict):
+                    raise ApiError(400, "request body must be a JSON object")
+
+            if method == "GET" and path == "/health":
+                return 200, self._health()
+            if method == "GET" and path == "/v1/results":
+                return 200, self._list_results(params)
+            if method == "GET" and path.startswith("/v1/results/"):
+                rest = path[len("/v1/results/"):]
+                if rest.endswith("/report"):
+                    return 200, await self._report(rest[: -len("/report")], params)
+                return 200, await self._get_result(rest)
+            if method == "POST" and path == "/v1/query":
+                return 200, await self._query(body)
+            if method == "POST" and path == "/v1/pareto":
+                return 200, await self._pareto(body)
+            if method == "POST" and path == "/v1/best":
+                return 200, await self._best(body)
+            if method == "POST" and path == "/v1/evaluate":
+                return 200, await self._evaluate(body)
+            if method == "POST" and path == "/v1/campaign":
+                return 200, await self._campaign(body)
+            raise ApiError(404, f"no route for {method} {path}")
+        except ApiError as error:
+            return error.status, {"error": error.message}
+        except Exception as error:  # noqa: BLE001 — the server must not die
+            return 500, {"error": f"{type(error).__name__}: {error}"}
+
+    # ------------------------------------------------------------------ #
+    # Handlers
+    # ------------------------------------------------------------------ #
+    def _health(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "server": SERVER_NAME,
+            "uptime_seconds": round(time.time() - self._started, 3),
+            "store": {
+                "root": str(self.store.root),
+                "results": len(self.store),
+            },
+            "batcher": self.batcher.stats.to_dict(),
+            "campaigns_run": self.campaigns_run,
+        }
+
+    def _list_results(self, params: Dict[str, str]) -> Dict[str, Any]:
+        _check_fields(params, {"network", "device", "fingerprint", "name"}, "query")
+        records = self.store.query(
+            fingerprint=params.get("fingerprint"),
+            network=params.get("network"),
+            device=params.get("device"),
+            name=params.get("name"),
+        )
+        return {"results": [record.to_dict() for record in records]}
+
+    async def _get_result(self, key: str) -> Dict[str, Any]:
+        result = await self._load_by_key(key)
+        loop = asyncio.get_running_loop()
+        # Serializing thousands of points is CPU work; keep it off the loop.
+        payload = await loop.run_in_executor(None, result_to_dict, result)
+        return {"key": key, "result": payload}
+
+    async def _report(self, key: str, params: Dict[str, str]) -> Dict[str, Any]:
+        _check_fields(params, {"metric"}, "query")
+        result = await self._load_by_key(key)
+        try:
+            report = campaign_report_payload(result, params.get("metric"))
+        except (AttributeError, ValueError) as error:
+            raise ApiError(400, str(error)) from None
+        return {"key": key, "report": report}
+
+    async def _load_by_key(self, key: str) -> CampaignResult:
+        """A stored result, memoized by key (append-only store — a cached
+        deserialization can never go stale) and loaded off the event loop
+        so a multi-thousand-point parse never stalls other requests."""
+        cached = self._result_cache.get(key)
+        if cached is not None:
+            self._result_cache.move_to_end(key)
+            return cached
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(None, self.store.get, key)
+        except KeyError:
+            raise ApiError(404, f"no stored result with key {key!r}") from None
+        self._result_cache[key] = result
+        while len(self._result_cache) > RESULT_CACHE_SIZE:
+            self._result_cache.popitem(last=False)
+        return result
+
+    async def _select_result(self, body: Dict[str, Any]) -> Tuple[str, CampaignResult]:
+        """Resolve the stored result a query addresses (key wins)."""
+        key = _field(body, "key", (str,), None)
+        if key is not None:
+            return key, await self._load_by_key(key)
+        filters = {
+            name: _field(body, name, (str,), None)
+            for name in ("fingerprint", "network", "device", "name")
+        }
+        matches = self.store.query(**filters)
+        if not matches:
+            raise ApiError(
+                404,
+                "no stored result matches "
+                + (json.dumps({k: v for k, v in filters.items() if v})
+                   if any(filters.values()) else "an empty store"),
+            )
+        record = matches[-1]
+        return record.key, await self._load_by_key(record.key)
+
+    async def _query(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        _check_fields(
+            body,
+            {"key", "fingerprint", "network", "device", "name", "metric", "top_k",
+             "maximize"},
+            "query",
+        )
+        key, result = await self._select_result(body)
+        network = _field(body, "network", (str,), None)
+        device = _field(body, "device", (str,), None)
+        points = result.select(network=network, device=device)
+        metric = _field(body, "metric", (str,), None)
+        top_k = _field(body, "top_k", (int,), None)
+        if top_k is not None and top_k < 1:
+            raise ApiError(400, "top_k must be >= 1")
+        if metric is not None:
+            maximize = _field(body, "maximize", (bool,), metric_direction(metric))
+            try:
+                points = sorted(
+                    points, key=lambda point: getattr(point, metric), reverse=maximize
+                )
+            except AttributeError:
+                raise ApiError(400, f"unknown metric {metric!r}") from None
+        elif _field(body, "maximize", (bool,), None) is not None:
+            raise ApiError(400, "maximize requires a metric")
+        if top_k is not None:
+            points = points[:top_k]
+        return {
+            "key": key,
+            "count": len(points),
+            "points": [point_to_dict(point) for point in points],
+        }
+
+    async def _pareto(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        _check_fields(
+            body, {"key", "fingerprint", "network", "device", "name", "objectives"},
+            "pareto",
+        )
+        key, result = await self._select_result(body)
+        objectives = body.get("objectives")
+        if objectives is not None:
+            if not isinstance(objectives, list) or not all(
+                isinstance(pair, list)
+                and len(pair) == 2
+                and isinstance(pair[0], str)
+                and isinstance(pair[1], bool)
+                for pair in objectives
+            ):
+                # The bool check matters: a truthy non-bool ("min", 1)
+                # would silently flip the optimization direction.
+                raise ApiError(
+                    400, "objectives must be a list of [metric, maximize-bool] pairs"
+                )
+            objectives = [tuple(pair) for pair in objectives]
+        try:
+            fronts = result.pareto_fronts(objectives)
+        except (AttributeError, ValueError) as error:
+            raise ApiError(400, f"invalid objectives: {error}") from None
+        network = _field(body, "network", (str,), None)
+        if network is not None:
+            fronts = {name: front for name, front in fronts.items() if name == network}
+        return {
+            "key": key,
+            "objectives": [
+                list(pair) for pair in (objectives or result.campaign.objectives)
+            ],
+            "fronts": {
+                name: [point_to_dict(point) for point in front]
+                for name, front in fronts.items()
+            },
+        }
+
+    async def _best(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        _check_fields(
+            body,
+            {"key", "fingerprint", "network", "device", "name", "metric", "maximize"},
+            "best",
+        )
+        key, result = await self._select_result(body)
+        metric = _field(body, "metric", (str,), None, required=True)
+        maximize = _field(body, "maximize", (bool,), None)
+        network = _field(body, "network", (str,), None)
+        device = _field(body, "device", (str,), None)
+        try:
+            best = result.best(metric, maximize=maximize, network=network, device=device)
+        except (AttributeError, ValueError) as error:
+            raise ApiError(400, str(error)) from None
+        return {
+            "key": key,
+            "metric": metric,
+            "value": float(getattr(best, metric)),
+            "point": point_to_dict(best),
+        }
+
+    async def _evaluate(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        _check_fields(
+            body,
+            {"network", "device", "m", "r", "multiplier_budget", "frequency_mhz",
+             "shared_data_transform"},
+            "evaluate",
+        )
+        m = _field(body, "m", (int,), None, required=True)
+        r = _field(body, "r", (int,), 3)
+        if m >= 1 and r >= 1 and m + r - 1 > MAX_EVALUATE_TILE:
+            # Degenerate m/r (< 1) flow through as ordinary per-entry
+            # errors; only the expensive-tile case must be stopped here,
+            # before it wedges the evaluation worker.
+            raise ApiError(
+                400,
+                f"tile size m + r - 1 = {m + r - 1} exceeds the evaluate limit "
+                f"of {MAX_EVALUATE_TILE}",
+            )
+        request = EvalRequest(
+            network=_field(body, "network", (str,), None, required=True),
+            device=_field(body, "device", (str,), "xc7vx485t"),
+            entry=GridEntry(
+                m=m,
+                r=r,
+                multiplier_budget=_field(body, "multiplier_budget", (int,), None),
+                frequency_mhz=_field(body, "frequency_mhz", (float,), 200.0),
+                shared_data_transform=_field(body, "shared_data_transform", (bool,), True),
+            ),
+        )
+        # Unknown registry names must fail as a 400 before reaching the
+        # batch (where they would poison the whole dispatch).  Membership
+        # checks only — resolving would build a full Network per request
+        # on the event-loop thread, several times the cost of the batched
+        # evaluation itself.
+        from ..hw.device import known_devices
+        from ..nn.registry import known_networks
+
+        if request.network not in known_networks():
+            raise ApiError(
+                400, f"unknown network {request.network!r}; known networks: {known_networks()}"
+            )
+        if request.device not in known_devices():
+            raise ApiError(
+                400, f"unknown device {request.device!r}; known devices: {known_devices()}"
+            )
+
+        outcome = await self.batcher.submit(request)
+        if outcome.point is None:
+            return {"feasible": False, "error": outcome.error}
+        return {"feasible": True, "point": point_to_dict(outcome.point)}
+
+    async def _campaign(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        _check_fields(body, {"spec"}, "campaign")
+        spec_data = body.get("spec")
+        if spec_data is None:
+            raise ApiError(400, "missing required field 'spec'")
+        try:
+            spec = ExperimentSpec.from_dict(spec_data)
+        except (ValueError, TypeError, KeyError) as error:
+            # from_dict raises TypeError/KeyError for wrongly-typed fields;
+            # all three are client input errors, not server faults.
+            raise ApiError(400, f"invalid experiment spec: {error}")
+
+        loop = asyncio.get_running_loop()
+
+        def run() -> Tuple[str, CampaignResult]:
+            result = run_experiment(spec)
+            return self.store.put(result), result
+
+        key, result = await loop.run_in_executor(self._worker, run)
+        self.campaigns_run += 1
+        return {
+            "key": key,
+            "fingerprint": spec.fingerprint(),
+            "evaluations": result.evaluations,
+            "feasible": result.feasible,
+            "elapsed_seconds": result.elapsed_seconds,
+            "summary": jsonable_rows(result.summary_rows()),
+        }
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    500: "Internal Server Error",
+}
+
+
+def serve(
+    store_root: str,
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    batch_window_ms: float = 2.0,
+    max_batch: int = 256,
+    quiet: bool = False,
+) -> int:
+    """Blocking entry point used by ``python -m repro serve``."""
+    store = ResultStore(store_root)
+    server = ResultServer(
+        store,
+        host=host,
+        port=port,
+        batch_window_ms=batch_window_ms,
+        max_batch=max_batch,
+        quiet=quiet,
+    )
+
+    async def main() -> None:
+        await server.start()
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        if not quiet:
+            print("repro.service: shutting down")
+    return 0

@@ -1,0 +1,524 @@
+"""Append-only, content-addressed store of evaluated campaign results.
+
+The store turns "run a campaign" into "compute once, serve forever": every
+:class:`~repro.dse.CampaignResult` is serialized through the versioned
+:mod:`repro.experiments.persistence` schema and appended to a JSONL
+*segment* file, keyed by the content hash of its canonical JSON form and
+indexed by the embedded spec's :meth:`~repro.experiments.ExperimentSpec.fingerprint`
+plus its network and device names.  Consumers (the HTTP server, the CLI,
+notebooks) answer "what-if" queries against stored results without owning
+the evaluation engine.
+
+Layout on disk (everything human-inspectable)::
+
+    <root>/
+      segments/segment-000001.jsonl   # one envelope per line, append-only
+      index.json                      # metadata by key; rebuildable
+
+Properties:
+
+* **Content-addressed** — ``put`` of a content-identical result (same
+  spec, points and evaluation count; run provenance such as timings and
+  cache statistics excluded from the key) is a no-op returning the
+  existing key, so re-submitting a campaign never duplicates storage.
+* **Append-only** — segments are only ever appended to (and atomically
+  rewritten by :meth:`ResultStore.compact`); a crash mid-append loses at
+  most the trailing partial line, which the loader skips.
+* **Self-healing index** — ``index.json`` is a cache; when missing, stale
+  or corrupt it is rebuilt by scanning the segments.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..dse.campaign import CampaignResult
+from ..experiments.persistence import result_from_dict, result_to_dict
+from ..experiments.spec import ExperimentSpec, canonical_json_hash
+
+__all__ = ["StoreRecord", "ResultStore", "result_key"]
+
+#: Versioned schema tags for the segment envelopes and the index cache.
+ENVELOPE_SCHEMA = "repro.result-store/1"
+INDEX_SCHEMA = "repro.result-store-index/1"
+
+
+#: Provenance-only payload fields excluded from the content key: they vary
+#: between two runs of the same spec (wall clock, cache temperature) while
+#: the *content* — spec, points, evaluation count — is deterministic, and
+#: re-running a campaign must dedup to the stored result.
+VOLATILE_FIELDS = ("elapsed_seconds", "cache_stats")
+
+
+def result_key(payload: Dict[str, Any]) -> str:
+    """Content hash of a serialized campaign result (the storage key).
+
+    Hashes the canonical JSON form (same policy as
+    :func:`repro.experiments.spec.canonical_json_hash` spec fingerprints)
+    with run-provenance fields (:data:`VOLATILE_FIELDS`) stripped and the
+    embedded spec's execution-tuning fields removed — every executor mode
+    returns bit-identical points, so two evaluations of the same search
+    share a key no matter how long they took, how warm the cache was or
+    which engine ran them.
+    """
+    content = {k: v for k, v in payload.items() if k not in VOLATILE_FIELDS}
+    spec = content.get("spec")
+    if isinstance(spec, dict):
+        content["spec"] = {
+            k: v
+            for k, v in spec.items()
+            if k not in ExperimentSpec.EXECUTION_ONLY_FIELDS
+        }
+    return canonical_json_hash(content)
+
+
+@dataclass(frozen=True)
+class StoreRecord:
+    """Index metadata of one stored result (no point payload).
+
+    ``segment``/``offset`` locate the envelope on disk, so a read is one
+    seek + one line parse instead of a segment scan; ``offset`` is ``-1``
+    for records whose position is unknown (falls back to scanning).
+    """
+
+    key: str
+    fingerprint: str
+    name: str
+    networks: tuple
+    devices: tuple
+    points: int
+    evaluations: int
+    sequence: int
+    created: float
+    segment: str
+    offset: int = -1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "fingerprint": self.fingerprint,
+            "name": self.name,
+            "networks": list(self.networks),
+            "devices": list(self.devices),
+            "points": self.points,
+            "evaluations": self.evaluations,
+            "sequence": self.sequence,
+            "created": self.created,
+            "segment": self.segment,
+            "offset": self.offset,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "StoreRecord":
+        return cls(
+            key=data["key"],
+            fingerprint=data["fingerprint"],
+            name=data["name"],
+            networks=tuple(data["networks"]),
+            devices=tuple(data["devices"]),
+            points=data["points"],
+            evaluations=data["evaluations"],
+            sequence=data["sequence"],
+            created=data["created"],
+            segment=data["segment"],
+            offset=data.get("offset", -1),
+        )
+
+
+class ResultStore:
+    """Persistent campaign-result store rooted at a directory.
+
+    Thread-safe: every public method takes the store lock, so the HTTP
+    server's event loop and its evaluation worker threads can share one
+    instance.  Results themselves stay on disk — only index metadata is
+    held in memory — so the store's footprint is independent of how many
+    points the stored campaigns contain.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        segment_max_records: int = 64,
+    ) -> None:
+        if segment_max_records < 1:
+            raise ValueError("segment_max_records must be >= 1")
+        self.root = Path(root)
+        self.segment_max_records = segment_max_records
+        self._lock = threading.RLock()
+        self._records: Dict[str, StoreRecord] = {}
+        self._next_sequence = 1
+        self._segments_dir = self.root / "segments"
+        self._index_path = self.root / "index.json"
+        self._segments_dir.mkdir(parents=True, exist_ok=True)
+        # Append cursor: the active segment, its (raw) line count and
+        # whether its tail ends in a newline — maintained in memory so a
+        # put() never has to re-read the segment it is appending to.
+        self._active_segment: Optional[Path] = None
+        self._active_count = 0
+        self._active_tail_clean = True
+        self._load_index()
+        self._reset_append_cursor()
+
+    # ------------------------------------------------------------------ #
+    # Loading / index maintenance
+    # ------------------------------------------------------------------ #
+    def _segment_paths(self) -> List[Path]:
+        return sorted(self._segments_dir.glob("segment-*.jsonl"))
+
+    def _load_index(self) -> None:
+        """Load ``index.json``, falling back to a full segment scan.
+
+        The index is trusted only when it is provably in sync with the
+        segments: every indexed segment must exist and every segment's
+        on-disk line count must equal the number of records indexed in
+        it.  A crash after a segment append but before the index write
+        therefore triggers a rebuild — the orphaned (fully written)
+        envelope is recovered, never silently hidden.
+        """
+        if self._index_path.exists():
+            try:
+                data = json.loads(self._index_path.read_text())
+                if data.get("schema") != INDEX_SCHEMA:
+                    raise ValueError("wrong index schema")
+                records = {
+                    key: StoreRecord.from_dict(entry)
+                    for key, entry in data["records"].items()
+                }
+                indexed_per_segment: Dict[str, int] = {}
+                for record in records.values():
+                    indexed_per_segment[record.segment] = (
+                        indexed_per_segment.get(record.segment, 0) + 1
+                    )
+                # Count *complete* (newline-terminated) lines: a torn tail
+                # from a crash mid-append is not yet a record, so it must
+                # not invalidate the index on every subsequent open.
+                disk_per_segment = {
+                    path.name: self._complete_line_count(path.read_bytes())
+                    for path in self._segment_paths()
+                }
+                if indexed_per_segment != disk_per_segment:
+                    raise ValueError("index out of sync with segments")
+                self._records = records
+                self._next_sequence = int(data.get("next_sequence", 1))
+                return
+            except (ValueError, KeyError, TypeError, json.JSONDecodeError):
+                pass  # fall through to rebuild
+        self.rebuild_index()
+
+    @staticmethod
+    def _scan_segment(path: Path):
+        """Yield ``(offset, envelope)`` for every parseable line of a segment.
+
+        Torn trailing lines (crash mid-append) and foreign content are
+        skipped.
+        """
+        data = path.read_bytes()
+        offset = 0
+        for raw in data.splitlines(keepends=True):
+            line = raw.strip()
+            if line:
+                try:
+                    envelope = json.loads(line)
+                except json.JSONDecodeError:
+                    envelope = None  # torn write at the tail of a segment
+                if isinstance(envelope, dict) and envelope.get("schema") == ENVELOPE_SCHEMA:
+                    yield offset, envelope
+            offset += len(raw)
+
+    def rebuild_index(self) -> int:
+        """Rescan every segment and rewrite ``index.json``.
+
+        Returns the number of live records.  Later envelopes win on key
+        collisions (compaction preserves this by keeping the newest).
+        Partial trailing lines (crash mid-append) are skipped.
+        """
+        with self._lock:
+            self._records = {}
+            max_sequence = 0
+            for path in self._segment_paths():
+                for offset, envelope in self._scan_segment(path):
+                    record = StoreRecord.from_dict(
+                        {**envelope["meta"], "segment": path.name, "offset": offset}
+                    )
+                    self._records[record.key] = record
+                    max_sequence = max(max_sequence, record.sequence)
+            self._next_sequence = max_sequence + 1
+            self._write_index()
+            self._reset_append_cursor()
+            return len(self._records)
+
+    def _write_index(self) -> None:
+        payload = {
+            "schema": INDEX_SCHEMA,
+            "next_sequence": self._next_sequence,
+            "records": {
+                key: record.to_dict() for key, record in self._records.items()
+            },
+        }
+        tmp = self._index_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, indent=2) + "\n")
+        os.replace(tmp, self._index_path)
+
+    # ------------------------------------------------------------------ #
+    # Writes
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _complete_line_count(data: bytes) -> int:
+        """Non-blank, newline-terminated lines (a torn tail is excluded)."""
+        return sum(1 for line in data.split(b"\n")[:-1] if line.strip())
+
+    def _reset_append_cursor(self) -> None:
+        """Re-derive the append cursor from disk (open / rebuild / compact)."""
+        paths = self._segment_paths()
+        if not paths:
+            self._active_segment = None
+            self._active_count = 0
+            self._active_tail_clean = True
+            return
+        last = paths[-1]
+        data = last.read_bytes()
+        self._active_segment = last
+        self._active_count = self._complete_line_count(data)
+        self._active_tail_clean = (not data) or data.endswith(b"\n")
+
+    def _append_segment(self) -> Path:
+        """The segment new envelopes append to.
+
+        Rolls over to a fresh segment when the active one is full — or
+        when its tail is torn (crash mid-append left no trailing newline):
+        appending there would merge the new envelope into the torn line
+        and lose it to the next rescan, so the torn segment is left as-is
+        for compact() to clean up.
+        """
+        if (
+            self._active_segment is not None
+            and self._active_count < self.segment_max_records
+            and self._active_tail_clean
+        ):
+            return self._active_segment
+        if self._active_segment is not None:
+            number = int(self._active_segment.stem.split("-")[1]) + 1
+        else:
+            number = 1
+        self._active_segment = self._segments_dir / f"segment-{number:06d}.jsonl"
+        self._active_count = 0
+        self._active_tail_clean = True
+        return self._active_segment
+
+    def put(self, result: CampaignResult) -> str:
+        """Persist a result; returns its content key.
+
+        Re-putting a content-identical result — same spec, same points,
+        same evaluation count; run provenance like timings excluded — is
+        a no-op that returns the existing key (content addressing), so
+        re-submitting a campaign never duplicates storage.
+        """
+        payload = result_to_dict(result)
+        spec = result.spec or ExperimentSpec.from_campaign(result.campaign)
+        key = result_key(payload)
+        with self._lock:
+            existing = self._records.get(key)
+            if existing is not None:
+                return key
+            segment = self._append_segment()
+            record = StoreRecord(
+                key=key,
+                fingerprint=spec.fingerprint(),
+                name=spec.name,
+                networks=tuple(spec.networks),
+                devices=tuple(spec.devices),
+                points=result.feasible,
+                evaluations=result.evaluations,
+                sequence=self._next_sequence,
+                created=time.time(),
+                segment=segment.name,
+            )
+            envelope = {
+                "schema": ENVELOPE_SCHEMA,
+                # segment/offset are positional, known only to the index.
+                "meta": {
+                    k: v
+                    for k, v in record.to_dict().items()
+                    if k not in ("segment", "offset")
+                },
+                "result": payload,
+            }
+            # Binary mode: tell() must be a true byte offset for get()'s seek.
+            with segment.open("ab") as handle:
+                offset = handle.tell()
+                handle.write(
+                    (json.dumps(envelope, separators=(",", ":")) + "\n").encode()
+                )
+                handle.flush()
+            self._active_count += 1
+            self._records[key] = replace(record, offset=offset)
+            self._next_sequence += 1
+            self._write_index()
+            return key
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            return sorted(self._records, key=lambda key: self._records[key].sequence)
+
+    def record(self, key: str) -> StoreRecord:
+        """Index metadata for ``key``; raises ``KeyError`` when absent."""
+        with self._lock:
+            return self._records[key]
+
+    def get(self, key: str) -> CampaignResult:
+        """Load the full result stored under ``key``.
+
+        Raises ``KeyError`` for unknown keys.  The deserialized result
+        goes through the same versioned loader as ``CampaignResult.load``,
+        so schema guarantees apply to store reads too.  Reads are one
+        seek + one line parse via the record's byte offset (falling back
+        to a segment scan when the offset is unknown or stale).
+        """
+        with self._lock:
+            record = self._records[key]
+            path = self._segments_dir / record.segment
+            if record.offset >= 0:
+                with path.open("rb") as handle:
+                    handle.seek(record.offset)
+                    line = handle.readline()
+                try:
+                    envelope = json.loads(line)
+                except json.JSONDecodeError:
+                    envelope = None
+                if (
+                    isinstance(envelope, dict)
+                    and envelope.get("meta", {}).get("key") == key
+                ):
+                    return result_from_dict(envelope["result"])
+            # Fallback: offset unknown/stale — scan the segment.
+            for _, envelope in self._scan_segment(path):
+                if envelope.get("meta", {}).get("key") == key:
+                    return result_from_dict(envelope["result"])
+        raise KeyError(f"stored result {key!r} vanished from segment {record.segment!r}")
+
+    def query(
+        self,
+        fingerprint: Optional[str] = None,
+        network: Optional[str] = None,
+        device: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> List[StoreRecord]:
+        """Index records matching every given filter, oldest first."""
+        with self._lock:
+            records = sorted(self._records.values(), key=lambda r: r.sequence)
+        return [
+            record
+            for record in records
+            if (fingerprint is None or record.fingerprint == fingerprint)
+            and (network is None or network in record.networks)
+            and (device is None or device in record.devices)
+            and (name is None or record.name == name)
+        ]
+
+    def latest(
+        self,
+        fingerprint: Optional[str] = None,
+        network: Optional[str] = None,
+        device: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> Optional[CampaignResult]:
+        """The most recently stored result matching the filters, if any."""
+        matches = self.query(
+            fingerprint=fingerprint, network=network, device=device, name=name
+        )
+        if not matches:
+            return None
+        return self.get(matches[-1].key)
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def compact(self) -> Dict[str, int]:
+        """Rewrite the segments keeping only live envelopes.
+
+        Re-scans the segments first (so envelopes a crashed ``put`` left
+        un-indexed are recovered, never dropped), keeps the newest
+        envelope per key, drops superseded duplicates and torn lines,
+        renumbers segments from 1 and rewrites the index.  Returns
+        ``{"kept": n, "dropped": m}``.  Safe to call on a live store (the
+        lock blocks writers for the duration).
+        """
+        with self._lock:
+            # Liveness is decided from the segments themselves, not the
+            # possibly-stale in-memory index.
+            self.rebuild_index()
+            envelopes: Dict[str, dict] = {}
+            dropped = 0
+            for path in self._segment_paths():
+                raw_lines = [
+                    line for line in path.read_text().splitlines() if line.strip()
+                ]
+                parsed = list(self._scan_segment(path))
+                dropped += len(raw_lines) - len(parsed)  # torn/foreign lines
+                for _, envelope in parsed:
+                    key = envelope.get("meta", {}).get("key")
+                    if key in self._records:
+                        if key in envelopes:
+                            dropped += 1
+                        envelopes[key] = envelope
+                    else:
+                        dropped += 1
+
+            ordered = sorted(
+                envelopes.values(), key=lambda env: env["meta"]["sequence"]
+            )
+            old_paths = self._segment_paths()
+            new_records: Dict[str, StoreRecord] = {}
+            written: List[Path] = []
+            for start in range(0, len(ordered), self.segment_max_records):
+                number = len(written) + 1
+                path = self._segments_dir / f"segment-{number:06d}.jsonl.compact"
+                with path.open("wb") as handle:
+                    for envelope in ordered[start : start + self.segment_max_records]:
+                        offset = handle.tell()
+                        handle.write(
+                            (json.dumps(envelope, separators=(",", ":")) + "\n").encode()
+                        )
+                        record = StoreRecord.from_dict(
+                            {
+                                **envelope["meta"],
+                                "segment": path.name.replace(".compact", ""),
+                                "offset": offset,
+                            }
+                        )
+                        new_records[record.key] = record
+                written.append(path)
+            # Crash safety: promote the rewritten segments FIRST (os.replace
+            # atomically overwrites same-named old segments), and only then
+            # drop old segments that were not overwritten.  A crash at any
+            # point leaves every live envelope on disk under a
+            # ``segment-*.jsonl`` name — worst case with some superseded
+            # duplicates, which rebuild_index/the next compact resolve.
+            final_names = set()
+            for path in written:
+                final = path.with_name(path.name.replace(".compact", ""))
+                os.replace(path, final)
+                final_names.add(final.name)
+            for path in old_paths:
+                if path.name not in final_names:
+                    path.unlink()
+            self._records = new_records
+            self._write_index()
+            self._reset_append_cursor()
+            return {"kept": len(new_records), "dropped": dropped}
+
+    def __repr__(self) -> str:
+        return f"ResultStore(root={str(self.root)!r}, results={len(self)})"

@@ -1,0 +1,154 @@
+"""EvaluationCache under concurrent readers/writers from threads.
+
+The ``repro.service`` HTTP server shares one cache across request
+threads, so the cache must tolerate concurrent probes without corrupting
+memoised values and keep its hit/miss accounting exact: for every layer,
+``lookups == hits + misses`` must equal the number of probes issued, no
+matter how the threads interleave.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+import threading
+
+from repro.core.design_point import evaluate_design
+from repro.dse import EvaluationCache, evaluate_design_cached
+from repro.hw.device import resolve_device
+from repro.nn import vgg16_d
+
+THREADS = 8
+OPS_PER_THREAD = 400
+
+
+def run_threads(worker) -> None:
+    """Start THREADS copies of ``worker(thread_index)`` on a shared barrier."""
+    barrier = threading.Barrier(THREADS)
+    errors = []
+
+    def wrapped(index: int) -> None:
+        try:
+            barrier.wait()
+            worker(index)
+        except BaseException as error:  # noqa: BLE001 — surfaced below
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(index,)) for index in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, f"worker thread raised: {errors[0]!r}"
+
+
+class TestOpCountLayerStress:
+    def test_seeded_stress_keeps_accounting_exact(self):
+        cache = EvaluationCache()
+        keys = [(m, 3) for m in (2, 3, 4, 5, 6, 7)]
+        reference = {key: cache.op_counts(*key) for key in keys}
+        cache.clear()
+
+        def worker(index: int) -> None:
+            rng = random.Random(1000 + index)
+            for _ in range(OPS_PER_THREAD):
+                m, r = rng.choice(keys)
+                counts = cache.op_counts(m, r)
+                # No corruption: every probe sees the canonical value.
+                assert counts == reference[(m, r)]
+
+        run_threads(worker)
+
+        stats = cache.stats["op_counts"]
+        assert stats.lookups == THREADS * OPS_PER_THREAD
+        assert stats.hits + stats.misses == stats.lookups
+        # Racing threads may each miss the same cold key, but never more
+        # than once per thread; after warm-up everything hits.
+        assert len(keys) <= stats.misses <= len(keys) * THREADS
+        assert stats.hits == stats.lookups - stats.misses
+        assert 0.0 <= stats.hit_rate <= 1.0
+
+
+class TestPointLayerStress:
+    def test_concurrent_cached_evaluations_bit_identical(self):
+        network = vgg16_d()
+        device = resolve_device("xc7vx485t")
+        cache = EvaluationCache()
+        configs = [
+            (m, budget, frequency)
+            for m in (2, 3, 4)
+            for budget in (256, 512)
+            for frequency in (150.0, 200.0)
+        ]
+        expected = {
+            config: pickle.dumps(
+                evaluate_design(
+                    network,
+                    m=config[0],
+                    multiplier_budget=config[1],
+                    frequency_mhz=config[2],
+                    device=device,
+                )
+            )
+            for config in configs
+        }
+
+        def worker(index: int) -> None:
+            rng = random.Random(7 + index)
+            ordering = configs * 4
+            rng.shuffle(ordering)
+            for m, budget, frequency in ordering:
+                point = evaluate_design_cached(
+                    network,
+                    m=m,
+                    multiplier_budget=budget,
+                    frequency_mhz=frequency,
+                    device=device,
+                    cache=cache,
+                )
+                assert pickle.dumps(point) == expected[(m, budget, frequency)]
+
+        run_threads(worker)
+
+        stats = cache.stats["points"]
+        assert stats.lookups == THREADS * len(configs) * 4
+        assert stats.hits + stats.misses == stats.lookups
+        assert len(configs) <= stats.misses <= len(configs) * THREADS
+        # The detached-copy contract: callers mutating their result must
+        # never corrupt later cache hits.
+        probe = evaluate_design_cached(
+            network, m=2, multiplier_budget=256, frequency_mhz=150.0,
+            device=device, cache=cache,
+        )
+        probe.latency.group_latency_ms.clear()
+        again = evaluate_design_cached(
+            network, m=2, multiplier_budget=256, frequency_mhz=150.0,
+            device=device, cache=cache,
+        )
+        assert pickle.dumps(again) == expected[(2, 256, 150.0)]
+
+    def test_memoised_errors_replay_consistently_across_threads(self):
+        network = vgg16_d()
+        device = resolve_device("xc7vx485t")
+        cache = EvaluationCache()
+        failures = []
+
+        def worker(index: int) -> None:
+            for _ in range(50):
+                try:
+                    evaluate_design_cached(
+                        network, m=4, multiplier_budget=16, device=device, cache=cache
+                    )
+                except ValueError as error:
+                    failures.append(str(error))
+                else:  # pragma: no cover - would be a real bug
+                    raise AssertionError("infeasible design evaluated")
+
+        run_threads(worker)
+        assert len(failures) == THREADS * 50
+        assert len(set(failures)) == 1
+        stats = cache.stats["points"]
+        assert stats.lookups == THREADS * 50
+        assert stats.hits + stats.misses == stats.lookups

@@ -1,0 +1,111 @@
+"""Result-schema error reporting + spec fingerprinting.
+
+Before the :mod:`repro.service` store ingests third-party result files,
+``CampaignResult.load`` must fail descriptively — naming the found vs.
+supported schema version — on both unknown and missing ``schema`` fields.
+Spec fingerprints are the store's primary key, so their stability and
+sensitivity are locked here too.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.design_space import SweepSpec
+from repro.dse import Campaign, CampaignResult
+from repro.experiments import ExperimentSpec
+from repro.experiments.persistence import RESULT_SCHEMA, result_to_dict
+
+
+@pytest.fixture(scope="module")
+def saved(tmp_path_factory):
+    result = Campaign(
+        networks=("alexnet",),
+        sweeps=(
+            SweepSpec(
+                m_values=(2, 3), multiplier_budgets=(256,), frequencies_mhz=(200.0,)
+            ),
+        ),
+    ).run()
+    path = tmp_path_factory.mktemp("results") / "result.json"
+    result.save(path)
+    return path
+
+
+class TestLoadSchemaErrors:
+    def test_unknown_schema_names_found_and_supported(self, saved, tmp_path):
+        data = json.loads(saved.read_text())
+        data["schema"] = "repro.campaign-result/999"
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError) as excinfo:
+            CampaignResult.load(path)
+        message = str(excinfo.value)
+        assert "repro.campaign-result/999" in message  # what was found
+        assert RESULT_SCHEMA in message  # what is supported
+
+    def test_missing_schema_names_supported(self, saved, tmp_path):
+        data = json.loads(saved.read_text())
+        del data["schema"]
+        path = tmp_path / "unversioned.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError) as excinfo:
+            CampaignResult.load(path)
+        message = str(excinfo.value)
+        assert "no 'schema' field" in message
+        assert RESULT_SCHEMA in message
+
+    def test_valid_schema_still_loads(self, saved):
+        result = CampaignResult.load(saved)
+        assert result.points
+        assert result_to_dict(result)["schema"] == RESULT_SCHEMA
+
+
+class TestSpecFingerprint:
+    SPEC = ExperimentSpec(networks=("vgg16-d",), name="fp")
+
+    def test_stable_across_round_trip(self):
+        clone = ExperimentSpec.from_dict(self.SPEC.to_dict())
+        assert clone.fingerprint() == self.SPEC.fingerprint()
+
+    def test_stable_across_equivalent_construction(self):
+        # Concrete objects and registry names fingerprint identically.
+        from repro.nn import vgg16_d
+
+        by_object = ExperimentSpec(networks=(vgg16_d(),), name="fp")
+        assert by_object.fingerprint() == self.SPEC.fingerprint()
+
+    def test_sensitive_to_semantic_changes(self):
+        fingerprints = {
+            self.SPEC.fingerprint(),
+            ExperimentSpec(networks=("alexnet",), name="fp").fingerprint(),
+            ExperimentSpec(networks=("vgg16-d",), name="other").fingerprint(),
+            ExperimentSpec(
+                networks=("vgg16-d",),
+                name="fp",
+                sweeps=(SweepSpec(m_values=(2,)),),
+            ).fingerprint(),
+        }
+        assert len(fingerprints) == 4
+
+    def test_insensitive_to_execution_tuning(self):
+        # Every executor mode returns bit-identical points and the cache
+        # only memoises, so specs differing solely in how evaluation
+        # executes describe the same search — one fingerprint.
+        from repro.dse import ExecutorConfig
+
+        vectorized = ExperimentSpec(
+            networks=("vgg16-d",),
+            name="fp",
+            executor=ExecutorConfig(mode="vectorized"),
+            cache=False,
+        )
+        assert vectorized.fingerprint() == self.SPEC.fingerprint()
+
+    def test_shape(self):
+        fingerprint = self.SPEC.fingerprint()
+        assert isinstance(fingerprint, str)
+        assert len(fingerprint) == 64
+        assert set(fingerprint) <= set("0123456789abcdef")

@@ -1,0 +1,135 @@
+"""Unit tests for the benchmark regression gate (benchmarks/check_regression.py).
+
+The satellite-critical behaviour: a benchmark with *no* trend history (a
+fresh clone, an expired CI artifact, a not-yet-created trend file) seeds
+the baseline — clear message, exit 0 — while a real out-of-bounds metric
+still fails.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parents[2] / "benchmarks" / "check_regression.py"
+
+spec = importlib.util.spec_from_file_location("check_regression", SCRIPT)
+check_regression = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_regression)
+
+
+BASELINES = {
+    "demo_bench": {"mode": "full", "metrics": {"speedup": {"min": 5.0}}},
+}
+
+
+def trend_file(tmp_path: Path, records) -> Path:
+    path = tmp_path / "BENCH_demo.json"
+    path.write_text(
+        json.dumps({"schema": check_regression.RECORD_SCHEMA, "records": records})
+    )
+    return path
+
+
+def baselines_file(tmp_path: Path, baselines=None) -> Path:
+    path = tmp_path / "baselines.json"
+    path.write_text(json.dumps(baselines or BASELINES))
+    return path
+
+
+def record(speedup: float, mode: str = "full") -> dict:
+    return {
+        "benchmark": "demo_bench",
+        "mode": mode,
+        "speedup": speedup,
+        "timestamp": "2026-01-01T00:00:00+00:00",
+    }
+
+
+class TestNoHistorySeedsBaseline:
+    def test_empty_trend_exits_zero_with_seed_message(self, tmp_path, capsys):
+        trend = trend_file(tmp_path, [])
+        code = check_regression.main(
+            [str(trend), "--baselines", str(baselines_file(tmp_path))]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no history" in out
+        assert "seeding baseline" in out
+
+    def test_missing_trend_file_exits_zero(self, tmp_path, capsys):
+        missing = tmp_path / "BENCH_not_yet.json"
+        code = check_regression.main(
+            [str(missing), "--baselines", str(baselines_file(tmp_path))]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "does not exist yet" in out
+        assert "seeding baseline" in out
+
+    def test_wrong_mode_counts_as_no_history(self, tmp_path, capsys):
+        trend = trend_file(tmp_path, [record(speedup=100.0, mode="fast")])
+        code = check_regression.main(
+            [str(trend), "--baselines", str(baselines_file(tmp_path))]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mode='full'" in out
+
+    def test_check_returns_unseeded_separately(self):
+        failures, unseeded = check_regression.check([], BASELINES)
+        assert failures == []
+        assert len(unseeded) == 1
+        assert "seeding baseline" in unseeded[0]
+
+
+class TestRealRegressionsStillFail:
+    def test_below_minimum_fails(self, tmp_path, capsys):
+        trend = trend_file(tmp_path, [record(speedup=2.0)])
+        code = check_regression.main(
+            [str(trend), "--baselines", str(baselines_file(tmp_path))]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "regressed below baseline" in out
+
+    def test_newest_record_wins(self, tmp_path):
+        trend = trend_file(tmp_path, [record(speedup=2.0), record(speedup=9.0)])
+        code = check_regression.main(
+            [str(trend), "--baselines", str(baselines_file(tmp_path))]
+        )
+        assert code == 0
+
+    def test_non_numeric_metric_fails(self, tmp_path, capsys):
+        trend = trend_file(tmp_path, [record(speedup="fast")])
+        code = check_regression.main(
+            [str(trend), "--baselines", str(baselines_file(tmp_path))]
+        )
+        assert code == 1
+        assert "no numeric" in capsys.readouterr().out
+
+    def test_malformed_trend_file_still_errors(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        path.write_text(json.dumps({"schema": "wrong/1", "records": []}))
+        with pytest.raises(ValueError, match="unexpected schema"):
+            check_regression.load_records([path])
+
+    def test_ok_run_reports_values(self, tmp_path, capsys):
+        trend = trend_file(tmp_path, [record(speedup=9.0)])
+        code = check_regression.main(
+            [str(trend), "--baselines", str(baselines_file(tmp_path))]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "OK" in out
+        assert "speedup=9.0" in out
+
+
+class TestDefaults:
+    def test_service_trend_file_in_defaults(self):
+        names = {path.name for path in check_regression.DEFAULT_TREND_FILES}
+        assert "BENCH_dse.json" in names
+        assert "BENCH_service.json" in names

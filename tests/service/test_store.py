@@ -1,0 +1,243 @@
+"""ResultStore: content addressing, querying, index self-healing, compaction."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.core.design_space import SweepSpec
+from repro.experiments import ExperimentSpec, run_experiment
+from repro.service import ResultStore
+from repro.service.store import ENVELOPE_SCHEMA
+
+
+def tiny_spec(name: str = "tiny", networks=("vgg16-d",), devices=("xc7vx485t",)) -> ExperimentSpec:
+    return ExperimentSpec(
+        networks=networks,
+        devices=devices,
+        sweeps=(
+            SweepSpec(
+                m_values=(2, 3),
+                multiplier_budgets=(256, 512),
+                frequencies_mhz=(150.0, 200.0),
+            ),
+        ),
+        name=name,
+    )
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment(tiny_spec())
+
+
+@pytest.fixture(scope="module")
+def other_result():
+    return run_experiment(tiny_spec(name="other", networks=("alexnet",), devices=("xc7vx690t",)))
+
+
+class TestPutGet:
+    def test_round_trip(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        key = store.put(result)
+        loaded = store.get(key)
+        # A store read equals a CampaignResult.save()/load() round trip
+        # bit-for-bit (same persistence schema underneath).
+        result.save(tmp_path / "ref.json")
+        reference = type(result).load(tmp_path / "ref.json")
+        assert [pickle.dumps(point) for point in loaded.points] == [
+            pickle.dumps(point) for point in reference.points
+        ]
+        assert loaded.spec == result.spec
+        assert loaded.evaluations == result.evaluations
+
+    def test_content_addressing_dedups(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        key = store.put(result)
+        assert store.put(result) == key
+        assert len(store) == 1
+        segments = list((tmp_path / "segments").glob("*.jsonl"))
+        lines = [
+            line
+            for path in segments
+            for line in path.read_text().splitlines()
+            if line.strip()
+        ]
+        assert len(lines) == 1
+
+    def test_rerun_of_same_spec_dedups(self, tmp_path, result):
+        # A fresh evaluation of the same spec differs only in run
+        # provenance (timings, cache stats), which the content key
+        # excludes — so the second put is a no-op.
+        store = ResultStore(tmp_path)
+        key = store.put(result)
+        rerun = run_experiment(result.spec)
+        assert rerun.elapsed_seconds != result.elapsed_seconds
+        assert store.put(rerun) == key
+        assert len(store) == 1
+
+    def test_rerun_under_other_executor_dedups(self, tmp_path, result):
+        # Executor modes are bit-identical, so the same search computed
+        # by a different engine dedups too (execution tuning is excluded
+        # from the content key and the fingerprint).
+        import dataclasses
+
+        from repro.dse import ExecutorConfig
+
+        store = ResultStore(tmp_path)
+        key = store.put(result)
+        vectorized_spec = dataclasses.replace(
+            result.spec, executor=ExecutorConfig(mode="vectorized")
+        )
+        rerun = run_experiment(vectorized_spec)
+        assert vectorized_spec.fingerprint() == result.spec.fingerprint()
+        assert store.put(rerun) == key
+        assert len(store) == 1
+
+    def test_distinct_results_distinct_keys(self, tmp_path, result, other_result):
+        store = ResultStore(tmp_path)
+        first = store.put(result)
+        second = store.put(other_result)
+        assert first != second
+        assert len(store) == 2
+        assert store.keys() == [first, second]
+
+    def test_get_unknown_key_raises(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(KeyError):
+            store.get("no-such-key")
+
+    def test_envelope_schema_tag(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        store.put(result)
+        segment = next((tmp_path / "segments").glob("*.jsonl"))
+        envelope = json.loads(segment.read_text().splitlines()[0])
+        assert envelope["schema"] == ENVELOPE_SCHEMA
+        assert envelope["meta"]["fingerprint"] == result.spec.fingerprint()
+
+
+class TestQuery:
+    def test_filters(self, tmp_path, result, other_result):
+        store = ResultStore(tmp_path)
+        first = store.put(result)
+        second = store.put(other_result)
+        assert [r.key for r in store.query(network="vgg16-d")] == [first]
+        assert [r.key for r in store.query(device="xc7vx690t")] == [second]
+        assert [r.key for r in store.query(name="other")] == [second]
+        assert [r.key for r in store.query(fingerprint=result.spec.fingerprint())] == [first]
+        assert store.query(network="resnet18") == []
+        assert len(store.query()) == 2
+
+    def test_latest_prefers_newest(self, tmp_path, result, other_result):
+        store = ResultStore(tmp_path)
+        store.put(result)
+        store.put(other_result)
+        assert store.latest().spec.name == "other"
+        assert store.latest(network="vgg16-d").spec.name == "tiny"
+        assert store.latest(network="resnet18") is None
+
+
+class TestIndexSelfHealing:
+    def test_reopen_uses_index(self, tmp_path, result):
+        key = ResultStore(tmp_path).put(result)
+        reopened = ResultStore(tmp_path)
+        assert reopened.keys() == [key]
+        assert reopened.get(key).evaluations == result.evaluations
+
+    def test_missing_index_rebuilds(self, tmp_path, result):
+        key = ResultStore(tmp_path).put(result)
+        (tmp_path / "index.json").unlink()
+        reopened = ResultStore(tmp_path)
+        assert reopened.keys() == [key]
+        assert (tmp_path / "index.json").exists()
+
+    def test_corrupt_index_rebuilds(self, tmp_path, result):
+        key = ResultStore(tmp_path).put(result)
+        (tmp_path / "index.json").write_text("{not json")
+        reopened = ResultStore(tmp_path)
+        assert reopened.keys() == [key]
+
+    def test_crash_orphaned_envelope_recovered(self, tmp_path, result, other_result):
+        """A put whose index write was lost (crash) must be recovered.
+
+        The envelope hit the segment but index.json predates it; the
+        count-validation on open must detect the divergence, rebuild and
+        surface the orphan — and compact() must keep it.
+        """
+        store = ResultStore(tmp_path)
+        first = store.put(result)
+        index_before = (tmp_path / "index.json").read_bytes()
+        second = store.put(other_result)
+        # Simulate the crash: the second put's index write never landed.
+        (tmp_path / "index.json").write_bytes(index_before)
+        reopened = ResultStore(tmp_path)
+        assert sorted(reopened.keys()) == sorted([first, second])
+        assert reopened.get(second).points
+        stats = reopened.compact()
+        assert stats["kept"] == 2
+        assert sorted(reopened.keys()) == sorted([first, second])
+
+    def test_torn_segment_line_skipped(self, tmp_path, result, other_result):
+        store = ResultStore(tmp_path)
+        first = store.put(result)
+        # Simulate a crash mid-append: a truncated JSON line at the tail.
+        segment = next((tmp_path / "segments").glob("*.jsonl"))
+        with segment.open("a") as handle:
+            handle.write('{"schema": "repro.result-store/1", "meta": {"key": "torn')
+        (tmp_path / "index.json").unlink()
+        reopened = ResultStore(tmp_path)
+        assert reopened.keys() == [first]
+        assert reopened.put(other_result) != first
+        assert len(reopened) == 2
+
+    def test_append_after_torn_tail_is_not_lost(self, tmp_path, result, other_result):
+        """A put onto a segment with a torn (newline-less) tail must start
+        a fresh line — otherwise the new envelope merges into the torn one
+        and a later rebuild permanently drops it."""
+        store = ResultStore(tmp_path)
+        first = store.put(result)
+        segment = next((tmp_path / "segments").glob("*.jsonl"))
+        with segment.open("a") as handle:
+            handle.write('{"torn": tr')  # no trailing newline
+        reopened = ResultStore(tmp_path)
+        second = reopened.put(other_result)
+        assert reopened.get(second).points
+        # The new envelope survives a full rescan.
+        rebuilt = ResultStore(tmp_path)
+        rebuilt.rebuild_index()
+        assert sorted(rebuilt.keys()) == sorted([first, second])
+        assert rebuilt.get(second).points
+
+
+class TestCompaction:
+    def test_compact_drops_dead_weight(self, tmp_path, result, other_result):
+        store = ResultStore(tmp_path, segment_max_records=1)
+        first = store.put(result)
+        second = store.put(other_result)
+        # Duplicate the first envelope manually (a superseded copy) plus junk.
+        segment = next((tmp_path / "segments").glob("*.jsonl"))
+        content = segment.read_text()
+        with segment.open("a") as handle:
+            handle.write("not json at all\n")
+        (tmp_path / "segments" / "segment-000099.jsonl").write_text(content)
+        store.rebuild_index()
+        stats = store.compact()
+        assert stats["kept"] == 2
+        assert stats["dropped"] >= 1
+        assert sorted(store.keys()) == sorted([first, second])
+        # Segments are renumbered from 1 and contain only live envelopes.
+        segments = sorted((tmp_path / "segments").glob("*.jsonl"))
+        assert [path.name for path in segments] == [
+            "segment-000001.jsonl",
+            "segment-000002.jsonl",
+        ]
+        assert store.get(first).evaluations == result.evaluations
+        assert ResultStore(tmp_path).keys() == store.keys()
+
+    def test_segment_rollover(self, tmp_path, result, other_result):
+        store = ResultStore(tmp_path, segment_max_records=1)
+        store.put(result)
+        store.put(other_result)
+        assert len(list((tmp_path / "segments").glob("*.jsonl"))) == 2
