@@ -1,0 +1,226 @@
+"""Job-scheduler benchmark — multi-campaign throughput scaling.
+
+The sharded job scheduler exists so that many campaigns make progress at
+once instead of queueing behind one worker thread.  This benchmark
+measures exactly that: a batch of distinct campaigns submitted together
+to a :class:`~repro.service.JobManager`, timed end-to-end (submission to
+last assembly) at ``workers=1`` (the single background thread — the
+pre-sharding service behaviour) versus ``workers=4`` (the process pool),
+and asserts the sharded path stays bit-identical to a single-thread
+``run_experiment`` of the same spec.
+
+Every full-mode run appends a machine-readable trend record to
+``BENCH_service.json`` (override with ``REPRO_BENCH_RECORD_JOBS``; set it
+in fast mode to record smoke runs too); ``benchmarks/check_regression.py``
+gates CI on ``workers4_speedup`` for records with ``mode == "full"``.
+Hosts with fewer than 4 CPUs cannot meaningfully scale a 4-process pool,
+so they tag their records ``mode="full-limited"``, which the gate ignores
+— the committed baseline only constrains machines that can actually
+exercise the parallelism (CI's runners).  Set ``REPRO_BENCH_FAST=1`` to
+shrink the campaign batch.
+"""
+
+import asyncio
+import os
+import pickle
+import platform
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from conftest import emit, record_trend
+
+from repro.core.design_space import SweepSpec, frequency_range
+from repro.experiments import ExperimentSpec, run_experiment
+from repro.experiments.persistence import point_from_dict, point_to_dict
+from repro.reporting import format_table
+from repro.service import JobManager, ResultStore
+
+FAST = os.environ.get("REPRO_BENCH_FAST") == "1"
+
+#: Where the trend record lands unless REPRO_BENCH_RECORD_JOBS is set.
+DEFAULT_RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+NETWORKS = ("vgg16-d", "alexnet", "resnet18")
+
+if FAST:
+    CAMPAIGNS = 2
+    SWEEP = SweepSpec(
+        m_values=(2, 3, 4),
+        multiplier_budgets=(256, 512),
+        frequencies_mhz=(150.0, 200.0),
+    )
+    DEVICES = ("xc7vx485t",)
+    SHARD_ENTRIES = 6
+else:
+    CAMPAIGNS = 8
+    SWEEP = SweepSpec(
+        m_values=(2, 3, 4, 5, 6),
+        multiplier_budgets=tuple(range(200, 2001, 200)) + (None,),
+        frequencies_mhz=frequency_range(100.0, 300.0, 50.0),
+    )
+    DEVICES = ("xc7vx485t", "xc7vx690t")
+    SHARD_ENTRIES = 256
+
+
+def build_specs(tag: str) -> list:
+    """Distinct campaigns (unique names => unique fingerprints, no dedup)."""
+    specs = []
+    for index in range(CAMPAIGNS):
+        pair = (NETWORKS[index % len(NETWORKS)], NETWORKS[(index + 1) % len(NETWORKS)])
+        specs.append(
+            ExperimentSpec(
+                networks=pair,
+                devices=DEVICES,
+                sweeps=(SWEEP,),
+                name=f"jobs-bench-{tag}-{index}",
+            )
+        )
+    return specs
+
+
+async def _run_batch(specs, workers: int, store_root: str, shard_entries: int):
+    """Submit every campaign at once; return (wall_seconds, jobs)."""
+    store = ResultStore(store_root)
+    manager = JobManager(store, workers=workers, max_entries_per_shard=shard_entries)
+    try:
+        # Warm the pool (forks workers, pays one-time imports) outside the
+        # measured window with a distinct warmup campaign.
+        warmup = ExperimentSpec(
+            networks=(NETWORKS[0],),
+            devices=(DEVICES[0],),
+            sweeps=(SweepSpec(m_values=(2, 3), multiplier_budgets=(256,)),),
+            name=f"jobs-bench-warmup-{workers}",
+        )
+        await (await manager.submit(warmup)).wait(timeout=300)
+
+        started = time.perf_counter()
+        jobs = []
+        for spec in specs:
+            jobs.append(await manager.submit(spec))
+        await asyncio.gather(*(job.wait(timeout=1200) for job in jobs))
+        wall = time.perf_counter() - started
+        for job in jobs:
+            assert job.state == "completed", f"{job.id}: {job.state} ({job.error})"
+        return wall, jobs, store
+    finally:
+        await manager.close()
+
+
+def run_batch(specs, workers: int, store_root: str):
+    """Synchronous wrapper for :func:`_run_batch`."""
+    return asyncio.run(_run_batch(specs, workers, store_root, SHARD_ENTRIES))
+
+
+def test_multi_campaign_throughput_scaling():
+    """Batch of campaigns: 1 worker thread vs a 4-process shard pool."""
+    specs = build_specs("scale")
+
+    # Ground truth + cache warmup (forked workers inherit the warm state).
+    reference = run_experiment(specs[0])
+
+    def normalize(point):
+        """A point as persistence sees it (engine provenance dropped)."""
+        return pickle.dumps(point_from_dict(point_to_dict(point)))
+
+    with tempfile.TemporaryDirectory() as root_1w:
+        wall_1w, jobs_1w, store_1w = run_batch(specs, 1, root_1w)
+        # Bit-identity: the sharded result equals the single-thread run.
+        sharded = store_1w.get(jobs_1w[0].key)
+        assert [pickle.dumps(p) for p in sharded.points] == [
+            normalize(p) for p in reference.points
+        ], "sharded job result must be bit-identical to the single-thread path"
+        assert sharded.evaluations == reference.evaluations
+
+    with tempfile.TemporaryDirectory() as root_4w:
+        wall_4w, jobs_4w, _store_4w = run_batch(specs, 4, root_4w)
+        assert {job.key for job in jobs_4w} == {job.key for job in jobs_1w}, (
+            "worker count must not change stored result keys"
+        )
+
+    speedup = wall_1w / wall_4w
+    shards = sum(job.shard_counts()["total"] for job in jobs_1w)
+    cpus = os.cpu_count() or 1
+
+    emit(
+        f"Multi-campaign job throughput ({len(specs)} campaigns, "
+        f"{shards} shards, grid {specs[0].grid_size} each, {cpus} CPUs)",
+        format_table(
+            [
+                {
+                    "scheduler": "1 worker (single background thread)",
+                    "wall_s": wall_1w,
+                    "campaigns_per_s": len(specs) / wall_1w,
+                    "speedup": 1.0,
+                },
+                {
+                    "scheduler": "4 workers (process pool)",
+                    "wall_s": wall_4w,
+                    "campaigns_per_s": len(specs) / wall_4w,
+                    "speedup": speedup,
+                },
+            ],
+            precision=3,
+        ),
+    )
+
+    if not FAST or os.environ.get("REPRO_BENCH_RECORD_JOBS"):
+        # A host that cannot run 4 truly parallel workers measures queueing,
+        # not scaling; mark its record so the regression gate skips it.
+        mode = "fast" if FAST else ("full" if cpus >= 4 else "full-limited")
+        path = record_trend(
+            {
+                "benchmark": "service_jobs",
+                "mode": mode,
+                "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+                "campaigns": len(specs),
+                "shards": shards,
+                "grid_per_campaign": specs[0].grid_size,
+                "cpus": cpus,
+                "wall_1_worker_seconds": round(wall_1w, 6),
+                "wall_4_workers_seconds": round(wall_4w, 6),
+                "workers4_speedup": round(speedup, 3),
+                "campaigns_per_second_4_workers": round(len(specs) / wall_4w, 3),
+                "python": platform.python_version(),
+                "platform": platform.platform(),
+            },
+            default_path=DEFAULT_RECORD_PATH,
+            env_var="REPRO_BENCH_RECORD_JOBS",
+        )
+        print(f"trend record appended to {path}")
+
+
+def test_resubmission_is_near_free():
+    """Submitting an already-stored campaign costs lookups, not evaluation."""
+    spec = ExperimentSpec(
+        networks=(NETWORKS[0],),
+        devices=(DEVICES[0],),
+        sweeps=(SWEEP,) if FAST else (SweepSpec(m_values=(2, 3, 4)),),
+        name="jobs-bench-resume",
+    )
+
+    async def scenario():
+        """First run evaluates; the resubmission must skip every shard."""
+        with tempfile.TemporaryDirectory() as root:
+            store = ResultStore(root)
+            manager = JobManager(store, workers=1, max_entries_per_shard=SHARD_ENTRIES)
+            try:
+                first = await manager.submit(spec)
+                await first.wait(timeout=600)
+                started = time.perf_counter()
+                second = await manager.submit(spec)
+                await second.wait(timeout=600)
+                resubmit_seconds = time.perf_counter() - started
+                counts = second.shard_counts()
+                assert counts["skipped"] == counts["total"]
+                assert second.key == first.key
+                return resubmit_seconds
+            finally:
+                await manager.close()
+
+    resubmit_seconds = asyncio.run(scenario())
+    emit(
+        "Resubmission of a stored campaign",
+        f"completed in {resubmit_seconds * 1e3:.2f} ms with zero evaluations",
+    )

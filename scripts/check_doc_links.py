@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Check that every relative markdown link in README.md + docs/ resolves.
+
+Stdlib-only so CI can run it before installing anything. External
+(``http(s)://``, ``mailto:``) links are skipped — CI must not depend on
+third-party uptime — and ``#anchor`` fragments are stripped before the
+existence check. Exits 1 listing every broken link.
+
+Usage::
+
+    python scripts/check_doc_links.py [FILE_OR_DIR ...]
+
+Defaults to ``README.md`` and ``docs/`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links: ``[text](target)`` (images share the syntax).
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def markdown_files(arguments: List[str]) -> List[Path]:
+    """The files to scan: explicit arguments, or README.md + docs/*.md."""
+    if arguments:
+        paths: List[Path] = []
+        for argument in arguments:
+            path = Path(argument)
+            paths.extend(sorted(path.rglob("*.md")) if path.is_dir() else [path])
+        return paths
+    return [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").rglob("*.md"))]
+
+
+def broken_links(files: Iterable[Path]) -> List[Tuple[Path, str]]:
+    """Every (file, target) pair whose relative target does not exist."""
+    missing: List[Tuple[Path, str]] = []
+    for path in files:
+        if not path.exists():
+            missing.append((path, "<file itself missing>"))
+            continue
+        for target in LINK.findall(path.read_text()):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            resolved = target.split("#", 1)[0]
+            if not resolved:  # pure in-page anchor
+                continue
+            if not (path.parent / resolved).exists():
+                missing.append((path, target))
+    return missing
+
+
+def main(argv: List[str]) -> int:
+    """Scan, report, and return a process exit code."""
+    files = markdown_files(argv)
+    missing = broken_links(files)
+    for path, target in missing:
+        print(f"BROKEN  {path}: {target}")
+    if missing:
+        return 1
+    print(f"ok: {len(files)} markdown files, all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

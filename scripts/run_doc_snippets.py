@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Execute the runnable snippets in ``docs/http-api.md`` against a server.
+
+Keeps the API documentation honest: CI starts the real server and runs
+every fenced ```bash`` block (in document order, each block as one bash
+script, so ``VAR=$(...)`` chaining works) and every fenced ```python``
+block from the doc, with the documented port rewritten to the live
+server's. A snippet that exits non-zero fails the run. Blocks fenced as
+```console`` or ```json`` are illustrative and are not executed.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_doc_snippets.py --port 8356 [--doc docs/http-api.md]
+
+Must run from the repository root (snippets reference
+``examples/experiment_spec.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The port the documentation shows in its examples.
+DOCUMENTED = "127.0.0.1:8787"
+
+FENCE = re.compile(r"^```(\w*)\s*$")
+
+
+def extract_blocks(text: str) -> List[Tuple[str, str]]:
+    """Every fenced code block as ``(language, body)``, in order."""
+    blocks: List[Tuple[str, str]] = []
+    language = None
+    body: List[str] = []
+    for line in text.splitlines():
+        match = FENCE.match(line)
+        if match:
+            if language is None:
+                language = match.group(1) or "text"
+                body = []
+            else:
+                blocks.append((language, "\n".join(body)))
+                language = None
+        elif language is not None:
+            body.append(line)
+    return blocks
+
+
+def run_bash(snippet: str) -> None:
+    """Run one bash block; raises on non-zero exit."""
+    completed = subprocess.run(
+        ["bash", "-euo", "pipefail", "-c", snippet],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    sys.stdout.write(completed.stdout)
+    if completed.returncode != 0:
+        sys.stderr.write(completed.stderr)
+        raise SystemExit(f"snippet failed (exit {completed.returncode}):\n{snippet}")
+
+
+def run_python(snippet: str) -> None:
+    """Run one python block in a subprocess (inherits PYTHONPATH)."""
+    completed = subprocess.run(
+        [sys.executable, "-c", snippet],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    sys.stdout.write(completed.stdout)
+    if completed.returncode != 0:
+        sys.stderr.write(completed.stderr)
+        raise SystemExit(f"python snippet failed (exit {completed.returncode}):\n{snippet}")
+
+
+def main() -> int:
+    """Extract, rewrite and execute the doc's runnable snippets."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--port", type=int, required=True, help="live server port")
+    parser.add_argument(
+        "--doc", default="docs/http-api.md", help="markdown file to execute"
+    )
+    args = parser.parse_args()
+
+    text = (REPO_ROOT / args.doc).read_text()
+    live = f"127.0.0.1:{args.port}"
+    ran = 0
+    for language, body in extract_blocks(text):
+        body = body.replace(DOCUMENTED, live).replace("port=8787", f"port={args.port}")
+        if language == "bash":
+            run_bash(body)
+            ran += 1
+        elif language == "python":
+            run_python(body)
+            ran += 1
+    if ran == 0:
+        raise SystemExit(f"no runnable snippets found in {args.doc}")
+    print(f"ok: {ran} snippets from {args.doc} ran clean against :{args.port}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

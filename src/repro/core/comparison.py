@@ -81,6 +81,7 @@ class HeadlineClaims:
     multiplier_efficiency_best: float
 
     def as_dict(self) -> Dict[str, float]:
+        """The comparison as a plain metric-name -> value mapping."""
         return {
             "throughput_improvement": self.throughput_improvement,
             "power_efficiency_improvement_m2": self.power_efficiency_improvement_m2,

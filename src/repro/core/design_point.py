@@ -121,15 +121,25 @@ class ComponentProvider(Protocol):
     evaluation body instead of maintaining a diverging copy.
     """
 
-    def engine(self, config, device, calibration): ...
+    def engine(self, config, device, calibration):
+        """The engine resource/performance model for ``config``."""
+        ...
 
-    def latency(self, network, m, pes, frequency_mhz, r, pipeline_depth): ...
+    def latency(self, network, m, pes, frequency_mhz, r, pipeline_depth):
+        """The per-network latency report."""
+        ...
 
-    def spatial_multiplications(self, network): ...
+    def spatial_multiplications(self, network):
+        """Spatial-convolution multiplication count of ``network``."""
+        ...
 
-    def multiplication_complexity(self, network, m): ...
+    def multiplication_complexity(self, network, m):
+        """Winograd multiplication complexity for tile size ``m``."""
+        ...
 
-    def implementation_transform_complexity(self, network, m, parallel_pes): ...
+    def implementation_transform_complexity(self, network, m, parallel_pes):
+        """Implementation transform operation count (Eq. 6 family)."""
+        ...
 
 
 class DirectComponents:
@@ -139,9 +149,11 @@ class DirectComponents:
     """
 
     def engine(self, config, device, calibration):
+        """Build the engine model directly (no memoisation)."""
         return build_engine(config, device=device, calibration=calibration)
 
     def latency(self, network, m, pes, frequency_mhz, r, pipeline_depth):
+        """Evaluate the latency model directly."""
         return network_latency(
             network,
             m=m,
@@ -152,12 +164,15 @@ class DirectComponents:
         )
 
     def spatial_multiplications(self, network):
+        """Evaluate the spatial multiplication count directly."""
         return spatial_multiplications(network)
 
     def multiplication_complexity(self, network, m):
+        """Evaluate the Winograd multiplication complexity directly."""
         return multiplication_complexity(network, m)
 
     def implementation_transform_complexity(self, network, m, parallel_pes):
+        """Evaluate the implementation transform complexity directly."""
         return implementation_transform_complexity(network, m, parallel_pes)
 
 

@@ -25,6 +25,7 @@ class Objective:
     maximize: bool = True
 
     def value(self, point: DesignPoint) -> float:
+        """The objective's metric read off ``point`` (ValueError if unknown)."""
         try:
             return float(getattr(point, self.metric))
         except AttributeError as error:

@@ -64,10 +64,12 @@ class LayerRoofline:
 
     @property
     def attainable_gops(self) -> float:
+        """The binding roof: min of the compute and bandwidth ceilings."""
         return min(self.compute_roof_gops, self.bandwidth_roof_gops)
 
     @property
     def compute_bound(self) -> bool:
+        """True when compute, not memory bandwidth, limits this layer."""
         return self.compute_roof_gops <= self.bandwidth_roof_gops
 
 
@@ -87,6 +89,7 @@ class RooflineReport:
 
     @property
     def bandwidth_bound_layers(self) -> List[str]:
+        """Names of the layers limited by memory bandwidth."""
         return [layer.layer_name for layer in self.layers if not layer.compute_bound]
 
     def attainable_fraction(self) -> float:

@@ -71,6 +71,7 @@ class BatchOutcome:
 
     @property
     def feasible(self) -> bool:
+        """True when the request produced a design point."""
         return self.point is not None
 
 

@@ -66,6 +66,7 @@ class CacheStats:
 
     @property
     def lookups(self) -> int:
+        """Total probes: hits plus misses."""
         return self.hits + self.misses
 
     @property
@@ -247,6 +248,7 @@ class EvaluationCache:
         uniform_r = network.uniform_kernel_size()
 
         def compute() -> float:
+            """Cache-miss path: evaluate the transform complexity model."""
             if uniform_r is not None:
                 return implementation_transform_complexity(
                     network, m, parallel_pes, op_counts=self.op_counts(m, uniform_r)
@@ -272,6 +274,7 @@ class EvaluationCache:
         return entry
 
     def store_point(self, key: Tuple, entry: Tuple[str, Any]) -> None:
+        """Record a design-point outcome (``("ok", point)``/``("err", …)``)."""
         self._points[key] = entry
         self._evict_over_bound(self._points)
 

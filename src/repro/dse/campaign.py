@@ -100,12 +100,15 @@ class Campaign:
         object.__setattr__(self, "objectives", objectives)
 
     def resolved_networks(self) -> List[Network]:
+        """Concrete :class:`Network` objects (registry names resolved)."""
         return _normalize_networks(self.networks)
 
     def resolved_devices(self) -> List[FpgaDevice]:
+        """Concrete :class:`FpgaDevice` objects (registry names resolved)."""
         return _normalize_devices(self.devices)
 
     def resolved_sweeps(self) -> Tuple[SweepSpec, ...]:
+        """The campaign's sweeps as a validated tuple."""
         return _normalize_specs(self.sweeps)
 
     @property

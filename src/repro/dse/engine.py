@@ -35,6 +35,7 @@ from .cache import CacheStats, EvaluationCache, global_cache, network_fingerprin
 
 __all__ = [
     "ExecutorConfig",
+    "chunk_entries",
     "evaluate_design_cached",
     "iter_explore",
     "explore_cached",
@@ -90,6 +91,7 @@ class ExecutorConfig:
             raise ValueError("min_grid_for_vectorized must be >= 0")
 
     def resolved_workers(self) -> int:
+        """Effective pool size (``max_workers`` or cpu count capped at 8)."""
         if self.max_workers is not None:
             return self.max_workers
         return max(1, min(os.cpu_count() or 1, 8))
@@ -138,10 +140,28 @@ class ExecutorConfig:
         return "serial"
 
     def resolved_chunk_size(self, cell_entries: int) -> int:
+        """Entries per work chunk (explicit, or ~4 chunks per worker)."""
         if self.chunk_size is not None:
             return self.chunk_size
         workers = self.resolved_workers()
         return max(4, -(-cell_entries // (workers * 4)))
+
+
+def chunk_entries(entries: Sequence[GridEntry], chunk_size: int) -> List[Tuple[GridEntry, ...]]:
+    """Split ``entries`` into contiguous chunks of at most ``chunk_size``.
+
+    Order-preserving: concatenating the chunks reproduces ``entries``
+    exactly, which is what lets both the process-pool executor and the
+    service's job scheduler (:mod:`repro.service.jobs`) reassemble chunk
+    results into the serial evaluation order.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    entries = list(entries)
+    return [
+        tuple(entries[start : start + chunk_size])
+        for start in range(0, len(entries), chunk_size)
+    ]
 
 
 # --------------------------------------------------------------------- #
@@ -262,20 +282,25 @@ class _CachedComponents:
         self._fingerprint = fingerprint
 
     def engine(self, config, device, calibration):
+        """Memoised engine resource/performance model for ``config``."""
         return self._cache.engine(config, device, calibration)
 
     def latency(self, network, m, pes, frequency_mhz, r, pipeline_depth):
+        """Memoised per-network latency report."""
         return self._cache.latency(
             self._fingerprint, network, m, pes, frequency_mhz, r, pipeline_depth
         )
 
     def spatial_multiplications(self, network):
+        """Memoised spatial multiplication count of ``network``."""
         return self._cache.spatial_multiplications(self._fingerprint, network)
 
     def multiplication_complexity(self, network, m):
+        """Memoised Winograd multiplication complexity for tile ``m``."""
         return self._cache.multiplication_complexity(self._fingerprint, network, m)
 
     def implementation_transform_complexity(self, network, m, parallel_pes):
+        """Memoised implementation transform operation count."""
         return self._cache.implementation_transform_complexity(
             self._fingerprint, network, m, parallel_pes
         )
@@ -512,13 +537,13 @@ def iter_explore(
             network=network,
             device=device,
             calibration=calibration,
-            entries=tuple(entries[start : start + chunk_size]),
+            entries=chunk,
             skip_infeasible=skip_infeasible,
             use_cache=use_cache,
         )
         for network in nets
         for device in devs
-        for start in range(0, len(entries), chunk_size)
+        for chunk in chunk_entries(entries, chunk_size)
     ]
 
     from collections import deque

@@ -196,6 +196,7 @@ def evaluate_cell_batch(
         key = (entry.m, entry.r, entry.shared_data_transform)
 
         def get_model(key=key, entry=entry):
+            """The memoised engine cell model, or None when infeasible."""
             model = models.get(key)
             if model is None:
                 try:

@@ -14,8 +14,12 @@ Subcommands
     Show what the registries can resolve, one name per line.
 ``serve``
     Start the :mod:`repro.service` HTTP server: a persistent
-    :class:`~repro.service.ResultStore` plus micro-batched ``evaluate`` /
-    ``query`` / ``pareto`` / ``best`` / ``campaign`` JSON endpoints.
+    :class:`~repro.service.ResultStore`, micro-batched ``evaluate`` /
+    ``query`` / ``pareto`` / ``best`` endpoints and the sharded async
+    campaign-job scheduler (``/v1/jobs``, ``--workers N``).
+
+The full flag reference lives in ``docs/cli.md`` (a test keeps it in sync
+with the parsers' ``--help`` output).
 
 Examples
 --------
@@ -51,6 +55,7 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser (all subcommands)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run, report and inspect declarative design-space experiments.",
@@ -119,6 +124,24 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=256,
         help="dispatch a batch immediately at this many pending requests",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "campaign-job shard workers: 1 runs shards on a single background "
+            "thread, N >= 2 fans them out over a process pool (default: 1)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--shard-entries",
+        type=int,
+        default=512,
+        help=(
+            "max grid entries per campaign-job shard before a (network, device) "
+            "cell is split further (default: 512)"
+        ),
     )
     serve_parser.add_argument(
         "-q", "--quiet", action="store_true", help="suppress the startup banner"
@@ -208,6 +231,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         batch_window_ms=args.batch_window_ms,
         max_batch=args.max_batch,
+        workers=args.workers,
+        shard_entries=args.shard_entries,
         quiet=args.quiet,
     )
 

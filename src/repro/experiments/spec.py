@@ -116,6 +116,7 @@ class StrategySpec:
         object.__setattr__(self, "params", frozen)
 
     def to_dict(self) -> dict:
+        """JSON-ready form (tuples thawed back to lists)."""
         return {
             "name": self.name,
             "params": {key: _thaw_param(value) for key, value in self.params.items()},
@@ -123,6 +124,7 @@ class StrategySpec:
 
     @classmethod
     def from_dict(cls, data: Union[str, dict]) -> "StrategySpec":
+        """Rebuild from :meth:`to_dict` output or a bare strategy name."""
         if isinstance(data, str):
             return cls(data)
         if not isinstance(data, dict):
@@ -165,6 +167,7 @@ def calibration_from_dict(data: Optional[dict]) -> Calibration:
 
 
 def executor_to_dict(executor: Optional[ExecutorConfig]) -> Optional[dict]:
+    """Flatten an :class:`ExecutorConfig` to JSON (``None`` passes through)."""
     if executor is None:
         return None
     return {
@@ -177,6 +180,7 @@ def executor_to_dict(executor: Optional[ExecutorConfig]) -> Optional[dict]:
 
 
 def executor_from_dict(data: Optional[dict]) -> Optional[ExecutorConfig]:
+    """Inverse of :func:`executor_to_dict` (invalid mappings raise)."""
     if data is None:
         return None
     if not isinstance(data, dict):
@@ -474,6 +478,7 @@ class ExperimentSpec:
 
     @classmethod
     def from_json(cls, text: str) -> "ExperimentSpec":
+        """Rebuild a spec from its :meth:`to_json` text."""
         return cls.from_dict(json.loads(text))
 
     def save(self, path: Union[str, Path]) -> Path:

@@ -78,7 +78,9 @@ class SearchStrategy(Protocol):
 
     def search(
         self, spec: "Optional[ExperimentSpec]", evaluate: "Evaluator"
-    ) -> Iterator[DesignPoint]: ...
+    ) -> Iterator[DesignPoint]:
+        """Yield the design points this strategy chooses to evaluate."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -93,6 +95,7 @@ class GridStrategy:
     def search(
         self, spec: "Optional[ExperimentSpec]", evaluate: "Evaluator"
     ) -> Iterator[DesignPoint]:
+        """Stream the full grid through the executor-aware bulk path."""
         return evaluate.iter_grid()
 
 
@@ -119,6 +122,7 @@ class RandomStrategy:
     def search(
         self, spec: "Optional[ExperimentSpec]", evaluate: "Evaluator"
     ) -> Iterator[DesignPoint]:
+        """Evaluate the seeded entry subsample on every cell, grid order."""
         entries = evaluate.grid_entries()
         if self.samples >= len(entries):
             chosen = list(entries)
@@ -191,6 +195,7 @@ class ParetoRefineStrategy:
     def search(
         self, spec: "Optional[ExperimentSpec]", evaluate: "Evaluator"
     ) -> Iterator[DesignPoint]:
+        """Coarse pass + Pareto-front neighbourhood refinement per cell."""
         objectives = evaluate.objectives
         for network in evaluate.networks:
             for device in evaluate.devices:
@@ -207,6 +212,7 @@ class ParetoRefineStrategy:
         evaluated: Dict[Tuple[int, ...], Optional[DesignPoint]] = {}
 
         def probe(index: Tuple[int, ...]) -> None:
+            """Evaluate one grid index at most once."""
             if index not in evaluated:
                 evaluated[index] = evaluate(network, device, _entry_at(axes, index))
 

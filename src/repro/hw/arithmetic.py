@@ -34,14 +34,17 @@ class Precision:
 
     @classmethod
     def float32(cls) -> "Precision":
+        """IEEE-754 single precision (the paper's proposed datapath)."""
         return cls(name="float32", bits=32, is_float=True)
 
     @classmethod
     def fixed16(cls) -> "Precision":
+        """16-bit fixed point (the baselines' datapath)."""
         return cls(name="fixed16", bits=16, is_float=False)
 
     @classmethod
     def from_name(cls, name: str) -> "Precision":
+        """Resolve a precision by name; unknown names raise ``ValueError``."""
         table = {"float32": cls.float32(), "fixed16": cls.fixed16()}
         if name not in table:
             raise ValueError(f"unknown precision {name!r}; known: {sorted(table)}")
@@ -59,6 +62,7 @@ class OperatorCost:
     is_multiplier: bool = False
 
     def as_estimate(self) -> ResourceEstimate:
+        """The operator's footprint as a :class:`ResourceEstimate`."""
         return ResourceEstimate(
             luts=self.luts,
             registers=self.registers,

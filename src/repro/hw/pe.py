@@ -63,14 +63,17 @@ class PEModel:
 
     @property
     def luts(self) -> float:
+        """LUT count of one PE (shorthand for ``resources.luts``)."""
         return self.resources.luts
 
     @property
     def registers(self) -> float:
+        """Register count of one PE."""
         return self.resources.registers
 
     @property
     def dsp_slices(self) -> int:
+        """DSP slice count of one PE."""
         return self.resources.dsp_slices
 
 

@@ -38,10 +38,12 @@ class PowerBreakdown:
 
     @property
     def dynamic_watts(self) -> float:
+        """Dynamic power: logic + DSP + register + BRAM contributions."""
         return self.logic_watts + self.dsp_watts + self.register_watts + self.bram_watts
 
     @property
     def total_watts(self) -> float:
+        """Total power: static plus dynamic."""
         return self.static_watts + self.dynamic_watts
 
 

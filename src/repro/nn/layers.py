@@ -33,6 +33,7 @@ class InputSpec:
 
     @property
     def shape(self) -> Tuple[int, int, int, int]:
+        """NCHW shape tuple."""
         return (self.batch, self.channels, self.height, self.width)
 
 
@@ -161,14 +162,17 @@ class PoolLayer:
 
     @property
     def output_height(self) -> int:
+        """Pooled output height."""
         return (self.height - self.pool_size) // self.stride + 1
 
     @property
     def output_width(self) -> int:
+        """Pooled output width."""
         return (self.width - self.pool_size) // self.stride + 1
 
     @property
     def output_shape(self) -> Tuple[int, int, int, int]:
+        """NCHW shape after pooling."""
         return (self.batch, self.channels, self.output_height, self.output_width)
 
     @property
@@ -199,12 +203,15 @@ class FullyConnectedLayer:
 
     @property
     def macs(self) -> int:
+        """Multiply-accumulate operations for one forward pass."""
         return self.batch * self.in_features * self.out_features
 
     @property
     def flops(self) -> int:
+        """Floating-point operations (two per MAC)."""
         return 2 * self.macs
 
     @property
     def weight_count(self) -> int:
+        """Number of weights in the layer."""
         return self.in_features * self.out_features

@@ -13,10 +13,15 @@ design-point questions into micro-batched vectorized evaluations:
   dispatches them as one stacked :func:`repro.dse.batch.evaluate_requests`
   call (bit-identical to serial evaluation, an order of magnitude more
   throughput);
+* :mod:`repro.service.jobs` — :class:`JobManager` / :class:`Job`, the
+  sharded asynchronous campaign scheduler: specs split into
+  per-(network, device) (and per-chunk) shards, executed on a worker
+  pool, streamed into the store as they complete, resumable by shard
+  fingerprint;
 * :mod:`repro.service.server` — :class:`ResultServer` / :func:`serve`,
   the stdlib-only asyncio HTTP server behind ``python -m repro serve``
   (``/v1/query``, ``/v1/pareto``, ``/v1/best``, ``/v1/evaluate``,
-  ``/v1/campaign``);
+  ``/v1/campaign``, ``/v1/jobs``);
 * :mod:`repro.service.client` — :class:`ServiceClient`, the thin
   synchronous client used by tests, benchmarks and CI.
 
@@ -33,6 +38,7 @@ Quickstart::
 
 from .batching import BatcherStats, MicroBatcher
 from .client import InfeasibleDesignError, ServiceClient, ServiceError
+from .jobs import Job, JobManager, ShardPlan, plan_shards
 from .server import ApiError, ResultServer, serve
 from .store import ResultStore, StoreRecord, result_key
 
@@ -48,4 +54,8 @@ __all__ = [
     "ResultStore",
     "StoreRecord",
     "result_key",
+    "Job",
+    "JobManager",
+    "ShardPlan",
+    "plan_shards",
 ]

@@ -49,9 +49,11 @@ class BatcherStats:
 
     @property
     def mean_batch_size(self) -> float:
+        """Average requests coalesced per dispatched batch."""
         return self.requests / self.batches if self.batches else 0.0
 
     def to_dict(self) -> dict:
+        """JSON-ready counters for the ``/health`` payload."""
         return {
             "requests": self.requests,
             "batches": self.batches,
@@ -146,6 +148,7 @@ class MicroBatcher:
         futures = [future for _, future in batch]
 
         def run() -> List[BatchOutcome]:
+            """Worker-side dispatch of the coalesced batch."""
             return evaluate_requests(
                 requests, cache=self.cache, vectorized=self.vectorized
             )
@@ -153,6 +156,7 @@ class MicroBatcher:
         dispatch = loop.run_in_executor(self.executor, run)
 
         def finish(done: "asyncio.Future") -> None:
+            """Resolve every request future from the batch outcome."""
             error = done.exception()
             if error is not None:
                 with self._stats_lock:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import time
 from typing import Any, Dict, List, Optional, Union
 
 from ..core.design_point import DesignPoint
@@ -76,6 +77,7 @@ class ServiceClient:
 
     # ------------------------------------------------------------------ #
     def health(self) -> Dict[str, Any]:
+        """The ``/health`` payload: liveness, store, batcher and job stats."""
         return self._request("GET", "/health")
 
     def results(
@@ -201,11 +203,64 @@ class ServiceClient:
     def submit_campaign(self, spec: Union[ExperimentSpec, Dict[str, Any]]) -> Dict[str, Any]:
         """Run a campaign server-side and persist it; returns the receipt.
 
-        The receipt carries ``key`` (stored-result content key),
-        ``fingerprint`` (the spec's), counts and summary rows.
+        Synchronous: the call blocks until the sharded job the server
+        submits internally completes.  The receipt carries ``key``
+        (stored-result content key), ``fingerprint`` (the spec's),
+        ``job_id``, counts and summary rows.  For fire-and-forget
+        submission use :meth:`submit_job`.
         """
         spec_data = spec.to_dict() if isinstance(spec, ExperimentSpec) else spec
         return self._request("POST", "/v1/campaign", {"spec": spec_data})
+
+    # ------------------------------------------------------------------ #
+    def submit_job(self, spec: Union[ExperimentSpec, Dict[str, Any]]) -> Dict[str, Any]:
+        """Submit a campaign as an asynchronous sharded job.
+
+        Returns the job payload immediately (``id``, ``state``, shard
+        counts); poll with :meth:`job_status` or block with
+        :meth:`wait_for_job`.
+        """
+        spec_data = spec.to_dict() if isinstance(spec, ExperimentSpec) else spec
+        return self._request("POST", "/v1/jobs", {"spec": spec_data})["job"]
+
+    def job_status(self, job_id: str) -> Dict[str, Any]:
+        """One job's state, per-shard progress and ETA (404 when unknown)."""
+        return self._request("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        """Every job the server tracks, oldest submission first."""
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def cancel_job(self, job_id: str) -> Dict[str, Any]:
+        """Cancel a job's unfinished shards; returns the final job payload.
+
+        The response's ``cancelled`` flag is ``False`` when the job had
+        already reached a terminal state.
+        """
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def wait_for_job(
+        self,
+        job_id: str,
+        timeout: float = 600.0,
+        poll_interval: float = 0.05,
+    ) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns its final payload.
+
+        Raises ``TimeoutError`` when ``timeout`` elapses first (the job
+        keeps running server-side).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job_status(job_id)
+            if job["state"] in ("completed", "failed", "cancelled"):
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['state']!r} after {timeout} s "
+                    f"(progress {job.get('progress')})"
+                )
+            time.sleep(poll_interval)
 
 
 def _drop_none(body: Dict[str, Any]) -> Dict[str, Any]:

@@ -1,0 +1,598 @@
+"""Sharded, asynchronous campaign job scheduler.
+
+PR 4's ``POST /v1/campaign`` executed every submitted experiment on one
+worker thread: a Fig. 6-scale campaign parked every other campaign (and
+every ``evaluate`` behind the shared worker) until it finished.  This
+module turns a submitted :class:`~repro.experiments.ExperimentSpec` into a
+**job** — a set of independent *shards* scheduled onto a pool of workers —
+so many campaigns make progress concurrently and a single big one no
+longer monopolises the service.
+
+How a spec becomes shards
+-------------------------
+:func:`plan_shards` splits a grid-strategy spec per ``(network, device)``
+cell and, for large grids, into contiguous chunks of at most
+``max_entries_per_shard`` grid entries per cell (the same contiguous
+chunking rule :func:`repro.dse.engine.chunk_entries` gives the process
+executor).  Each shard is itself a complete, re-runnable
+:class:`~repro.experiments.ExperimentSpec` — one network, one device, the
+chunk's entries encoded as singleton sweeps — so a shard has everything a
+stored result needs: a spec, a deterministic
+:meth:`~repro.experiments.ExperimentSpec.fingerprint` and the exact
+canonical evaluation order.  Non-grid strategies (random, pareto-refine,
+custom) are adaptive and cannot be split without changing their search, so
+they run as a single whole-spec shard.
+
+Execution and reassembly
+------------------------
+Shards execute on a ``ProcessPoolExecutor`` (``workers >= 2``) or a
+single background thread (``workers == 1``), evaluating through the
+vectorized engine (:mod:`repro.dse.vectorized`, with the usual serial
+fallback when numpy is missing).  Each completed shard's serialized
+payload is streamed into the :class:`~repro.service.store.ResultStore`
+immediately, so a partially finished campaign is already queryable — and
+**resumable**: resubmitting a spec skips every shard whose fingerprint the
+store already holds (and completes instantly when the assembled result
+itself is stored).  When every shard lands, the payloads are concatenated
+in plan order — shard order is exactly the serial iteration order, so the
+assembled result is **bit-identical** (pickled bytes, same ordering) to a
+single-thread ``run_experiment`` of the original spec — and stored under
+the spec's fingerprint.
+
+The scheduler is asyncio-native: :meth:`JobManager.submit` returns
+immediately with a :class:`Job` whose state, per-shard progress and ETA
+the HTTP layer reports; pending shards queue in the pool when all workers
+are busy (never rejected) and ``DELETE``-ing a job cancels its un-started
+shards while keeping the store consistent.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import os
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.design_space import GridEntry, SweepSpec
+from ..dse.engine import ExecutorConfig, chunk_entries
+from ..experiments.persistence import RESULT_SCHEMA, result_to_dict
+from ..experiments.spec import ExperimentSpec, StrategySpec
+from .store import ResultStore
+
+__all__ = [
+    "DEFAULT_SHARD_ENTRIES",
+    "ShardPlan",
+    "ShardRun",
+    "Job",
+    "JobManager",
+    "plan_shards",
+]
+
+#: Grid entries per shard before a (network, device) cell is split further.
+#: Part of the shard identity: changing it changes shard fingerprints, so
+#: resumption only reuses shards planned with the same value (the assembled
+#: campaign result still deduplicates regardless).
+DEFAULT_SHARD_ENTRIES = 512
+
+#: Terminal job states (no further transitions once reached).
+TERMINAL_STATES = ("completed", "failed", "cancelled")
+
+#: Terminal jobs retained for status queries before the oldest are
+#: evicted (a serve-forever process must not accumulate Job objects).
+MAX_TERMINAL_JOBS = 256
+
+
+def _entry_sweep(entry: GridEntry) -> SweepSpec:
+    """The singleton :class:`SweepSpec` expanding to exactly ``entry``."""
+    return SweepSpec(
+        m_values=(entry.m,),
+        multiplier_budgets=(entry.multiplier_budget,),
+        frequencies_mhz=(entry.frequency_mhz,),
+        shared_data_transform=(entry.shared_data_transform,),
+        r=entry.r,
+    )
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One schedulable unit of a job: a spec slice plus its identity.
+
+    ``spec`` is a complete, independently re-runnable experiment spec whose
+    evaluation order matches the parent spec's serial order over this
+    shard's slice; ``fingerprint`` is ``spec.fingerprint()``, the key the
+    result store indexes the shard's result under (what makes resumption a
+    pure store lookup).
+    """
+
+    index: int
+    networks: Tuple[str, ...]
+    devices: Tuple[str, ...]
+    entries: int
+    spec: ExperimentSpec
+    fingerprint: str
+
+
+def plan_shards(
+    spec: ExperimentSpec, max_entries_per_shard: int = DEFAULT_SHARD_ENTRIES
+) -> List[ShardPlan]:
+    """Split ``spec`` into deterministic, independently executable shards.
+
+    Grid-strategy specs shard per ``(network, device)`` cell, each cell
+    chunked into contiguous runs of at most ``max_entries_per_shard`` grid
+    entries (in the spec's canonical order); concatenating shard results in
+    plan order therefore reproduces the serial result ordering exactly.
+    Non-grid strategies are adaptive, so they return a single whole-spec
+    shard.
+
+    The plan depends only on the spec and ``max_entries_per_shard`` — never
+    on worker count — so shard fingerprints are stable across resubmissions
+    and server restarts, which is what makes crash resumption a store
+    lookup.
+    """
+    if max_entries_per_shard < 1:
+        raise ValueError("max_entries_per_shard must be >= 1")
+    if spec.strategy.name != "grid":
+        return [
+            ShardPlan(
+                index=0,
+                networks=tuple(spec.networks),
+                devices=tuple(spec.devices),
+                entries=spec.grid_size,
+                spec=spec,
+                fingerprint=spec.fingerprint(),
+            )
+        ]
+    entries = [entry for sweep in spec.sweeps for entry in sweep.configurations()]
+    chunks = chunk_entries(entries, max_entries_per_shard)
+    shards: List[ShardPlan] = []
+    for network in spec.networks:
+        for device in spec.devices:
+            for chunk_index, chunk in enumerate(chunks):
+                shard_spec = replace(
+                    spec,
+                    networks=(network,),
+                    devices=(device,),
+                    sweeps=tuple(_entry_sweep(entry) for entry in chunk),
+                    strategy=StrategySpec("grid"),
+                    executor=None,
+                    name=f"{spec.name}::shard/{network}@{device}/{chunk_index:04d}",
+                )
+                shards.append(
+                    ShardPlan(
+                        index=len(shards),
+                        networks=(network,),
+                        devices=(device,),
+                        entries=len(chunk),
+                        spec=shard_spec,
+                        fingerprint=shard_spec.fingerprint(),
+                    )
+                )
+    return shards
+
+
+def _execute_shard(spec_payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: evaluate one shard spec, return its payload.
+
+    Runs in a pool worker (process or thread).  Takes and returns plain
+    dicts — the spec's ``to_dict`` form in, the result's versioned
+    persistence payload out — so the boundary is cheap to pickle and
+    start-method agnostic.  Grid shards evaluate through the vectorized
+    engine (serial fallback without numpy), which is bit-identical to the
+    scalar path; non-grid shards run the spec exactly as the single-thread
+    campaign endpoint used to.
+    """
+    from ..dse.vectorized import numpy_available
+    from ..experiments.runner import run_experiment
+
+    spec = ExperimentSpec.from_dict(spec_payload)
+    if spec.strategy.name == "grid":
+        executor = ExecutorConfig(mode="vectorized" if numpy_available() else "serial")
+        result = run_experiment(spec, executor=executor)
+    else:
+        result = run_experiment(spec)
+    return result_to_dict(result)
+
+
+@dataclass
+class ShardRun:
+    """Runtime state of one shard within a job."""
+
+    plan: ShardPlan
+    #: ``pending`` | ``running`` | ``completed`` | ``skipped`` | ``failed``
+    #: | ``cancelled``
+    state: str = "pending"
+    seconds: Optional[float] = None
+    error: Optional[str] = None
+    key: Optional[str] = None
+    payload: Optional[Dict[str, Any]] = field(default=None, repr=False)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-ready per-shard progress row for the job-status endpoint."""
+        return {
+            "index": self.plan.index,
+            "networks": list(self.plan.networks),
+            "devices": list(self.plan.devices),
+            "entries": self.plan.entries,
+            "fingerprint": self.plan.fingerprint,
+            "state": self.state,
+            "seconds": None if self.seconds is None else round(self.seconds, 6),
+            "error": self.error,
+            "key": self.key,
+        }
+
+
+class Job:
+    """One submitted campaign: its shards, lifecycle state and receipt.
+
+    States move ``queued -> running -> completed | failed | cancelled``.
+    ``key`` holds the stored assembled result's content key once the job
+    completes; ``error`` carries the first shard failure message when it
+    fails.  ``await job.wait()`` blocks until a terminal state.
+    """
+
+    def __init__(self, job_id: str, spec: ExperimentSpec, shards: Sequence[ShardPlan]) -> None:
+        self.id = job_id
+        self.spec = spec
+        self.fingerprint = spec.fingerprint()
+        self.shards = [ShardRun(plan) for plan in shards]
+        self.state = "queued"
+        self.created = time.time()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        self.key: Optional[str] = None
+        self.error: Optional[str] = None
+        self._done = asyncio.Event()
+        self._cancelled = False
+        self._tasks: List["asyncio.Task"] = []
+        self._runner: Optional["asyncio.Task"] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def done(self) -> bool:
+        """Whether the job reached a terminal state."""
+        return self.state in TERMINAL_STATES
+
+    def shard_counts(self) -> Dict[str, int]:
+        """Shard tally by state (every state key present, zero or not)."""
+        counts = {
+            state: 0
+            for state in ("pending", "running", "completed", "skipped", "failed", "cancelled")
+        }
+        for shard in self.shards:
+            counts[shard.state] += 1
+        counts["total"] = len(self.shards)
+        return counts
+
+    def progress(self) -> float:
+        """Fraction of grid entries whose shard already finished (0..1)."""
+        total = sum(shard.plan.entries for shard in self.shards)
+        if total == 0:
+            return 1.0
+        finished = sum(
+            shard.plan.entries
+            for shard in self.shards
+            if shard.state in ("completed", "skipped")
+        )
+        return finished / total
+
+    def eta_seconds(self, workers: int) -> Optional[float]:
+        """Projected seconds until completion, from observed shard durations.
+
+        ``None`` until at least one shard has actually executed (skipped
+        shards carry no timing signal).
+        """
+        durations = [shard.seconds for shard in self.shards if shard.seconds is not None]
+        if not durations or self.done:
+            return None
+        remaining = sum(
+            1 for shard in self.shards if shard.state in ("pending", "running")
+        )
+        mean = sum(durations) / len(durations)
+        return round(mean * remaining / max(1, workers), 6)
+
+    async def wait(self, timeout: Optional[float] = None) -> "Job":
+        """Block until the job is terminal; raises ``TimeoutError`` on expiry."""
+        await asyncio.wait_for(self._done.wait(), timeout)
+        return self
+
+    def to_payload(self, workers: int, include_shards: bool = True) -> Dict[str, Any]:
+        """JSON-ready job status (the ``GET /v1/jobs/<id>`` body)."""
+        payload: Dict[str, Any] = {
+            "id": self.id,
+            "name": self.spec.name,
+            "fingerprint": self.fingerprint,
+            "state": self.state,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "shards": self.shard_counts(),
+            "progress": round(self.progress(), 6),
+            "eta_seconds": self.eta_seconds(workers),
+            "key": self.key,
+            "error": self.error,
+        }
+        if include_shards:
+            payload["shard_states"] = [shard.to_payload() for shard in self.shards]
+        return payload
+
+
+class JobManager:
+    """Owns the shard worker pool and every job's lifecycle.
+
+    All coordination runs on the event loop that calls :meth:`submit`;
+    shard evaluation and store I/O run in executors, so the loop never
+    blocks on CPU-bound work.  ``workers == 1`` schedules shards onto one
+    background thread (the pre-sharding service behaviour, minus the
+    head-of-line blocking: shards from different jobs interleave);
+    ``workers >= 2`` fans shards out over a ``ProcessPoolExecutor``.
+    Submitting more work than the pool has workers simply queues shards in
+    the pool — jobs are accepted immediately, never rejected.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        workers: int = 1,
+        max_entries_per_shard: int = DEFAULT_SHARD_ENTRIES,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_entries_per_shard < 1:
+            raise ValueError("max_entries_per_shard must be >= 1")
+        self.store = store
+        self.workers = workers
+        self.max_entries_per_shard = max_entries_per_shard
+        self._jobs: Dict[str, Job] = {}
+        self._pool: Optional[Executor] = None
+        # Admission gate sized to the pool: shards wait here (state
+        # "pending") rather than in the executor's opaque queue, so the
+        # reported pending/running split is accurate and waiting shards
+        # stay trivially cancellable.  Created lazily so it binds to the
+        # loop that actually runs the jobs.
+        self._slots: Optional[asyncio.Semaphore] = None
+        self._closed = False
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    def _executor(self) -> Executor:
+        """The shard pool, created lazily on first use."""
+        if self._pool is None:
+            if self.workers <= 1:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="repro-jobs"
+                )
+            else:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate job counters for the ``/health`` payload."""
+        by_state: Dict[str, int] = {}
+        for job in self._jobs.values():
+            by_state[job.state] = by_state.get(job.state, 0) + 1
+        return {
+            "workers": self.workers,
+            "max_entries_per_shard": self.max_entries_per_shard,
+            "jobs": len(self._jobs),
+            "by_state": by_state,
+        }
+
+    # ------------------------------------------------------------------ #
+    async def submit(self, spec: ExperimentSpec) -> Job:
+        """Plan and schedule a campaign job; returns without waiting.
+
+        The shard plan is computed off the event loop (grid expansion and
+        per-shard fingerprinting are CPU work).  The returned job is
+        already tracked: poll it via :meth:`get`, block on ``job.wait()``.
+        """
+        if self._closed:
+            raise RuntimeError("JobManager is closed")
+        loop = asyncio.get_running_loop()
+        if self._slots is None:
+            self._slots = asyncio.Semaphore(self.workers)
+        shards = await loop.run_in_executor(
+            None, plan_shards, spec, self.max_entries_per_shard
+        )
+        job = Job(f"job-{next(self._ids):06d}-{os.urandom(3).hex()}", spec, shards)
+        self._evict_terminal()
+        self._jobs[job.id] = job
+        job._runner = asyncio.ensure_future(self._run_job(job))
+        return job
+
+    def _evict_terminal(self) -> None:
+        """Drop the oldest terminal jobs beyond :data:`MAX_TERMINAL_JOBS`."""
+        terminal = [job_id for job_id, job in self._jobs.items() if job.done]
+        for job_id in terminal[: max(0, len(terminal) - MAX_TERMINAL_JOBS)]:
+            del self._jobs[job_id]
+
+    def get(self, job_id: str) -> Job:
+        """The tracked job with ``job_id``; raises ``KeyError`` when unknown."""
+        return self._jobs[job_id]
+
+    def jobs(self) -> List[Job]:
+        """Every tracked job, oldest submission first."""
+        return list(self._jobs.values())
+
+    async def cancel(self, job_id: str) -> bool:
+        """Cancel a job's unfinished shards; ``False`` if already terminal.
+
+        Shards already stored stay in the store (they are valid,
+        independently re-runnable results that a resubmission will reuse);
+        a shard mid-execution on a worker finishes but its output is
+        discarded un-stored.
+        """
+        job = self.get(job_id)
+        if job.done:
+            return False
+        await self._cancel_and_finalize(job)
+        return job.state == "cancelled"
+
+    async def _cancel_and_finalize(self, job: Job) -> None:
+        """Cancel a job's tasks and guarantee it reaches a terminal state.
+
+        Cancelling the runner matters: a cancel landing while the runner
+        is still in its resume-check window (no shard tasks spawned yet)
+        must interrupt that await too, not wait for the whole campaign.
+        A runner cancelled before it ever started executing never enters
+        its ``finally``, so the terminal bookkeeping is applied here when
+        the runner did not get to do it itself.
+        """
+        job._cancelled = True
+        for task in job._tasks:
+            task.cancel()
+        runner = job._runner
+        if runner is not None:
+            runner.cancel()
+            try:
+                await runner
+            except asyncio.CancelledError:
+                pass
+        if not job._done.is_set():
+            for shard in job.shards:
+                if shard.state in ("pending", "running"):
+                    shard.state = "cancelled"
+            job.state = "cancelled"
+            job.finished = time.time()
+            job._done.set()
+        await job.wait()
+
+    async def close(self) -> None:
+        """Cancel every live job and shut the worker pool down."""
+        self._closed = True
+        for job in list(self._jobs.values()):
+            if not job.done:
+                await self._cancel_and_finalize(job)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------ #
+    async def _run_job(self, job: Job) -> None:
+        """Drive one job: resume check, shard fan-out, reassembly."""
+        loop = asyncio.get_running_loop()
+        job.state = "running"
+        job.started = time.time()
+        try:
+            if job._cancelled:
+                raise asyncio.CancelledError
+            # Whole-result shortcut: the assembled result of this spec is
+            # already stored (the job ran to completion before) — complete
+            # instantly without touching the pool.
+            record = await loop.run_in_executor(None, self.store.find, job.fingerprint)
+            if record is not None:
+                for shard in job.shards:
+                    shard.state = "skipped"
+                job.key = record.key
+                job.state = "completed"
+                return
+            # Per-shard resume: skip every shard the store already holds
+            # (one index pass for the whole plan).
+            stored = await loop.run_in_executor(
+                None,
+                self.store.find_many,
+                [shard.plan.fingerprint for shard in job.shards],
+            )
+            for shard in job.shards:
+                record = stored.get(shard.plan.fingerprint)
+                if record is not None:
+                    shard.state = "skipped"
+                    shard.key = record.key
+            if job._cancelled:
+                raise asyncio.CancelledError
+            pending = [shard for shard in job.shards if shard.state == "pending"]
+            job._tasks = [
+                asyncio.ensure_future(self._run_shard(job, shard)) for shard in pending
+            ]
+            if job._tasks:
+                await asyncio.gather(*job._tasks, return_exceptions=True)
+            if job._cancelled:
+                raise asyncio.CancelledError
+            failed = [shard for shard in job.shards if shard.state == "failed"]
+            if failed:
+                job.error = failed[0].error
+                job.state = "failed"
+                return
+            job.key = await loop.run_in_executor(None, self._assemble, job)
+            job.state = "completed"
+        except asyncio.CancelledError:
+            for shard in job.shards:
+                if shard.state in ("pending", "running"):
+                    shard.state = "cancelled"
+            job.state = "cancelled"
+        except Exception as error:  # noqa: BLE001 — job must reach a terminal state
+            job.error = f"{type(error).__name__}: {error}"
+            job.state = "failed"
+        finally:
+            job.finished = time.time()
+            for shard in job.shards:
+                shard.payload = None  # free assembled payloads
+            job._done.set()
+
+    async def _run_shard(self, job: Job, shard: ShardRun) -> None:
+        """Execute one shard on the pool and stream its result to the store.
+
+        Admission goes through the worker-count semaphore, so a shard is
+        ``pending`` while it waits for a slot and ``running`` only while a
+        worker actually holds it — the progress a job reports distinguishes
+        queued work from in-flight work truthfully.
+        """
+        loop = asyncio.get_running_loop()
+        assert self._slots is not None  # created by submit()
+        try:
+            async with self._slots:
+                shard.state = "running"
+                started = time.perf_counter()
+                try:
+                    payload = await loop.run_in_executor(
+                        self._executor(), _execute_shard, shard.plan.spec.to_dict()
+                    )
+                    shard.key = await loop.run_in_executor(
+                        None, self.store.put_payload, payload
+                    )
+                    shard.payload = payload
+                    shard.seconds = time.perf_counter() - started
+                    shard.state = "completed"
+                except Exception as error:  # noqa: BLE001 — reported via job state
+                    shard.seconds = time.perf_counter() - started
+                    shard.error = f"{type(error).__name__}: {error}"
+                    shard.state = "failed"
+        except asyncio.CancelledError:
+            if shard.state in ("pending", "running"):
+                shard.state = "cancelled"
+            raise
+
+    def _assemble(self, job: Job) -> str:
+        """Concatenate shard payloads in plan order and store the result.
+
+        Pure payload-level work (list concatenation plus one store append):
+        no design points are materialized here, which keeps the parent
+        process cheap — the whole point of fanning shards out.  Shard order
+        is the serial iteration order, so the assembled payload is
+        bit-identical to a single-thread run of the spec (and deduplicates
+        against one in the store).
+        """
+        points: List[Dict[str, Any]] = []
+        evaluations = 0
+        hits = 0
+        misses = 0
+        for shard in job.shards:
+            payload = shard.payload
+            if payload is None:  # skipped — resumed from the store
+                payload = self.store.get_payload(shard.key)
+            points.extend(payload["points"])
+            evaluations += payload["evaluations"]
+            stats = payload.get("cache_stats") or {}
+            hits += stats.get("hits", 0)
+            misses += stats.get("misses", 0)
+        assembled = {
+            "schema": RESULT_SCHEMA,
+            "spec": job.spec.to_dict(),
+            "evaluations": evaluations,
+            "elapsed_seconds": time.time() - (job.started or job.created),
+            "cache_stats": {"hits": hits, "misses": misses},
+            "points": points,
+        }
+        return self.store.put_payload(assembled)

@@ -28,14 +28,24 @@ Endpoints (all JSON):
     Evaluate one ad-hoc design point.  Concurrent requests are coalesced
     by the :class:`~repro.service.batching.MicroBatcher` into stacked
     NumPy batches — responses are bit-identical to serial evaluation.
+``POST /v1/jobs``
+    Submit an :class:`~repro.experiments.ExperimentSpec` as an
+    **asynchronous sharded job** (see :mod:`repro.service.jobs`): returns
+    a job id immediately while shards evaluate on the worker pool.
+``GET /v1/jobs`` / ``GET /v1/jobs/<id>``
+    All jobs / one job's state, per-shard progress and ETA.
+``DELETE /v1/jobs/<id>``
+    Cancel a job's unfinished shards (completed shards stay stored).
 ``POST /v1/campaign``
-    Submit an :class:`~repro.experiments.ExperimentSpec` (its ``to_dict``
-    form); the server runs it through the existing strategy/evaluator
-    machinery, persists the result and returns its key.
+    Synchronous wrapper over the job scheduler: submits the spec as a job,
+    awaits completion and returns the stored result's key plus a summary.
 
 Result selection for ``query``/``pareto``/``best``: pass ``key`` for an
 exact result, or ``fingerprint`` (and/or ``network``/``device``/``name``
 filters) to use the latest matching stored result.
+
+The full request/response reference, including error shapes, lives in
+``docs/http-api.md`` (a test diffs it against :meth:`ResultServer.route_table`).
 
 The HTTP layer is deliberately minimal — HTTP/1.1, ``Content-Length``
 bodies, no TLS, no chunked encoding — because the transport is not the
@@ -51,17 +61,17 @@ import math
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from ..core.design_space import GridEntry
 from ..dse.batch import EvalRequest
 from ..dse.campaign import CampaignResult, metric_direction
 from ..experiments.persistence import point_to_dict, result_to_dict
-from ..experiments.runner import run_experiment
 from ..experiments.spec import ExperimentSpec
 from ..reporting import campaign_report_payload, json_sanitize, jsonable_rows
 from .batching import MicroBatcher
+from .jobs import DEFAULT_SHARD_ENTRIES, JobManager
 from .store import ResultStore
 
 __all__ = ["ApiError", "ResultServer", "serve"]
@@ -122,13 +132,34 @@ def _check_fields(body: Dict[str, Any], known: set, what: str) -> None:
 
 
 class ResultServer:
-    """The asyncio HTTP server: a store, a batcher, one worker thread.
+    """The asyncio HTTP server: a store, a batcher, a job scheduler.
 
-    Evaluation (micro-batches and submitted campaigns) runs on a
-    single-thread executor so CPU-bound work is serialized and never
-    blocks the event loop; the loop itself only parses requests and
-    serves store lookups.
+    Micro-batched ``evaluate`` dispatches run on a dedicated single-thread
+    executor (CPU-bound work never blocks the event loop); campaigns run
+    as sharded jobs on the :class:`~repro.service.jobs.JobManager` worker
+    pool (``workers`` processes, or one background thread when 1), so one
+    large campaign no longer blocks other campaigns or evaluates.
     """
+
+    #: Declarative route table: ``(method, pattern, handler name)``.
+    #: ``{name}`` segments capture one path segment.  Introspectable via
+    #: :meth:`route_table` — ``tests/docs`` diffs it against
+    #: ``docs/http-api.md`` so the docs cannot silently rot.
+    ROUTES: Tuple[Tuple[str, str, str], ...] = (
+        ("GET", "/health", "_health"),
+        ("GET", "/v1/results", "_list_results"),
+        ("GET", "/v1/results/{key}", "_get_result"),
+        ("GET", "/v1/results/{key}/report", "_report"),
+        ("POST", "/v1/query", "_query"),
+        ("POST", "/v1/pareto", "_pareto"),
+        ("POST", "/v1/best", "_best"),
+        ("POST", "/v1/evaluate", "_evaluate"),
+        ("POST", "/v1/campaign", "_campaign"),
+        ("POST", "/v1/jobs", "_submit_job"),
+        ("GET", "/v1/jobs", "_list_jobs"),
+        ("GET", "/v1/jobs/{job_id}", "_job_status"),
+        ("DELETE", "/v1/jobs/{job_id}", "_cancel_job"),
+    )
 
     def __init__(
         self,
@@ -137,6 +168,8 @@ class ResultServer:
         port: int = 8787,
         batch_window_ms: float = 2.0,
         max_batch: int = 256,
+        workers: int = 1,
+        shard_entries: int = DEFAULT_SHARD_ENTRIES,
         quiet: bool = False,
     ) -> None:
         self.store = store
@@ -147,10 +180,17 @@ class ResultServer:
         self.batcher = MicroBatcher(
             window_ms=batch_window_ms, max_batch=max_batch, executor=self._worker
         )
+        self.jobs = JobManager(store, workers=workers, max_entries_per_shard=shard_entries)
         self._server: Optional[asyncio.AbstractServer] = None
         self._started = time.time()
         self.campaigns_run = 0
         self._result_cache: "OrderedDict[str, CampaignResult]" = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def route_table(cls) -> List[Tuple[str, str]]:
+        """Every ``(method, pattern)`` pair the server routes."""
+        return [(method, pattern) for method, pattern, _ in cls.ROUTES]
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -171,6 +211,7 @@ class ResultServer:
             )
 
     async def serve_forever(self) -> None:
+        """Accept connections until cancelled (starts the server if needed)."""
         if self._server is None:
             await self.start()
         assert self._server is not None
@@ -178,10 +219,12 @@ class ResultServer:
             await self._server.serve_forever()
 
     async def close(self) -> None:
+        """Stop accepting, cancel live jobs, drain the batcher and workers."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        await self.jobs.close()
         await self.batcher.close()
         self._worker.shutdown(wait=True)
 
@@ -257,7 +300,40 @@ class ResultServer:
         body = await reader.readexactly(length) if length else b""
         return method.upper(), target, headers, body
 
+    def _match(self, method: str, path: str) -> Tuple[str, Dict[str, str]]:
+        """Resolve ``(method, path)`` against :attr:`ROUTES`.
+
+        Returns the handler name plus captured ``{name}`` path segments.
+        Raises a 404 :class:`ApiError` for unknown paths and a 405 when
+        the path exists under a different method.
+        """
+        segments = path.split("/")
+        allowed: set = set()
+        for route_method, pattern, handler in self.ROUTES:
+            parts = pattern.split("/")
+            if len(parts) != len(segments):
+                continue
+            args: Dict[str, str] = {}
+            for part, segment in zip(parts, segments):
+                if part.startswith("{") and part.endswith("}"):
+                    if not segment:
+                        break
+                    args[part[1:-1]] = segment
+                elif part != segment:
+                    break
+            else:
+                if route_method != method:
+                    allowed.add(route_method)
+                    continue
+                return handler, args
+        if allowed:
+            raise ApiError(
+                405, f"method {method} not allowed for {path}; allowed: {sorted(allowed)}"
+            )
+        raise ApiError(404, f"no route for {method} {path}")
+
     async def _route(self, method: str, target: str, raw_body: bytes) -> Tuple[int, Any]:
+        """Parse, dispatch and shield one request; returns (status, payload)."""
         split = urlsplit(target)
         path = split.path.rstrip("/") or "/"
         params = {key: values[-1] for key, values in parse_qs(split.query).items()}
@@ -270,27 +346,15 @@ class ResultServer:
                     raise ApiError(400, f"request body is not valid JSON: {error}")
                 if not isinstance(body, dict):
                     raise ApiError(400, "request body must be a JSON object")
-
-            if method == "GET" and path == "/health":
-                return 200, self._health()
-            if method == "GET" and path == "/v1/results":
-                return 200, self._list_results(params)
-            if method == "GET" and path.startswith("/v1/results/"):
-                rest = path[len("/v1/results/"):]
-                if rest.endswith("/report"):
-                    return 200, await self._report(rest[: -len("/report")], params)
-                return 200, await self._get_result(rest)
-            if method == "POST" and path == "/v1/query":
-                return 200, await self._query(body)
-            if method == "POST" and path == "/v1/pareto":
-                return 200, await self._pareto(body)
-            if method == "POST" and path == "/v1/best":
-                return 200, await self._best(body)
-            if method == "POST" and path == "/v1/evaluate":
-                return 200, await self._evaluate(body)
-            if method == "POST" and path == "/v1/campaign":
-                return 200, await self._campaign(body)
-            raise ApiError(404, f"no route for {method} {path}")
+            handler_name, args = self._match(method, path)
+            response = await getattr(self, handler_name)(args, params, body)
+            if (
+                isinstance(response, tuple)
+                and len(response) == 2
+                and isinstance(response[0], int)
+            ):
+                return response
+            return 200, response
         except ApiError as error:
             return error.status, {"error": error.message}
         except Exception as error:  # noqa: BLE001 — the server must not die
@@ -299,7 +363,8 @@ class ResultServer:
     # ------------------------------------------------------------------ #
     # Handlers
     # ------------------------------------------------------------------ #
-    def _health(self) -> Dict[str, Any]:
+    async def _health(self, args, params, body) -> Dict[str, Any]:
+        """``GET /health`` — liveness plus store/batcher/job statistics."""
         return {
             "status": "ok",
             "server": SERVER_NAME,
@@ -309,10 +374,12 @@ class ResultServer:
                 "results": len(self.store),
             },
             "batcher": self.batcher.stats.to_dict(),
+            "jobs": self.jobs.stats(),
             "campaigns_run": self.campaigns_run,
         }
 
-    def _list_results(self, params: Dict[str, str]) -> Dict[str, Any]:
+    async def _list_results(self, args, params, body) -> Dict[str, Any]:
+        """``GET /v1/results`` — stored-result metadata, filterable."""
         _check_fields(params, {"network", "device", "fingerprint", "name"}, "query")
         records = self.store.query(
             fingerprint=params.get("fingerprint"),
@@ -322,14 +389,18 @@ class ResultServer:
         )
         return {"results": [record.to_dict() for record in records]}
 
-    async def _get_result(self, key: str) -> Dict[str, Any]:
+    async def _get_result(self, args, params, body) -> Dict[str, Any]:
+        """``GET /v1/results/<key>`` — one full stored result payload."""
+        key = args["key"]
         result = await self._load_by_key(key)
         loop = asyncio.get_running_loop()
         # Serializing thousands of points is CPU work; keep it off the loop.
         payload = await loop.run_in_executor(None, result_to_dict, result)
         return {"key": key, "result": payload}
 
-    async def _report(self, key: str, params: Dict[str, str]) -> Dict[str, Any]:
+    async def _report(self, args, params, body) -> Dict[str, Any]:
+        """``GET /v1/results/<key>/report`` — summary/comparison rows."""
+        key = args["key"]
         _check_fields(params, {"metric"}, "query")
         result = await self._load_by_key(key)
         try:
@@ -376,7 +447,8 @@ class ResultServer:
         record = matches[-1]
         return record.key, await self._load_by_key(record.key)
 
-    async def _query(self, body: Dict[str, Any]) -> Dict[str, Any]:
+    async def _query(self, args, params, body) -> Dict[str, Any]:
+        """``POST /v1/query`` — filter/sort/top-k over a stored result."""
         _check_fields(
             body,
             {"key", "fingerprint", "network", "device", "name", "metric", "top_k",
@@ -409,7 +481,8 @@ class ResultServer:
             "points": [point_to_dict(point) for point in points],
         }
 
-    async def _pareto(self, body: Dict[str, Any]) -> Dict[str, Any]:
+    async def _pareto(self, args, params, body) -> Dict[str, Any]:
+        """``POST /v1/pareto`` — per-network Pareto fronts of a result."""
         _check_fields(
             body, {"key", "fingerprint", "network", "device", "name", "objectives"},
             "pareto",
@@ -448,7 +521,8 @@ class ResultServer:
             },
         }
 
-    async def _best(self, body: Dict[str, Any]) -> Dict[str, Any]:
+    async def _best(self, args, params, body) -> Dict[str, Any]:
+        """``POST /v1/best`` — the single best stored point by a metric."""
         _check_fields(
             body,
             {"key", "fingerprint", "network", "device", "name", "metric", "maximize"},
@@ -470,7 +544,8 @@ class ResultServer:
             "point": point_to_dict(best),
         }
 
-    async def _evaluate(self, body: Dict[str, Any]) -> Dict[str, Any]:
+    async def _evaluate(self, args, params, body) -> Dict[str, Any]:
+        """``POST /v1/evaluate`` — one ad-hoc design point, micro-batched."""
         _check_fields(
             body,
             {"network", "device", "m", "r", "multiplier_budget", "frequency_mhz",
@@ -521,40 +596,97 @@ class ResultServer:
             return {"feasible": False, "error": outcome.error}
         return {"feasible": True, "point": point_to_dict(outcome.point)}
 
-    async def _campaign(self, body: Dict[str, Any]) -> Dict[str, Any]:
+    @staticmethod
+    def _parse_spec(body: Dict[str, Any]) -> ExperimentSpec:
+        """The validated ``ExperimentSpec`` of a campaign/job request body."""
         _check_fields(body, {"spec"}, "campaign")
         spec_data = body.get("spec")
         if spec_data is None:
             raise ApiError(400, "missing required field 'spec'")
         try:
-            spec = ExperimentSpec.from_dict(spec_data)
+            return ExperimentSpec.from_dict(spec_data)
         except (ValueError, TypeError, KeyError) as error:
             # from_dict raises TypeError/KeyError for wrongly-typed fields;
             # all three are client input errors, not server faults.
             raise ApiError(400, f"invalid experiment spec: {error}")
 
+    async def _campaign(self, args, params, body) -> Dict[str, Any]:
+        """``POST /v1/campaign`` — submit as a job, await it, return receipt.
+
+        A thin synchronous wrapper over the sharded job scheduler; results
+        are bit-identical to the historical single-thread execution (shard
+        reassembly preserves the serial point ordering).
+        """
+        spec = self._parse_spec(body)
+        job = await self.jobs.submit(spec)
+        await job.wait()
+        if job.state != "completed":
+            raise ApiError(
+                500, job.error or f"campaign job {job.id} ended {job.state}"
+            )
+        assert job.key is not None
+        result = await self._load_by_key(job.key)
         loop = asyncio.get_running_loop()
-
-        def run() -> Tuple[str, CampaignResult]:
-            result = run_experiment(spec)
-            return self.store.put(result), result
-
-        key, result = await loop.run_in_executor(self._worker, run)
+        summary = await loop.run_in_executor(
+            None, lambda: jsonable_rows(result.summary_rows())
+        )
         self.campaigns_run += 1
         return {
-            "key": key,
+            "key": job.key,
             "fingerprint": spec.fingerprint(),
+            "job_id": job.id,
             "evaluations": result.evaluations,
             "feasible": result.feasible,
             "elapsed_seconds": result.elapsed_seconds,
-            "summary": jsonable_rows(result.summary_rows()),
+            "summary": summary,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Job endpoints
+    # ------------------------------------------------------------------ #
+    async def _submit_job(self, args, params, body) -> Tuple[int, Dict[str, Any]]:
+        """``POST /v1/jobs`` — submit a campaign job; 202 with the job id."""
+        spec = self._parse_spec(body)
+        job = await self.jobs.submit(spec)
+        return 202, {"job": job.to_payload(self.jobs.workers, include_shards=False)}
+
+    async def _list_jobs(self, args, params, body) -> Dict[str, Any]:
+        """``GET /v1/jobs`` — every tracked job, oldest first."""
+        return {
+            "jobs": [
+                job.to_payload(self.jobs.workers, include_shards=False)
+                for job in self.jobs.jobs()
+            ]
+        }
+
+    def _job_or_404(self, job_id: str):
+        """The tracked job, or a clean 404 JSON error for unknown ids."""
+        try:
+            return self.jobs.get(job_id)
+        except KeyError:
+            raise ApiError(404, f"no job with id {job_id!r}") from None
+
+    async def _job_status(self, args, params, body) -> Dict[str, Any]:
+        """``GET /v1/jobs/<id>`` — state, per-shard progress and ETA."""
+        job = self._job_or_404(args["job_id"])
+        return {"job": job.to_payload(self.jobs.workers, include_shards=True)}
+
+    async def _cancel_job(self, args, params, body) -> Dict[str, Any]:
+        """``DELETE /v1/jobs/<id>`` — cancel unfinished shards."""
+        job = self._job_or_404(args["job_id"])
+        cancelled = await self.jobs.cancel(job.id)
+        return {
+            "cancelled": cancelled,
+            "job": job.to_payload(self.jobs.workers, include_shards=False),
         }
 
 
 _REASONS = {
     200: "OK",
+    202: "Accepted",
     400: "Bad Request",
     404: "Not Found",
+    405: "Method Not Allowed",
     500: "Internal Server Error",
 }
 
@@ -565,9 +697,17 @@ def serve(
     port: int = 8787,
     batch_window_ms: float = 2.0,
     max_batch: int = 256,
+    workers: int = 1,
+    shard_entries: int = DEFAULT_SHARD_ENTRIES,
     quiet: bool = False,
 ) -> int:
-    """Blocking entry point used by ``python -m repro serve``."""
+    """Blocking entry point used by ``python -m repro serve``.
+
+    ``workers`` sizes the campaign-job shard pool (1 = a single background
+    thread, the pre-sharding behaviour; >= 2 = a process pool) and
+    ``shard_entries`` caps grid entries per shard (see
+    :mod:`repro.service.jobs`).
+    """
     store = ResultStore(store_root)
     server = ResultServer(
         store,
@@ -575,10 +715,13 @@ def serve(
         port=port,
         batch_window_ms=batch_window_ms,
         max_batch=max_batch,
+        workers=workers,
+        shard_entries=shard_entries,
         quiet=quiet,
     )
 
     async def main() -> None:
+        """Run the server until interrupted, closing it cleanly."""
         await server.start()
         try:
             await server.serve_forever()

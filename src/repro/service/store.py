@@ -39,7 +39,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from ..dse.campaign import CampaignResult
-from ..experiments.persistence import result_from_dict, result_to_dict
+from ..experiments.persistence import RESULT_SCHEMA, result_from_dict, result_to_dict
 from ..experiments.spec import ExperimentSpec, canonical_json_hash
 
 __all__ = ["StoreRecord", "ResultStore", "result_key"]
@@ -100,6 +100,7 @@ class StoreRecord:
     offset: int = -1
 
     def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready index row; inverse of :meth:`from_dict`."""
         return {
             "key": self.key,
             "fingerprint": self.fingerprint,
@@ -116,6 +117,7 @@ class StoreRecord:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "StoreRecord":
+        """Rebuild a record from :meth:`to_dict` output (offset optional)."""
         return cls(
             key=data["key"],
             fingerprint=data["fingerprint"],
@@ -319,8 +321,32 @@ class ResultStore:
         a no-op that returns the existing key (content addressing), so
         re-submitting a campaign never duplicates storage.
         """
-        payload = result_to_dict(result)
-        spec = result.spec or ExperimentSpec.from_campaign(result.campaign)
+        return self.put_payload(result_to_dict(result))
+
+    def put_payload(self, payload: Dict[str, Any]) -> str:
+        """Persist an already-serialized result payload; returns its key.
+
+        ``payload`` is the versioned :func:`~repro.experiments.persistence.result_to_dict`
+        form (``put`` delegates here after serializing).  The job scheduler
+        ingests worker-produced payloads through this entry point so the
+        parent process never re-materializes design points just to store
+        them.  Same content addressing and dedup rules as :meth:`put`.
+        """
+        if payload.get("schema") != RESULT_SCHEMA:
+            raise ValueError(
+                f"result payload has schema {payload.get('schema')!r}; "
+                f"expected {RESULT_SCHEMA!r}"
+            )
+        spec_data = payload.get("spec")
+        if not isinstance(spec_data, dict):
+            raise ValueError("result payload has no embedded spec mapping")
+        fingerprint = canonical_json_hash(
+            {
+                k: v
+                for k, v in spec_data.items()
+                if k not in ExperimentSpec.EXECUTION_ONLY_FIELDS
+            }
+        )
         key = result_key(payload)
         with self._lock:
             existing = self._records.get(key)
@@ -329,12 +355,12 @@ class ResultStore:
             segment = self._append_segment()
             record = StoreRecord(
                 key=key,
-                fingerprint=spec.fingerprint(),
-                name=spec.name,
-                networks=tuple(spec.networks),
-                devices=tuple(spec.devices),
-                points=result.feasible,
-                evaluations=result.evaluations,
+                fingerprint=fingerprint,
+                name=spec_data.get("name", "experiment"),
+                networks=tuple(spec_data.get("networks", ())),
+                devices=tuple(spec_data.get("devices", ())),
+                points=len(payload.get("points", ())),
+                evaluations=payload.get("evaluations", 0),
                 sequence=self._next_sequence,
                 created=time.time(),
                 segment=segment.name,
@@ -370,6 +396,7 @@ class ResultStore:
             return len(self._records)
 
     def keys(self) -> List[str]:
+        """Every stored content key, oldest sequence first."""
         with self._lock:
             return sorted(self._records, key=lambda key: self._records[key].sequence)
 
@@ -383,7 +410,15 @@ class ResultStore:
 
         Raises ``KeyError`` for unknown keys.  The deserialized result
         goes through the same versioned loader as ``CampaignResult.load``,
-        so schema guarantees apply to store reads too.  Reads are one
+        so schema guarantees apply to store reads too.
+        """
+        return result_from_dict(self.get_payload(key))
+
+    def get_payload(self, key: str) -> Dict[str, Any]:
+        """The raw serialized payload stored under ``key`` (no rebuild).
+
+        What :meth:`get` parses into a :class:`CampaignResult`; the job
+        scheduler reassembles campaigns from these directly.  Reads are one
         seek + one line parse via the record's byte offset (falling back
         to a segment scan when the offset is unknown or stale).
         """
@@ -402,11 +437,11 @@ class ResultStore:
                     isinstance(envelope, dict)
                     and envelope.get("meta", {}).get("key") == key
                 ):
-                    return result_from_dict(envelope["result"])
+                    return envelope["result"]
             # Fallback: offset unknown/stale — scan the segment.
             for _, envelope in self._scan_segment(path):
                 if envelope.get("meta", {}).get("key") == key:
-                    return result_from_dict(envelope["result"])
+                    return envelope["result"]
         raise KeyError(f"stored result {key!r} vanished from segment {record.segment!r}")
 
     def query(
@@ -427,6 +462,42 @@ class ResultStore:
             and (device is None or device in record.devices)
             and (name is None or record.name == name)
         ]
+
+    def find(self, fingerprint: str) -> Optional[StoreRecord]:
+        """Newest index record whose spec fingerprint matches, if any.
+
+        The resumption primitive: shard and campaign specs have
+        deterministic fingerprints, so "has this search already been
+        evaluated?" is one index lookup, no payload reads.
+        """
+        with self._lock:
+            matches = [
+                record
+                for record in self._records.values()
+                if record.fingerprint == fingerprint
+            ]
+        if not matches:
+            return None
+        return max(matches, key=lambda record: record.sequence)
+
+    def find_many(self, fingerprints) -> Dict[str, StoreRecord]:
+        """Newest record per matching fingerprint, in one index pass.
+
+        The bulk form of :meth:`find` — a job's whole shard plan resolves
+        in a single scan under one lock acquisition instead of one scan
+        per shard.  Fingerprints with no stored record are absent from the
+        returned mapping.
+        """
+        wanted = set(fingerprints)
+        found: Dict[str, StoreRecord] = {}
+        with self._lock:
+            for record in self._records.values():
+                if record.fingerprint not in wanted:
+                    continue
+                best = found.get(record.fingerprint)
+                if best is None or record.sequence > best.sequence:
+                    found[record.fingerprint] = record
+        return found
 
     def latest(
         self,

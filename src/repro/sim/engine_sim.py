@@ -68,10 +68,12 @@ class EngineSimConfig:
 
     @property
     def multipliers_per_pe(self) -> int:
+        """Element-wise multipliers per PE: the input tile squared."""
         return (self.m + self.r - 1) ** 2
 
     @property
     def total_multipliers(self) -> int:
+        """Multipliers across all parallel PEs."""
         return self.parallel_pes * self.multipliers_per_pe
 
 
@@ -113,6 +115,7 @@ class SimulationResult:
     config: EngineSimConfig
 
     def latency_ms(self) -> float:
+        """Simulated wall-clock latency at the configured frequency."""
         return self.stats.latency_seconds(self.config.frequency_mhz) * 1e3
 
 

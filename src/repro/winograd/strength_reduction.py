@@ -182,6 +182,7 @@ def matvec_network(
     temp_counter = 0
 
     def new_temp() -> str:
+        """A fresh temporary-value name."""
         nonlocal temp_counter
         temp_counter += 1
         return f"t{temp_counter}"

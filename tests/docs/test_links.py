@@ -1,0 +1,34 @@
+"""Every relative link in README.md + docs/ must resolve to a real file.
+
+Runs the same stdlib checker CI's docs job uses
+(``scripts/check_doc_links.py``) as a subprocess, so the tier-1 suite and
+the CI job cannot disagree about what "link-clean" means.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_readme_and_docs_links_resolve():
+    completed = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "check_doc_links.py")],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+
+
+def test_docs_suite_is_complete():
+    """The documentation set the README promises actually ships."""
+    for page in ("architecture.md", "http-api.md", "cli.md"):
+        assert (REPO_ROOT / "docs" / page).exists(), f"docs/{page} missing"
+    readme = (REPO_ROOT / "README.md").read_text()
+    for page in ("docs/architecture.md", "docs/http-api.md", "docs/cli.md"):
+        assert page in readme, f"README.md does not link {page}"
