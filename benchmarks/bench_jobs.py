@@ -9,22 +9,32 @@ pre-sharding service behaviour) versus ``workers=4`` (the process pool),
 and asserts the sharded path stays bit-identical to a single-thread
 ``run_experiment`` of the same spec.
 
-Every full-mode run appends a machine-readable trend record to
+A second benchmark measures the **worker fleet**: the same batch pattern
+through a fleet-only server (``workers=0``) carried by one versus two
+real ``python -m repro worker`` subprocesses over real HTTP — the
+multi-node scaling story, on one machine.
+
+Every full-mode run appends machine-readable trend records to
 ``BENCH_service.json`` (override with ``REPRO_BENCH_RECORD_JOBS``; set it
 in fast mode to record smoke runs too); ``benchmarks/check_regression.py``
-gates CI on ``workers4_speedup`` for records with ``mode == "full"``.
-Hosts with fewer than 4 CPUs cannot meaningfully scale a 4-process pool,
-so they tag their records ``mode="full-limited"``, which the gate ignores
-— the committed baseline only constrains machines that can actually
-exercise the parallelism (CI's runners).  Set ``REPRO_BENCH_FAST=1`` to
-shrink the campaign batch.
+gates CI on ``workers4_speedup`` and ``fleet_workers2_speedup`` for
+records with ``mode == "full"``.  Hosts with too few CPUs to actually
+overlap the parallelism (4 for the process pool, 2 for the fleet) tag
+their records ``mode="full-limited"``, which the gate ignores — the
+committed baselines only constrain machines that can exercise the
+parallelism (CI's runners).  Set ``REPRO_BENCH_FAST=1`` to shrink the
+campaign batches.
 """
 
 import asyncio
 import os
 import pickle
 import platform
+import signal
+import subprocess
+import sys
 import tempfile
+import threading
 import time
 from datetime import datetime, timezone
 from pathlib import Path
@@ -35,7 +45,7 @@ from repro.core.design_space import SweepSpec, frequency_range
 from repro.experiments import ExperimentSpec, run_experiment
 from repro.experiments.persistence import point_from_dict, point_to_dict
 from repro.reporting import format_table
-from repro.service import JobManager, ResultStore
+from repro.service import JobManager, ResultServer, ResultStore, ServiceClient
 
 FAST = os.environ.get("REPRO_BENCH_FAST") == "1"
 
@@ -224,3 +234,205 @@ def test_resubmission_is_near_free():
         "Resubmission of a stored campaign",
         f"completed in {resubmit_seconds * 1e3:.2f} ms with zero evaluations",
     )
+
+
+# --------------------------------------------------------------------- #
+# Fleet scaling: real worker subprocesses over real HTTP.
+# --------------------------------------------------------------------- #
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src"
+
+if FAST:
+    FLEET_CAMPAIGNS = 1
+    FLEET_SWEEP = SweepSpec(
+        m_values=(2, 3, 4),
+        multiplier_budgets=(256, 512),
+        frequencies_mhz=(150.0, 200.0),
+    )
+    FLEET_DEVICES = ("xc7vx485t",)
+    FLEET_SHARD_ENTRIES = 6
+else:
+    FLEET_CAMPAIGNS = 3
+    FLEET_SWEEP = SweepSpec(
+        m_values=(2, 3, 4, 5, 6),
+        multiplier_budgets=(256, 512, 1024),
+        frequencies_mhz=(150.0, 200.0, 250.0),
+    )
+    FLEET_DEVICES = ("xc7vx485t", "xc7vx690t")
+    FLEET_SHARD_ENTRIES = 12
+
+
+def build_fleet_specs() -> list:
+    """Distinct fleet campaigns (unique names => no store dedup between them)."""
+    specs = []
+    for index in range(FLEET_CAMPAIGNS):
+        pair = (NETWORKS[index % len(NETWORKS)], NETWORKS[(index + 1) % len(NETWORKS)])
+        specs.append(
+            ExperimentSpec(
+                networks=pair,
+                devices=FLEET_DEVICES,
+                sweeps=(FLEET_SWEEP,),
+                name=f"fleet-bench-{index}",
+            )
+        )
+    return specs
+
+
+def spawn_fleet_worker(port: int, worker_id: str) -> subprocess.Popen:
+    """One real ``python -m repro worker`` subprocess against ``port``."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(SRC_ROOT), env.get("PYTHONPATH", "")])
+    )
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "worker",
+            "--server",
+            f"http://127.0.0.1:{port}",
+            "--worker-id",
+            worker_id,
+            "--poll-s",
+            "0.05",
+            "-q",
+        ],
+        env=env,
+    )
+
+
+def run_fleet_batch(specs, fleet_size: int, store_root: str):
+    """Run ``specs`` through a fleet-only server with ``fleet_size`` workers.
+
+    The server has ``workers=0`` (pure coordinator): every shard is
+    executed by the worker subprocesses, over real HTTP.  Worker startup
+    (interpreter boot, imports) and a warmup campaign happen outside the
+    measured window; the measurement is submission-to-last-assembly for
+    the whole batch, matching the in-process benchmark above.
+    """
+    store = ResultStore(store_root)
+    loop = asyncio.new_event_loop()
+    server = ResultServer(
+        store,
+        port=0,
+        workers=0,
+        shard_entries=FLEET_SHARD_ENTRIES,
+        lease_ttl_s=30.0,
+        quiet=True,
+    )
+    started = threading.Event()
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert started.wait(10.0)
+    client = ServiceClient(port=server.port)
+    workers = [
+        spawn_fleet_worker(server.port, f"bench-w{i}") for i in range(fleet_size)
+    ]
+    try:
+        warmup = ExperimentSpec(
+            networks=(NETWORKS[0],),
+            devices=(FLEET_DEVICES[0],),
+            sweeps=(SweepSpec(m_values=(2, 3), multiplier_budgets=(256,)),),
+            name=f"fleet-bench-warmup-{fleet_size}",
+        )
+        job = client.submit_job(warmup)
+        client.wait_for_job(job["id"], timeout=300)
+
+        started_at = time.perf_counter()
+        jobs = [client.submit_job(spec) for spec in specs]
+        finals = [client.wait_for_job(job["id"], timeout=1200) for job in jobs]
+        wall = time.perf_counter() - started_at
+        for final in finals:
+            assert final["state"] == "completed", (
+                f"{final['id']}: {final['state']} ({final['error']})"
+            )
+        return wall, [final["key"] for final in finals], store
+    finally:
+        for proc in workers:
+            proc.send_signal(signal.SIGTERM)
+        for proc in workers:
+            proc.wait(timeout=60)
+        asyncio.run_coroutine_threadsafe(server.close(), loop).result(30.0)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10.0)
+
+
+def test_fleet_scaling_two_workers():
+    """Same campaign batch through a 1-worker fleet vs a 2-worker fleet."""
+    specs = build_fleet_specs()
+
+    # Ground truth for bit-identity, computed in-process.
+    reference = run_experiment(specs[0])
+
+    def normalize(point):
+        """A point as persistence sees it (engine provenance dropped)."""
+        return pickle.dumps(point_from_dict(point_to_dict(point)))
+
+    with tempfile.TemporaryDirectory() as root_1w:
+        wall_1w, keys_1w, store_1w = run_fleet_batch(specs, 1, root_1w)
+        fleet_result = store_1w.get(keys_1w[0])
+        assert [pickle.dumps(p) for p in fleet_result.points] == [
+            normalize(p) for p in reference.points
+        ], "fleet-executed result must be bit-identical to the single-host path"
+        assert fleet_result.evaluations == reference.evaluations
+
+    with tempfile.TemporaryDirectory() as root_2w:
+        wall_2w, keys_2w, _store_2w = run_fleet_batch(specs, 2, root_2w)
+        assert keys_2w == keys_1w, "fleet size must not change stored result keys"
+
+    speedup = wall_1w / wall_2w
+    cpus = os.cpu_count() or 1
+
+    emit(
+        f"Worker-fleet scaling ({len(specs)} campaigns, grid "
+        f"{specs[0].grid_size} each, {cpus} CPUs)",
+        format_table(
+            [
+                {
+                    "fleet": "1 worker process",
+                    "wall_s": wall_1w,
+                    "campaigns_per_s": len(specs) / wall_1w,
+                    "speedup": 1.0,
+                },
+                {
+                    "fleet": "2 worker processes",
+                    "wall_s": wall_2w,
+                    "campaigns_per_s": len(specs) / wall_2w,
+                    "speedup": speedup,
+                },
+            ],
+            precision=3,
+        ),
+    )
+
+    if not FAST or os.environ.get("REPRO_BENCH_RECORD_JOBS"):
+        # Two worker processes cannot overlap on a single CPU; mark such
+        # records so the regression gate only binds where scaling is real.
+        mode = "fast" if FAST else ("full" if cpus >= 2 else "full-limited")
+        path = record_trend(
+            {
+                "benchmark": "service_worker_fleet",
+                "mode": mode,
+                "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+                "campaigns": len(specs),
+                "grid_per_campaign": specs[0].grid_size,
+                "cpus": cpus,
+                "wall_1_worker_seconds": round(wall_1w, 6),
+                "wall_2_workers_seconds": round(wall_2w, 6),
+                "fleet_workers2_speedup": round(speedup, 3),
+                "campaigns_per_second_2_workers": round(len(specs) / wall_2w, 3),
+                "python": platform.python_version(),
+                "platform": platform.platform(),
+            },
+            default_path=DEFAULT_RECORD_PATH,
+            env_var="REPRO_BENCH_RECORD_JOBS",
+        )
+        print(f"trend record appended to {path}")

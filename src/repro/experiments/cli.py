@@ -17,6 +17,11 @@ Subcommands
     :class:`~repro.service.ResultStore`, micro-batched ``evaluate`` /
     ``query`` / ``pareto`` / ``best`` endpoints and the sharded async
     campaign-job scheduler (``/v1/jobs``, ``--workers N``).
+``worker``
+    Attach a pull-based fleet worker (:mod:`repro.worker`) to a running
+    server: it leases pending campaign-job shards over ``/v1/leases``,
+    executes them and pushes the results back, exiting gracefully on
+    ``SIGTERM`` after finishing its in-flight shards.
 
 The full flag reference lives in ``docs/cli.md`` (a test keeps it in sync
 with the parsers' ``--help`` output).
@@ -29,6 +34,7 @@ Examples
     python -m repro report result.json --metric power_efficiency
     python -m repro list strategies
     python -m repro serve --store .repro-store --port 8787
+    python -m repro worker --server http://127.0.0.1:8787 --concurrency 2
 """
 
 from __future__ import annotations
@@ -130,8 +136,10 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help=(
-            "campaign-job shard workers: 1 runs shards on a single background "
-            "thread, N >= 2 fans them out over a process pool (default: 1)"
+            "local campaign-job shard workers: 0 disables local execution "
+            "(shards run only on the worker fleet), 1 runs shards on a single "
+            "background thread, N >= 2 fans them out over a process pool "
+            "(default: 1)"
         ),
     )
     serve_parser.add_argument(
@@ -144,7 +152,63 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve_parser.add_argument(
+        "--lease-ttl-s",
+        type=float,
+        default=60.0,
+        help=(
+            "seconds a fleet worker's shard lease survives without a heartbeat "
+            "before the shard re-queues (default: 60)"
+        ),
+    )
+    serve_parser.add_argument(
         "-q", "--quiet", action="store_true", help="suppress the startup banner"
+    )
+
+    worker_parser = commands.add_parser(
+        "worker", help="attach a pull-based fleet worker to a running server"
+    )
+    worker_parser.add_argument(
+        "--server",
+        default="http://127.0.0.1:8787",
+        help="server URL to pull shard leases from (default: http://127.0.0.1:8787)",
+    )
+    worker_parser.add_argument(
+        "--worker-id",
+        default=None,
+        help="worker identity reported to the server (default: hostname-pid)",
+    )
+    worker_parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=1,
+        help="shards executed at once; also caps leases held (default: 1)",
+    )
+    worker_parser.add_argument(
+        "--lease-ttl-s",
+        type=float,
+        default=None,
+        help="lease TTL to request per acquire (default: the server's TTL)",
+    )
+    worker_parser.add_argument(
+        "--heartbeat-s",
+        type=float,
+        default=None,
+        help="seconds between lease heartbeats (default: a third of the lease TTL)",
+    )
+    worker_parser.add_argument(
+        "--poll-s",
+        type=float,
+        default=0.5,
+        help="idle poll interval when no shards are claimable (default: 0.5)",
+    )
+    worker_parser.add_argument(
+        "--max-shards",
+        type=int,
+        default=None,
+        help="exit after leasing this many shards (default: run until stopped)",
+    )
+    worker_parser.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress per-shard progress lines"
     )
     return parser
 
@@ -233,6 +297,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         workers=args.workers,
         shard_entries=args.shard_entries,
+        lease_ttl_s=args.lease_ttl_s,
+        quiet=args.quiet,
+    )
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from ..worker.loop import run_worker  # deferred: keep plain CLI imports light
+
+    return run_worker(
+        args.server,
+        worker_id=args.worker_id,
+        concurrency=args.concurrency,
+        ttl_s=args.lease_ttl_s,
+        heartbeat_s=args.heartbeat_s,
+        poll_s=args.poll_s,
+        max_shards=args.max_shards,
         quiet=args.quiet,
     )
 
@@ -246,6 +326,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "list": _cmd_list,
         "serve": _cmd_serve,
+        "worker": _cmd_worker,
     }[args.command]
     try:
         return handler(args)

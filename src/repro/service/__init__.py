@@ -17,7 +17,10 @@ design-point questions into micro-batched vectorized evaluations:
   sharded asynchronous campaign scheduler: specs split into
   per-(network, device) (and per-chunk) shards, executed on a worker
   pool, streamed into the store as they complete, resumable by shard
-  fingerprint;
+  fingerprint — plus :class:`Lease` / :class:`LeaseLedger`, the
+  pull-based protocol that lets a remote worker fleet
+  (:mod:`repro.worker`) claim, heartbeat and complete those shards over
+  HTTP, with expiry-based re-queue when a worker dies;
 * :mod:`repro.service.server` — :class:`ResultServer` / :func:`serve`,
   the stdlib-only asyncio HTTP server behind ``python -m repro serve``
   (``/v1/query``, ``/v1/pareto``, ``/v1/best``, ``/v1/evaluate``,
@@ -38,7 +41,7 @@ Quickstart::
 
 from .batching import BatcherStats, MicroBatcher
 from .client import InfeasibleDesignError, ServiceClient, ServiceError
-from .jobs import Job, JobManager, ShardPlan, plan_shards
+from .jobs import Job, JobManager, Lease, LeaseLedger, ShardPlan, execute_shard, plan_shards
 from .server import ApiError, ResultServer, serve
 from .store import ResultStore, StoreRecord, result_key
 
@@ -56,6 +59,9 @@ __all__ = [
     "result_key",
     "Job",
     "JobManager",
+    "Lease",
+    "LeaseLedger",
     "ShardPlan",
+    "execute_shard",
     "plan_shards",
 ]

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 from typing import Any, Dict, List, Optional, Union
 
@@ -42,17 +43,59 @@ class InfeasibleDesignError(ValueError):
 
 
 class ServiceClient:
-    """Synchronous JSON client for one ``repro.service`` endpoint."""
+    """Synchronous JSON client for one ``repro.service`` endpoint.
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8787, timeout: float = 60.0) -> None:
+    ``retries`` (opt-in, default 0) retries **idempotent GET requests**
+    that fail with a connection-level error — refused, reset, timed out —
+    with exponential backoff plus jitter.  Non-GET requests are never
+    auto-retried: ``POST /v1/leases`` grants leases and ``POST
+    .../complete`` stores results, so a blind resend after a lost response
+    could double-claim; callers that can retry safely (like the fleet
+    worker loop, whose protocol is idempotent by design) do so themselves.
+    HTTP error *responses* (4xx/5xx) are never retried — the server
+    answered; the answer was no.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+        timeout: float = 60.0,
+        retries: int = 0,
+        backoff_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+    ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.backoff_max_s = backoff_max_s
 
     # ------------------------------------------------------------------ #
     def _request(
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None
     ) -> Dict[str, Any]:
+        attempts = 1 + (self.retries if method == "GET" else 0)
+        for attempt in range(attempts):
+            try:
+                return self._request_once(method, path, body)
+            except (OSError, http.client.HTTPException):
+                if attempt + 1 >= attempts:
+                    raise
+                # Full jitter on an exponential schedule: concurrent
+                # clients hitting the same blip spread out instead of
+                # re-stampeding the server in lockstep.
+                delay = min(self.backoff_max_s, self.backoff_s * (2**attempt))
+                time.sleep(delay * (0.5 + random.random() * 0.5))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _request_once(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """One HTTP round-trip (no retries); raises ``ServiceError`` on 4xx/5xx."""
         connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             payload = None if body is None else json.dumps(body)
@@ -261,6 +304,51 @@ class ServiceClient:
                     f"(progress {job.get('progress')})"
                 )
             time.sleep(poll_interval)
+
+    # ------------------------------------------------------------------ #
+    # Worker-fleet lease protocol (used by ``python -m repro worker``)
+    # ------------------------------------------------------------------ #
+    def acquire_leases(
+        self, worker: str, count: int = 1, ttl_s: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """``POST /v1/leases`` — claim up to ``count`` pending job shards.
+
+        The response carries ``leases`` (each with the complete shard spec
+        to execute) and ``retry_after_s``, the server's poll-again hint
+        when nothing was claimable.
+        """
+        body: Dict[str, Any] = {"worker": worker, "count": count}
+        if ttl_s is not None:
+            body["ttl_s"] = ttl_s
+        return self._request("POST", "/v1/leases", body)
+
+    def heartbeat_lease(self, lease_id: str) -> Dict[str, Any]:
+        """Extend a lease's expiry; ``alive: false`` means it is lost."""
+        return self._request("POST", f"/v1/leases/{lease_id}/heartbeat", {})
+
+    def complete_lease(
+        self,
+        lease_id: str,
+        result: Dict[str, Any],
+        seconds: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Push a finished shard's result payload for a held lease."""
+        body: Dict[str, Any] = {"result": result}
+        if seconds is not None:
+            body["seconds"] = seconds
+        return self._request("POST", f"/v1/leases/{lease_id}/complete", body)
+
+    def fail_lease(
+        self, lease_id: str, error: str, requeue: bool = False
+    ) -> Dict[str, Any]:
+        """Report a shard failure (``requeue=True`` hands the shard back)."""
+        return self._request(
+            "POST", f"/v1/leases/{lease_id}/fail", {"error": error, "requeue": requeue}
+        )
+
+    def leases(self) -> Dict[str, Any]:
+        """``GET /v1/leases`` — fleet statistics plus every active lease."""
+        return self._request("GET", "/v1/leases")
 
 
 def _drop_none(body: Dict[str, Any]) -> Dict[str, Any]:

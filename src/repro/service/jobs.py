@@ -1,4 +1,4 @@
-"""Sharded, asynchronous campaign job scheduler.
+"""Sharded campaign job scheduler with a pull-based worker-fleet protocol.
 
 PR 4's ``POST /v1/campaign`` executed every submitted experiment on one
 worker thread: a Fig. 6-scale campaign parked every other campaign (and
@@ -23,27 +23,51 @@ canonical evaluation order.  Non-grid strategies (random, pareto-refine,
 custom) are adaptive and cannot be split without changing their search, so
 they run as a single whole-spec shard.
 
-Execution and reassembly
-------------------------
-Shards execute on a ``ProcessPoolExecutor`` (``workers >= 2``) or a
-single background thread (``workers == 1``), evaluating through the
-vectorized engine (:mod:`repro.dse.vectorized`, with the usual serial
-fallback when numpy is missing).  Each completed shard's serialized
-payload is streamed into the :class:`~repro.service.store.ResultStore`
-immediately, so a partially finished campaign is already queryable — and
-**resumable**: resubmitting a spec skips every shard whose fingerprint the
-store already holds (and completes instantly when the assembled result
-itself is stored).  When every shard lands, the payloads are concatenated
-in plan order — shard order is exactly the serial iteration order, so the
-assembled result is **bit-identical** (pickled bytes, same ordering) to a
-single-thread ``run_experiment`` of the original spec — and stored under
-the spec's fingerprint.
+Execution: the local pool and the worker fleet
+----------------------------------------------
+Shards execute on whichever claimant grabs them first:
+
+* **The local pool** — a ``ProcessPoolExecutor`` (``workers >= 2``) or a
+  single background thread (``workers == 1``), evaluating through the
+  vectorized engine (:mod:`repro.dse.vectorized`, with the usual serial
+  fallback when numpy is missing).  ``workers == 0`` disables local
+  execution entirely: shards then run only on the fleet.
+* **The pull-based worker fleet** — remote ``python -m repro worker``
+  processes (:mod:`repro.worker`) that *lease* pending shards over HTTP
+  (``POST /v1/leases``), execute them with the very same
+  :func:`execute_shard` entry point, and push the payload back
+  (``POST /v1/leases/<id>/complete``).  The :class:`LeaseLedger` tracks
+  every outstanding lease with an expiry deadline; workers extend it by
+  heartbeating, and a lease whose deadline passes (dead or partitioned
+  worker) is **re-queued automatically** — the shard goes back to
+  ``pending`` and the next claimant (local slot or another worker's
+  acquire) re-executes it.  A shard whose leases keep expiring fails the
+  job after ``max_lease_attempts`` grants, so one poisoned shard cannot
+  spin the fleet forever.
+
+Because a shard is a self-contained deterministic spec, it does not matter
+*who* executes it: the stored payload — and therefore the assembled
+campaign — is bit-identical for any mix of local and fleet execution, any
+fleet size, and any number of expiry re-queues.
+
+Reassembly and resumption
+-------------------------
+Each completed shard's serialized payload is streamed into the
+:class:`~repro.service.store.ResultStore` immediately, so a partially
+finished campaign is already queryable — and **resumable**: resubmitting a
+spec skips every shard whose fingerprint the store already holds (and
+completes instantly when the assembled result itself is stored).  When
+every shard lands, the payloads are concatenated in plan order — shard
+order is exactly the serial iteration order, so the assembled result is
+**bit-identical** (pickled bytes, same ordering) to a single-thread
+``run_experiment`` of the original spec — and stored under the spec's
+fingerprint.
 
 The scheduler is asyncio-native: :meth:`JobManager.submit` returns
 immediately with a :class:`Job` whose state, per-shard progress and ETA
-the HTTP layer reports; pending shards queue in the pool when all workers
-are busy (never rejected) and ``DELETE``-ing a job cancels its un-started
-shards while keeping the store consistent.
+the HTTP layer reports; pending shards queue (never rejected) and
+``DELETE``-ing a job cancels its un-started shards — revoking their
+outstanding leases — while keeping the store consistent.
 """
 
 from __future__ import annotations
@@ -52,23 +76,29 @@ import asyncio
 import itertools
 import os
 import time
+from collections import OrderedDict, deque
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..core.design_space import GridEntry, SweepSpec
 from ..dse.engine import ExecutorConfig, chunk_entries
 from ..experiments.persistence import RESULT_SCHEMA, result_to_dict
-from ..experiments.spec import ExperimentSpec, StrategySpec
+from ..experiments.spec import ExperimentSpec, StrategySpec, canonical_json_hash
 from .store import ResultStore
 
 __all__ = [
     "DEFAULT_SHARD_ENTRIES",
+    "DEFAULT_LEASE_TTL_S",
+    "MAX_SHARD_LEASE_ATTEMPTS",
     "ShardPlan",
     "ShardRun",
     "Job",
     "JobManager",
+    "Lease",
+    "LeaseLedger",
     "plan_shards",
+    "execute_shard",
 ]
 
 #: Grid entries per shard before a (network, device) cell is split further.
@@ -83,6 +113,41 @@ TERMINAL_STATES = ("completed", "failed", "cancelled")
 #: Terminal jobs retained for status queries before the oldest are
 #: evicted (a serve-forever process must not accumulate Job objects).
 MAX_TERMINAL_JOBS = 256
+
+#: Every state a shard can be in.  ``leased`` means a fleet worker holds
+#: the shard under an unexpired lease.
+SHARD_STATES = (
+    "pending",
+    "leased",
+    "running",
+    "completed",
+    "skipped",
+    "failed",
+    "cancelled",
+)
+
+#: Shard states from which no further transition happens.
+SHARD_TERMINAL = ("completed", "skipped", "failed", "cancelled")
+
+#: Default seconds a lease stays valid without a heartbeat.  Workers
+#: heartbeat at a fraction of this, so only a dead (or partitioned) worker
+#: lets a lease lapse.
+DEFAULT_LEASE_TTL_S = 60.0
+
+#: Bounds on the per-acquire ``ttl_s`` override a worker may request.
+MIN_LEASE_TTL_S = 0.2
+MAX_LEASE_TTL_S = 3600.0
+
+#: Lease grants per shard before the scheduler gives up and fails the job
+#: (a shard that kills every worker that touches it must not spin forever).
+MAX_SHARD_LEASE_ATTEMPTS = 5
+
+#: Recently closed leases remembered so duplicate complete/fail/heartbeat
+#: calls get an idempotent answer instead of "unknown lease".
+MAX_CLOSED_LEASES = 512
+
+#: Distinct worker identities remembered in the fleet statistics.
+MAX_TRACKED_WORKERS = 64
 
 
 def _entry_sweep(entry: GridEntry) -> SweepSpec:
@@ -173,16 +238,19 @@ def plan_shards(
     return shards
 
 
-def _execute_shard(spec_payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Worker entry point: evaluate one shard spec, return its payload.
+def execute_shard(spec_payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Evaluate one shard spec payload, returning its result payload.
 
-    Runs in a pool worker (process or thread).  Takes and returns plain
-    dicts — the spec's ``to_dict`` form in, the result's versioned
-    persistence payload out — so the boundary is cheap to pickle and
-    start-method agnostic.  Grid shards evaluate through the vectorized
-    engine (serial fallback without numpy), which is bit-identical to the
-    scalar path; non-grid shards run the spec exactly as the single-thread
-    campaign endpoint used to.
+    The single shard-execution entry point shared by every executor: local
+    pool workers (process or thread) and remote fleet workers
+    (:mod:`repro.worker`) all run exactly this function, which is what
+    makes "who executed the shard" invisible in the stored bytes.  Takes
+    and returns plain dicts — the spec's ``to_dict`` form in, the result's
+    versioned persistence payload out — so the boundary is cheap to pickle
+    and start-method agnostic.  Grid shards evaluate through the
+    vectorized engine (serial fallback without numpy), which is
+    bit-identical to the scalar path; non-grid shards run the spec exactly
+    as the single-thread campaign endpoint used to.
     """
     from ..dse.vectorized import numpy_available
     from ..experiments.runner import run_experiment
@@ -198,16 +266,44 @@ def _execute_shard(spec_payload: Dict[str, Any]) -> Dict[str, Any]:
 
 @dataclass
 class ShardRun:
-    """Runtime state of one shard within a job."""
+    """Runtime state of one shard within a job.
+
+    State transitions are funnelled through :meth:`set_state`, which wakes
+    the shard's scheduler task (``_drive_shard``) and, on a terminal
+    state, releases anyone blocked in :meth:`wait_terminal` — that is how
+    a remote lease completion unblocks the job runner without the local
+    pool ever touching the shard.
+    """
 
     plan: ShardPlan
-    #: ``pending`` | ``running`` | ``completed`` | ``skipped`` | ``failed``
-    #: | ``cancelled``
+    #: One of :data:`SHARD_STATES`.
     state: str = "pending"
     seconds: Optional[float] = None
     error: Optional[str] = None
     key: Optional[str] = None
+    #: Who executed (or holds) the shard: ``"local"`` or a fleet worker id.
+    worker: Optional[str] = None
+    #: Lease grants so far (0 while the shard never left the local path).
+    attempts: int = 0
     payload: Optional[Dict[str, Any]] = field(default=None, repr=False)
+    _wake: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
+    _terminal: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
+
+    def set_state(self, state: str) -> None:
+        """Transition to ``state``, waking waiters (terminal states latch)."""
+        self.state = state
+        self._wake.set()
+        if state in SHARD_TERMINAL:
+            self._terminal.set()
+
+    async def state_changed(self) -> None:
+        """Block until the next :meth:`set_state` after this call started."""
+        await self._wake.wait()
+        self._wake.clear()
+
+    async def wait_terminal(self) -> None:
+        """Block until the shard reaches a terminal state."""
+        await self._terminal.wait()
 
     def to_payload(self) -> Dict[str, Any]:
         """JSON-ready per-shard progress row for the job-status endpoint."""
@@ -218,6 +314,8 @@ class ShardRun:
             "entries": self.plan.entries,
             "fingerprint": self.plan.fingerprint,
             "state": self.state,
+            "worker": self.worker,
+            "attempts": self.attempts,
             "seconds": None if self.seconds is None else round(self.seconds, 6),
             "error": self.error,
             "key": self.key,
@@ -257,10 +355,7 @@ class Job:
 
     def shard_counts(self) -> Dict[str, int]:
         """Shard tally by state (every state key present, zero or not)."""
-        counts = {
-            state: 0
-            for state in ("pending", "running", "completed", "skipped", "failed", "cancelled")
-        }
+        counts = {state: 0 for state in SHARD_STATES}
         for shard in self.shards:
             counts[shard.state] += 1
         counts["total"] = len(self.shards)
@@ -288,7 +383,7 @@ class Job:
         if not durations or self.done:
             return None
         remaining = sum(
-            1 for shard in self.shards if shard.state in ("pending", "running")
+            1 for shard in self.shards if shard.state in ("pending", "leased", "running")
         )
         mean = sum(durations) / len(durations)
         return round(mean * remaining / max(1, workers), 6)
@@ -319,17 +414,206 @@ class Job:
         return payload
 
 
+@dataclass
+class Lease:
+    """One outstanding claim a fleet worker holds on a shard.
+
+    ``deadline`` is the wall-clock instant after which the scheduler
+    considers the worker dead and re-queues the shard; heartbeats push it
+    forward by ``ttl_s``.
+    """
+
+    id: str
+    worker: str
+    job: Job
+    shard: ShardRun
+    ttl_s: float
+    granted: float
+    deadline: float
+    heartbeats: int = 0
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-ready lease row for the fleet-status endpoint."""
+        return {
+            "id": self.id,
+            "worker": self.worker,
+            "job_id": self.job.id,
+            "shard_index": self.shard.plan.index,
+            "fingerprint": self.shard.plan.fingerprint,
+            "entries": self.shard.plan.entries,
+            "ttl_s": self.ttl_s,
+            "granted": self.granted,
+            "deadline": self.deadline,
+            "heartbeats": self.heartbeats,
+        }
+
+
+class LeaseLedger:
+    """Bookkeeping for the pull-based fleet: availability, leases, history.
+
+    Event-loop confined (every caller runs on the scheduler's loop), so no
+    locking: an acquire observes shard states that cannot change under it.
+    The ledger only *tracks* — shard state transitions stay with
+    :class:`JobManager`, which is the single writer of shard states.
+    """
+
+    def __init__(self, ttl_s: float = DEFAULT_LEASE_TTL_S) -> None:
+        if ttl_s <= 0:
+            raise ValueError("ttl_s must be > 0")
+        self.ttl_s = ttl_s
+        self._available: Deque[Tuple[Job, ShardRun]] = deque()
+        self._leases: Dict[str, Lease] = {}
+        #: Recently closed leases: id -> {"outcome", "key"} for idempotent
+        #: duplicate complete/fail/heartbeat answers.
+        self._closed: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._workers: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._ids = itertools.count(1)
+        self.counters: Dict[str, int] = {
+            "granted": 0,
+            "completed": 0,
+            "failed": 0,
+            "expired": 0,
+            "requeued": 0,
+            "heartbeats": 0,
+            "sweep_errors": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    def offer(self, job: Job, shard: ShardRun) -> None:
+        """Make a pending shard claimable by the fleet."""
+        self._available.append((job, shard))
+
+    def pop_available(self) -> Optional[Tuple[Job, ShardRun]]:
+        """The oldest genuinely claimable (job, shard) pair, if any.
+
+        Entries claimed meanwhile by the local pool (or whose job went
+        terminal) are lazily discarded here — shard ``state`` is the one
+        claim token, so a stale deque entry is harmless.
+        """
+        while self._available:
+            job, shard = self._available.popleft()
+            if shard.state == "pending" and not job.done and not job._cancelled:
+                return job, shard
+        return None
+
+    def prune_available(self) -> None:
+        """Drop stale availability entries (run from the expiry sweep)."""
+        self._available = deque(
+            (job, shard)
+            for job, shard in self._available
+            if shard.state == "pending" and not job.done and not job._cancelled
+        )
+
+    # ------------------------------------------------------------------ #
+    def grant(self, worker: str, job: Job, shard: ShardRun, ttl_s: float) -> Lease:
+        """Register a new lease on ``shard`` for ``worker``."""
+        now = time.time()
+        lease = Lease(
+            id=f"lease-{next(self._ids):06d}-{os.urandom(3).hex()}",
+            worker=worker,
+            job=job,
+            shard=shard,
+            ttl_s=ttl_s,
+            granted=now,
+            deadline=now + ttl_s,
+        )
+        self._leases[lease.id] = lease
+        self.counters["granted"] += 1
+        self._touch_worker(worker)
+        return lease
+
+    def get(self, lease_id: str) -> Optional[Lease]:
+        """The active lease with ``lease_id``, if any."""
+        return self._leases.get(lease_id)
+
+    def pop(self, lease_id: str) -> Optional[Lease]:
+        """Remove and return an active lease (``None`` when not active)."""
+        return self._leases.pop(lease_id, None)
+
+    def heartbeat(self, lease: Lease) -> None:
+        """Push a lease's expiry deadline forward by its TTL."""
+        lease.deadline = time.time() + lease.ttl_s
+        lease.heartbeats += 1
+        self.counters["heartbeats"] += 1
+        self._touch_worker(lease.worker)
+
+    def close(self, lease: Lease, outcome: str, key: Optional[str] = None) -> None:
+        """Record a lease's final outcome for idempotent duplicate calls."""
+        self._closed[lease.id] = {"outcome": outcome, "key": key}
+        while len(self._closed) > MAX_CLOSED_LEASES:
+            self._closed.popitem(last=False)
+
+    def closed_outcome(self, lease_id: str) -> Optional[Dict[str, Any]]:
+        """The recorded outcome of a recently closed lease, if remembered."""
+        return self._closed.get(lease_id)
+
+    def due(self, now: float) -> List[Lease]:
+        """Every active lease whose deadline has passed."""
+        return [lease for lease in self._leases.values() if lease.deadline < now]
+
+    # ------------------------------------------------------------------ #
+    def _touch_worker(self, worker: str) -> None:
+        entry = self._workers.pop(worker, None) or {"leases_granted": 0}
+        entry["last_seen"] = time.time()
+        entry["leases_granted"] = entry.get("leases_granted", 0)
+        self._workers[worker] = entry
+        while len(self._workers) > MAX_TRACKED_WORKERS:
+            self._workers.popitem(last=False)
+
+    def record_worker_grant(self, worker: str) -> None:
+        """Bump a worker's granted-lease counter in the fleet stats."""
+        self._touch_worker(worker)
+        self._workers[worker]["leases_granted"] += 1
+
+    def sweep_interval(self) -> float:
+        """Seconds the expiry sweeper should sleep before its next pass."""
+        ttl = min(
+            (lease.ttl_s for lease in self._leases.values()), default=self.ttl_s
+        )
+        return max(0.02, min(1.0, ttl / 4.0))
+
+    def stats(self) -> Dict[str, Any]:
+        """Fleet statistics for ``/health`` and ``GET /v1/leases``."""
+        active: Dict[str, int] = {}
+        for lease in self._leases.values():
+            active[lease.worker] = active.get(lease.worker, 0) + 1
+        return {
+            "lease_ttl_s": self.ttl_s,
+            "available_shards": sum(
+                1
+                for job, shard in self._available
+                if shard.state == "pending" and not job.done
+            ),
+            "active_leases": len(self._leases),
+            "workers_seen": len(self._workers),
+            "active_by_worker": active,
+            **self.counters,
+        }
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """Every active lease as a JSON-ready row, oldest grant first."""
+        return [
+            lease.to_payload()
+            for lease in sorted(self._leases.values(), key=lambda item: item.granted)
+        ]
+
+
 class JobManager:
-    """Owns the shard worker pool and every job's lifecycle.
+    """Owns shard scheduling across the local pool and the worker fleet.
 
     All coordination runs on the event loop that calls :meth:`submit`;
     shard evaluation and store I/O run in executors, so the loop never
     blocks on CPU-bound work.  ``workers == 1`` schedules shards onto one
     background thread (the pre-sharding service behaviour, minus the
     head-of-line blocking: shards from different jobs interleave);
-    ``workers >= 2`` fans shards out over a ``ProcessPoolExecutor``.
-    Submitting more work than the pool has workers simply queues shards in
-    the pool — jobs are accepted immediately, never rejected.
+    ``workers >= 2`` fans shards out over a ``ProcessPoolExecutor``;
+    ``workers == 0`` disables local execution — shards then run only on
+    the pull-based fleet (:mod:`repro.worker`), and a job waits until
+    workers connect.  Pending shards are *always* claimable by the fleet,
+    whichever local pool exists: local slots and remote acquires compete
+    for the same ``pending`` state, first claimant wins.  Submitting more
+    work than there are claimants simply queues shards — jobs are accepted
+    immediately, never rejected.
     """
 
     def __init__(
@@ -337,30 +621,39 @@ class JobManager:
         store: ResultStore,
         workers: int = 1,
         max_entries_per_shard: int = DEFAULT_SHARD_ENTRIES,
+        lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+        max_lease_attempts: int = MAX_SHARD_LEASE_ATTEMPTS,
     ) -> None:
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
+        if workers < 0:
+            raise ValueError("workers must be >= 0 (0 = fleet-only, no local pool)")
         if max_entries_per_shard < 1:
             raise ValueError("max_entries_per_shard must be >= 1")
+        if max_lease_attempts < 1:
+            raise ValueError("max_lease_attempts must be >= 1")
         self.store = store
         self.workers = workers
         self.max_entries_per_shard = max_entries_per_shard
+        self.max_lease_attempts = max_lease_attempts
+        self.ledger = LeaseLedger(ttl_s=lease_ttl_s)
         self._jobs: Dict[str, Job] = {}
         self._pool: Optional[Executor] = None
         # Admission gate sized to the pool: shards wait here (state
         # "pending") rather than in the executor's opaque queue, so the
         # reported pending/running split is accurate and waiting shards
         # stay trivially cancellable.  Created lazily so it binds to the
-        # loop that actually runs the jobs.
+        # loop that actually runs the jobs.  Absent at workers == 0.
         self._slots: Optional[asyncio.Semaphore] = None
+        self._sweeper: Optional["asyncio.Task"] = None
         self._closed = False
         self._ids = itertools.count(1)
 
     # ------------------------------------------------------------------ #
     def _executor(self) -> Executor:
-        """The shard pool, created lazily on first use."""
+        """The local shard pool, created lazily on first use."""
+        if self.workers < 1:
+            raise RuntimeError("local execution is disabled (workers=0)")
         if self._pool is None:
-            if self.workers <= 1:
+            if self.workers == 1:
                 self._pool = ThreadPoolExecutor(
                     max_workers=1, thread_name_prefix="repro-jobs"
                 )
@@ -369,7 +662,7 @@ class JobManager:
         return self._pool
 
     def stats(self) -> Dict[str, Any]:
-        """Aggregate job counters for the ``/health`` payload."""
+        """Aggregate job + fleet counters for the ``/health`` payload."""
         by_state: Dict[str, int] = {}
         for job in self._jobs.values():
             by_state[job.state] = by_state.get(job.state, 0) + 1
@@ -378,6 +671,7 @@ class JobManager:
             "max_entries_per_shard": self.max_entries_per_shard,
             "jobs": len(self._jobs),
             "by_state": by_state,
+            "fleet": self.ledger.stats(),
         }
 
     # ------------------------------------------------------------------ #
@@ -391,8 +685,9 @@ class JobManager:
         if self._closed:
             raise RuntimeError("JobManager is closed")
         loop = asyncio.get_running_loop()
-        if self._slots is None:
+        if self._slots is None and self.workers >= 1:
             self._slots = asyncio.Semaphore(self.workers)
+        self._ensure_sweeper()
         shards = await loop.run_in_executor(
             None, plan_shards, spec, self.max_entries_per_shard
         )
@@ -421,8 +716,9 @@ class JobManager:
 
         Shards already stored stay in the store (they are valid,
         independently re-runnable results that a resubmission will reuse);
-        a shard mid-execution on a worker finishes but its output is
-        discarded un-stored.
+        a shard mid-execution on a worker — local or fleet — finishes but
+        its output is discarded un-stored (a fleet worker's late
+        ``complete`` is rejected because its lease was revoked).
         """
         job = self.get(job_id)
         if job.done:
@@ -441,6 +737,7 @@ class JobManager:
         the runner did not get to do it itself.
         """
         job._cancelled = True
+        self._revoke_leases(job)
         for task in job._tasks:
             task.cancel()
         runner = job._runner
@@ -452,22 +749,275 @@ class JobManager:
                 pass
         if not job._done.is_set():
             for shard in job.shards:
-                if shard.state in ("pending", "running"):
-                    shard.state = "cancelled"
+                if shard.state in ("pending", "leased", "running"):
+                    shard.set_state("cancelled")
             job.state = "cancelled"
             job.finished = time.time()
             job._done.set()
         await job.wait()
 
+    def _revoke_leases(self, job: Job) -> None:
+        """Drop every outstanding lease of ``job`` (cancel path).
+
+        The holding workers keep computing until their next protocol call,
+        which answers "lease revoked" — their output is discarded, exactly
+        like a local worker whose job was cancelled mid-shard.
+        """
+        for lease_id, lease in list(self.ledger._leases.items()):
+            if lease.job is job:
+                self.ledger.pop(lease_id)
+                self.ledger.close(lease, "cancelled")
+
     async def close(self) -> None:
-        """Cancel every live job and shut the worker pool down."""
+        """Cancel every live job, the expiry sweeper and the worker pool."""
         self._closed = True
         for job in list(self._jobs.values()):
             if not job.done:
                 await self._cancel_and_finalize(job)
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            try:
+                await self._sweeper
+            except asyncio.CancelledError:
+                pass
+            self._sweeper = None
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+
+    # ------------------------------------------------------------------ #
+    # Lease protocol (called by the HTTP layer, on the scheduler's loop)
+    # ------------------------------------------------------------------ #
+    async def acquire_leases(
+        self, worker: str, count: int = 1, ttl_s: Optional[float] = None
+    ) -> List[Dict[str, Any]]:
+        """Grant up to ``count`` leases on pending shards to ``worker``.
+
+        Returns JSON-ready lease payloads, each carrying the complete
+        shard spec (``shard.spec``) the worker must execute.  An empty
+        list means nothing is claimable right now — the worker should poll
+        again after a short delay.  ``ttl_s`` overrides the server's
+        default lease TTL, clamped to sane bounds.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        ttl = self.ledger.ttl_s if ttl_s is None else ttl_s
+        ttl = min(max(ttl, MIN_LEASE_TTL_S), MAX_LEASE_TTL_S)
+        self._ensure_sweeper()
+        granted: List[Dict[str, Any]] = []
+        for _ in range(count):
+            claim = self.ledger.pop_available()
+            if claim is None:
+                break
+            job, shard = claim
+            shard.attempts += 1
+            shard.worker = worker
+            shard.set_state("leased")
+            lease = self.ledger.grant(worker, job, shard, ttl)
+            self.ledger.record_worker_grant(worker)
+            granted.append(
+                {
+                    "id": lease.id,
+                    "worker": worker,
+                    "ttl_s": ttl,
+                    "deadline": lease.deadline,
+                    "job_id": job.id,
+                    "shard": {
+                        "index": shard.plan.index,
+                        "fingerprint": shard.plan.fingerprint,
+                        "entries": shard.plan.entries,
+                        "networks": list(shard.plan.networks),
+                        "devices": list(shard.plan.devices),
+                        "spec": shard.plan.spec.to_dict(),
+                    },
+                }
+            )
+        return granted
+
+    async def heartbeat_lease(self, lease_id: str) -> Dict[str, Any]:
+        """Extend a lease's expiry; tells the worker whether it still holds it.
+
+        ``alive: false`` means the lease expired, was revoked (job
+        cancelled) or was never granted — the worker must abandon the
+        shard (its eventual ``complete`` would be rejected anyway).
+        """
+        lease = self.ledger.get(lease_id)
+        if lease is None:
+            closed = self.ledger.closed_outcome(lease_id)
+            reason = closed["outcome"] if closed else "unknown-lease"
+            return {"alive": False, "reason": reason}
+        self.ledger.heartbeat(lease)
+        return {"alive": True, "deadline": lease.deadline, "ttl_s": lease.ttl_s}
+
+    async def complete_lease(
+        self,
+        lease_id: str,
+        payload: Dict[str, Any],
+        seconds: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Accept a fleet worker's shard result and finish the shard.
+
+        The payload is validated against the leased shard (its embedded
+        spec must fingerprint to the shard's spec — a worker cannot
+        complete shard A with shard B's result), stored through
+        :meth:`~repro.service.store.ResultStore.put_payload` off the event
+        loop, and the shard transitions to ``completed``, unblocking the
+        job runner.  Idempotent: a duplicate complete of an
+        already-completed lease answers ``accepted: true, duplicate:
+        true``; a complete after expiry/revocation is rejected
+        (``accepted: false`` with the reason) because the shard was — or
+        will be — re-executed by someone else.
+
+        Raises ``ValueError`` for an invalid payload (the HTTP layer maps
+        it to a 400); the shard is re-queued so the invalid completion
+        costs the fleet nothing but the wasted attempt.
+        """
+        lease = self.ledger.pop(lease_id)
+        if lease is None:
+            closed = self.ledger.closed_outcome(lease_id)
+            if closed and closed["outcome"] == "completed":
+                return {"accepted": True, "duplicate": True, "key": closed["key"]}
+            reason = closed["outcome"] if closed else "unknown-lease"
+            return {"accepted": False, "duplicate": False, "reason": reason, "key": None}
+        job, shard = lease.job, lease.shard
+        if shard.state != "leased":
+            # Cancelled (or otherwise finished) while the worker computed.
+            self.ledger.close(lease, shard.state)
+            return {
+                "accepted": False,
+                "duplicate": False,
+                "reason": f"shard-{shard.state}",
+                "key": None,
+            }
+        loop = asyncio.get_running_loop()
+        try:
+            self._validate_shard_payload(shard, payload)
+            key = await loop.run_in_executor(None, self.store.put_payload, payload)
+        except Exception:
+            # Invalid completion: the shard still needs executing.
+            self.ledger.close(lease, "invalid")
+            self.ledger.counters["failed"] += 1
+            if shard.state == "leased":
+                shard.worker = None
+                shard.set_state("pending")
+                self.ledger.offer(job, shard)
+                self.ledger.counters["requeued"] += 1
+            raise
+        if shard.state == "leased":  # a cancel may have landed during the await
+            shard.key = key
+            shard.payload = payload
+            shard.seconds = seconds
+            shard.set_state("completed")
+        self.ledger.close(lease, "completed", key)
+        self.ledger.counters["completed"] += 1
+        return {
+            "accepted": True,
+            "duplicate": False,
+            "key": key,
+            "job_id": job.id,
+            "shard_index": shard.plan.index,
+        }
+
+    async def fail_lease(
+        self, lease_id: str, error: str, requeue: bool = False
+    ) -> Dict[str, Any]:
+        """Report a worker-side shard failure (or hand the shard back).
+
+        ``requeue=False`` (an execution error): the shard — and therefore
+        the job — fails with the worker's error message, exactly as a
+        local execution failure would.  ``requeue=True`` (the worker is
+        shutting down, or hit a transient environment problem): the shard
+        goes back to ``pending`` for the next claimant, counting against
+        its lease-attempt budget.
+        """
+        lease = self.ledger.pop(lease_id)
+        if lease is None:
+            closed = self.ledger.closed_outcome(lease_id)
+            reason = closed["outcome"] if closed else "unknown-lease"
+            return {"accepted": False, "reason": reason, "requeued": False}
+        job, shard = lease.job, lease.shard
+        requeued = False
+        if shard.state == "leased":
+            if requeue and shard.attempts < self.max_lease_attempts:
+                shard.worker = None
+                shard.set_state("pending")
+                self.ledger.offer(job, shard)
+                self.ledger.counters["requeued"] += 1
+                requeued = True
+            else:
+                shard.error = error
+                shard.set_state("failed")
+        self.ledger.close(lease, "requeued" if requeued else "failed")
+        self.ledger.counters["failed"] += 0 if requeued else 1
+        return {"accepted": True, "reason": None, "requeued": requeued}
+
+    @staticmethod
+    def _validate_shard_payload(shard: ShardRun, payload: Dict[str, Any]) -> None:
+        """Reject a completion whose payload is not this shard's result."""
+        if not isinstance(payload, dict):
+            raise ValueError("lease completion payload must be a result mapping")
+        if payload.get("schema") != RESULT_SCHEMA:
+            raise ValueError(
+                f"lease completion payload has schema {payload.get('schema')!r}; "
+                f"expected {RESULT_SCHEMA!r}"
+            )
+        spec_data = payload.get("spec")
+        if not isinstance(spec_data, dict):
+            raise ValueError("lease completion payload has no embedded spec mapping")
+        fingerprint = canonical_json_hash(
+            {
+                k: v
+                for k, v in spec_data.items()
+                if k not in ExperimentSpec.EXECUTION_ONLY_FIELDS
+            }
+        )
+        if fingerprint != shard.plan.fingerprint:
+            raise ValueError(
+                f"lease completion payload fingerprints to {fingerprint[:12]}…, "
+                f"not the leased shard's {shard.plan.fingerprint[:12]}…"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Lease expiry sweep
+    # ------------------------------------------------------------------ #
+    def _ensure_sweeper(self) -> None:
+        """Start (or restart) the lease-expiry sweep task on this loop."""
+        if self._closed:
+            return
+        if self._sweeper is None or self._sweeper.done():
+            self._sweeper = asyncio.ensure_future(self._sweep_forever())
+
+    async def _sweep_forever(self) -> None:
+        """Periodically expire overdue leases until the manager closes."""
+        while not self._closed:
+            await asyncio.sleep(self.ledger.sweep_interval())
+            try:
+                self._sweep_once()
+            except Exception:  # noqa: BLE001 — the sweeper must survive
+                self.ledger.counters["sweep_errors"] += 1
+
+    def _sweep_once(self) -> None:
+        """Re-queue (or fail) every shard whose lease deadline has passed."""
+        now = time.time()
+        for lease in self.ledger.due(now):
+            self.ledger.pop(lease.id)
+            self.ledger.close(lease, "expired")
+            self.ledger.counters["expired"] += 1
+            job, shard = lease.job, lease.shard
+            if job.done or job._cancelled or shard.state != "leased":
+                continue
+            if shard.attempts >= self.max_lease_attempts:
+                shard.error = (
+                    f"lease expired after {shard.attempts} grants "
+                    f"(last worker {lease.worker!r}); giving up on the shard"
+                )
+                shard.set_state("failed")
+            else:
+                shard.worker = None
+                shard.set_state("pending")
+                self.ledger.offer(job, shard)
+                self.ledger.counters["requeued"] += 1
+        self.ledger.prune_available()
 
     # ------------------------------------------------------------------ #
     async def _run_job(self, job: Job) -> None:
@@ -484,7 +1034,7 @@ class JobManager:
             record = await loop.run_in_executor(None, self.store.find, job.fingerprint)
             if record is not None:
                 for shard in job.shards:
-                    shard.state = "skipped"
+                    shard.set_state("skipped")
                 job.key = record.key
                 job.state = "completed"
                 return
@@ -498,13 +1048,13 @@ class JobManager:
             for shard in job.shards:
                 record = stored.get(shard.plan.fingerprint)
                 if record is not None:
-                    shard.state = "skipped"
                     shard.key = record.key
+                    shard.set_state("skipped")
             if job._cancelled:
                 raise asyncio.CancelledError
             pending = [shard for shard in job.shards if shard.state == "pending"]
             job._tasks = [
-                asyncio.ensure_future(self._run_shard(job, shard)) for shard in pending
+                asyncio.ensure_future(self._drive_shard(job, shard)) for shard in pending
             ]
             if job._tasks:
                 await asyncio.gather(*job._tasks, return_exceptions=True)
@@ -519,8 +1069,8 @@ class JobManager:
             job.state = "completed"
         except asyncio.CancelledError:
             for shard in job.shards:
-                if shard.state in ("pending", "running"):
-                    shard.state = "cancelled"
+                if shard.state in ("pending", "leased", "running"):
+                    shard.set_state("cancelled")
             job.state = "cancelled"
         except Exception as error:  # noqa: BLE001 — job must reach a terminal state
             job.error = f"{type(error).__name__}: {error}"
@@ -531,38 +1081,64 @@ class JobManager:
                 shard.payload = None  # free assembled payloads
             job._done.set()
 
-    async def _run_shard(self, job: Job, shard: ShardRun) -> None:
-        """Execute one shard on the pool and stream its result to the store.
+    async def _drive_shard(self, job: Job, shard: ShardRun) -> None:
+        """Own one shard's lifecycle until it reaches a terminal state.
+
+        The shard is offered to the fleet immediately and stays claimable
+        the whole time it is ``pending``; when a local pool exists, this
+        task also competes for it through the worker-count semaphore.
+        Whoever claims first wins — a lease flips the state to ``leased``
+        and this task just waits for the remote completion (or for the
+        expiry sweep to hand the shard back).
+        """
+        self.ledger.offer(job, shard)
+        try:
+            while True:
+                if shard.state in SHARD_TERMINAL:
+                    return
+                if shard.state == "pending" and self.workers >= 1:
+                    if await self._try_run_local(job, shard):
+                        return
+                    continue  # lost the claim — re-read the state
+                await shard.state_changed()
+        except asyncio.CancelledError:
+            if shard.state in ("pending", "leased", "running"):
+                shard.set_state("cancelled")
+            raise
+
+    async def _try_run_local(self, job: Job, shard: ShardRun) -> bool:
+        """Execute one shard on the local pool if it is still unclaimed.
 
         Admission goes through the worker-count semaphore, so a shard is
         ``pending`` while it waits for a slot and ``running`` only while a
         worker actually holds it — the progress a job reports distinguishes
-        queued work from in-flight work truthfully.
+        queued work from in-flight work truthfully.  Returns ``False``
+        when the fleet claimed (or finished) the shard while this task was
+        waiting for a slot.
         """
         loop = asyncio.get_running_loop()
-        assert self._slots is not None  # created by submit()
-        try:
-            async with self._slots:
-                shard.state = "running"
-                started = time.perf_counter()
-                try:
-                    payload = await loop.run_in_executor(
-                        self._executor(), _execute_shard, shard.plan.spec.to_dict()
-                    )
-                    shard.key = await loop.run_in_executor(
-                        None, self.store.put_payload, payload
-                    )
-                    shard.payload = payload
-                    shard.seconds = time.perf_counter() - started
-                    shard.state = "completed"
-                except Exception as error:  # noqa: BLE001 — reported via job state
-                    shard.seconds = time.perf_counter() - started
-                    shard.error = f"{type(error).__name__}: {error}"
-                    shard.state = "failed"
-        except asyncio.CancelledError:
-            if shard.state in ("pending", "running"):
-                shard.state = "cancelled"
-            raise
+        assert self._slots is not None  # created by submit() when workers >= 1
+        async with self._slots:
+            if shard.state != "pending":
+                return False
+            shard.worker = "local"
+            shard.set_state("running")
+            started = time.perf_counter()
+            try:
+                payload = await loop.run_in_executor(
+                    self._executor(), execute_shard, shard.plan.spec.to_dict()
+                )
+                shard.key = await loop.run_in_executor(
+                    None, self.store.put_payload, payload
+                )
+                shard.payload = payload
+                shard.seconds = time.perf_counter() - started
+                shard.set_state("completed")
+            except Exception as error:  # noqa: BLE001 — reported via job state
+                shard.seconds = time.perf_counter() - started
+                shard.error = f"{type(error).__name__}: {error}"
+                shard.set_state("failed")
+            return True
 
     def _assemble(self, job: Job) -> str:
         """Concatenate shard payloads in plan order and store the result.
@@ -572,7 +1148,8 @@ class JobManager:
         process cheap — the whole point of fanning shards out.  Shard order
         is the serial iteration order, so the assembled payload is
         bit-identical to a single-thread run of the spec (and deduplicates
-        against one in the store).
+        against one in the store) no matter which mix of local pool and
+        fleet workers produced the shards.
         """
         points: List[Dict[str, Any]] = []
         evaluations = 0

@@ -39,6 +39,15 @@ Endpoints (all JSON):
 ``POST /v1/campaign``
     Synchronous wrapper over the job scheduler: submits the spec as a job,
     awaits completion and returns the stored result's key plus a summary.
+``POST /v1/leases`` / ``GET /v1/leases``
+    The pull-based **worker-fleet protocol** (see :mod:`repro.worker`):
+    remote workers acquire leases on pending job shards / observability
+    over every outstanding lease.
+``POST /v1/leases/<id>/heartbeat|complete|fail``
+    Extend a lease's expiry, push a finished shard's result payload, or
+    report a worker-side failure (optionally handing the shard back).
+    Leases that stop heartbeating expire and their shards re-queue, so a
+    killed worker never strands a job.
 
 Result selection for ``query``/``pareto``/``best``: pass ``key`` for an
 exact result, or ``fingerprint`` (and/or ``network``/``device``/``name``
@@ -71,12 +80,18 @@ from ..experiments.persistence import point_to_dict, result_to_dict
 from ..experiments.spec import ExperimentSpec
 from ..reporting import campaign_report_payload, json_sanitize, jsonable_rows
 from .batching import MicroBatcher
-from .jobs import DEFAULT_SHARD_ENTRIES, JobManager
+from .jobs import DEFAULT_LEASE_TTL_S, DEFAULT_SHARD_ENTRIES, JobManager
 from .store import ResultStore
 
-__all__ = ["ApiError", "ResultServer", "serve"]
+__all__ = ["ApiError", "ResultServer", "serve", "DEFAULT_MAX_BODY_BYTES"]
 
 SERVER_NAME = "repro-service/1"
+
+#: Largest request body the server will buffer (32 MiB).  A spec payload
+#: is a few KiB and even a Fig. 6-scale shard-result payload is a couple
+#: of MiB, so the cap only stops abuse: without it a single request could
+#: buffer arbitrary gigabytes into memory before JSON parsing ever ran.
+DEFAULT_MAX_BODY_BYTES = 32 << 20
 
 #: Largest Winograd input tile (``m + r - 1``) ``/v1/evaluate`` accepts.
 #: Transform generation cost grows superlinearly with the tile; an
@@ -131,6 +146,15 @@ def _check_fields(body: Dict[str, Any], known: set, what: str) -> None:
         )
 
 
+class _RequestTooLarge(Exception):
+    """Internal: a request declared a body beyond the configured cap."""
+
+    def __init__(self, length: int, limit: int) -> None:
+        super().__init__(f"request body of {length} bytes exceeds the {limit}-byte limit")
+        self.length = length
+        self.limit = limit
+
+
 class ResultServer:
     """The asyncio HTTP server: a store, a batcher, a job scheduler.
 
@@ -159,6 +183,11 @@ class ResultServer:
         ("GET", "/v1/jobs", "_list_jobs"),
         ("GET", "/v1/jobs/{job_id}", "_job_status"),
         ("DELETE", "/v1/jobs/{job_id}", "_cancel_job"),
+        ("POST", "/v1/leases", "_acquire_leases"),
+        ("GET", "/v1/leases", "_list_leases"),
+        ("POST", "/v1/leases/{lease_id}/heartbeat", "_heartbeat_lease"),
+        ("POST", "/v1/leases/{lease_id}/complete", "_complete_lease"),
+        ("POST", "/v1/leases/{lease_id}/fail", "_fail_lease"),
     )
 
     def __init__(
@@ -170,17 +199,27 @@ class ResultServer:
         max_batch: int = 256,
         workers: int = 1,
         shard_entries: int = DEFAULT_SHARD_ENTRIES,
+        lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         quiet: bool = False,
     ) -> None:
+        if max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be >= 1")
         self.store = store
         self.host = host
         self.port = port
         self.quiet = quiet
+        self.max_body_bytes = max_body_bytes
         self._worker = ThreadPoolExecutor(max_workers=1, thread_name_prefix="repro-eval")
         self.batcher = MicroBatcher(
             window_ms=batch_window_ms, max_batch=max_batch, executor=self._worker
         )
-        self.jobs = JobManager(store, workers=workers, max_entries_per_shard=shard_entries)
+        self.jobs = JobManager(
+            store,
+            workers=workers,
+            max_entries_per_shard=shard_entries,
+            lease_ttl_s=lease_ttl_s,
+        )
         self._server: Optional[asyncio.AbstractServer] = None
         self._started = time.time()
         self.campaigns_run = 0
@@ -236,7 +275,26 @@ class ResultServer:
     ) -> None:
         try:
             while True:
-                request = await self._read_request(reader)
+                try:
+                    request = await self._read_request(reader)
+                except _RequestTooLarge as error:
+                    # Refuse before buffering a byte of the body.  The
+                    # unread body makes the connection unusable for
+                    # keep-alive, so it closes after the error response.
+                    data = json.dumps({"error": str(error)}).encode()
+                    writer.write(
+                        (
+                            f"HTTP/1.1 413 {_REASONS[413]}\r\n"
+                            f"Server: {SERVER_NAME}\r\n"
+                            "Content-Type: application/json\r\n"
+                            f"Content-Length: {len(data)}\r\n"
+                            "Connection: close\r\n"
+                            "\r\n"
+                        ).encode()
+                    )
+                    writer.write(data)
+                    await writer.drain()
+                    break
                 if request is None:
                     break
                 method, target, headers, body = request
@@ -297,6 +355,8 @@ class ResultServer:
             return None  # malformed framing: drop the connection cleanly
         if length < 0:
             return None
+        if length > self.max_body_bytes:
+            raise _RequestTooLarge(length, self.max_body_bytes)
         body = await reader.readexactly(length) if length else b""
         return method.upper(), target, headers, body
 
@@ -680,6 +740,72 @@ class ResultServer:
             "job": job.to_payload(self.jobs.workers, include_shards=False),
         }
 
+    # ------------------------------------------------------------------ #
+    # Worker-fleet lease endpoints
+    # ------------------------------------------------------------------ #
+    async def _acquire_leases(self, args, params, body) -> Dict[str, Any]:
+        """``POST /v1/leases`` — grant pending job shards to a fleet worker."""
+        _check_fields(body, {"worker", "count", "ttl_s"}, "lease acquire")
+        worker = _field(body, "worker", (str,), None, required=True)
+        if not worker.strip():
+            raise ApiError(400, "field 'worker' must be a non-empty worker id")
+        count = _field(body, "count", (int,), 1)
+        if count < 1:
+            raise ApiError(400, "count must be >= 1")
+        ttl_s = _field(body, "ttl_s", (float,), None)
+        if ttl_s is not None and ttl_s <= 0:
+            raise ApiError(400, "ttl_s must be > 0")
+        leases = await self.jobs.acquire_leases(worker.strip(), count=count, ttl_s=ttl_s)
+        return {
+            "leases": leases,
+            # Poll-again hint for empty answers; granted workers should
+            # come straight back for more once a shard finishes.
+            "retry_after_s": 0.5 if not leases else 0.0,
+        }
+
+    async def _list_leases(self, args, params, body) -> Dict[str, Any]:
+        """``GET /v1/leases`` — fleet statistics plus every active lease."""
+        return {
+            "fleet": self.jobs.ledger.stats(),
+            "leases": self.jobs.ledger.rows(),
+        }
+
+    async def _heartbeat_lease(self, args, params, body) -> Dict[str, Any]:
+        """``POST /v1/leases/<id>/heartbeat`` — extend a lease's expiry."""
+        _check_fields(body, set(), "lease heartbeat")
+        return await self.jobs.heartbeat_lease(args["lease_id"])
+
+    async def _complete_lease(self, args, params, body) -> Dict[str, Any]:
+        """``POST /v1/leases/<id>/complete`` — accept a shard's result.
+
+        Idempotent for duplicates of an accepted completion; an expired or
+        revoked lease answers ``accepted: false`` (the shard was handed to
+        someone else — the late result is discarded).  A payload that does
+        not validate as the leased shard's result is a 400.
+        """
+        _check_fields(body, {"result", "seconds"}, "lease complete")
+        result = body.get("result")
+        if not isinstance(result, dict):
+            raise ApiError(400, "field 'result' must be a result payload object")
+        seconds = _field(body, "seconds", (float,), None)
+        try:
+            return await self.jobs.complete_lease(args["lease_id"], result, seconds)
+        except ValueError as error:
+            raise ApiError(400, str(error)) from None
+
+    async def _fail_lease(self, args, params, body) -> Dict[str, Any]:
+        """``POST /v1/leases/<id>/fail`` — report a worker-side failure.
+
+        ``requeue: true`` hands the shard back for another claimant (a
+        shutting-down or transiently broken worker); otherwise the shard —
+        and its job — fail with the reported error, exactly like a local
+        execution failure.
+        """
+        _check_fields(body, {"error", "requeue"}, "lease fail")
+        error = _field(body, "error", (str,), "worker reported failure")
+        requeue = _field(body, "requeue", (bool,), False)
+        return await self.jobs.fail_lease(args["lease_id"], error, requeue=requeue)
+
 
 _REASONS = {
     200: "OK",
@@ -687,6 +813,7 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    413: "Payload Too Large",
     500: "Internal Server Error",
 }
 
@@ -699,14 +826,18 @@ def serve(
     max_batch: int = 256,
     workers: int = 1,
     shard_entries: int = DEFAULT_SHARD_ENTRIES,
+    lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
     quiet: bool = False,
 ) -> int:
     """Blocking entry point used by ``python -m repro serve``.
 
-    ``workers`` sizes the campaign-job shard pool (1 = a single background
-    thread, the pre-sharding behaviour; >= 2 = a process pool) and
-    ``shard_entries`` caps grid entries per shard (see
-    :mod:`repro.service.jobs`).
+    ``workers`` sizes the local campaign-job shard pool (0 = no local
+    execution, shards run only on the worker fleet; 1 = a single
+    background thread, the pre-sharding behaviour; >= 2 = a process
+    pool), ``shard_entries`` caps grid entries per shard (see
+    :mod:`repro.service.jobs`) and ``lease_ttl_s`` is how long a fleet
+    worker's lease survives without a heartbeat before its shard
+    re-queues.
     """
     store = ResultStore(store_root)
     server = ResultServer(
@@ -717,6 +848,7 @@ def serve(
         max_batch=max_batch,
         workers=workers,
         shard_entries=shard_entries,
+        lease_ttl_s=lease_ttl_s,
         quiet=quiet,
     )
 

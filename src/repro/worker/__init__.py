@@ -1,0 +1,32 @@
+"""Pull-based worker fleet for campaign-job shards.
+
+``python -m repro worker --server http://HOST:PORT`` attaches a worker
+process to a running ``repro.service`` server (any number of them, on any
+number of hosts).  Workers **pull**: they acquire leases on pending job
+shards (``POST /v1/leases``), execute each shard through the very same
+:func:`repro.service.jobs.execute_shard` entry point the server's local
+pool uses, and push the result payload back
+(``POST /v1/leases/<id>/complete``), where it lands in the result store
+and unblocks the job.  Because a shard is a self-contained deterministic
+:class:`~repro.experiments.ExperimentSpec`, the assembled campaign is
+bit-identical to a single-host run for any fleet size.
+
+Fault tolerance is lease-based: a worker heartbeats every lease it holds;
+if it dies (or partitions), the lease expires server-side and the shard
+re-queues for the next claimant — no job is ever stranded by a lost
+worker, and a late completion from a zombie is rejected.  ``SIGTERM`` and
+``SIGINT`` shut a worker down gracefully: it stops acquiring, finishes
+and completes its in-flight shards, then exits 0.
+
+* :mod:`repro.worker.leases` — :class:`WorkerLease`, the client-side
+  lease record with an explicit state machine
+  (``acquired -> running -> completing -> completed``, with ``lost`` /
+  ``failed`` / ``released`` exits);
+* :mod:`repro.worker.loop` — :class:`WorkerLoop` / :func:`run_worker`,
+  the acquire/execute/heartbeat/complete control loop behind the CLI.
+"""
+
+from .leases import InvalidLeaseTransition, WorkerLease
+from .loop import WorkerLoop, run_worker
+
+__all__ = ["WorkerLease", "InvalidLeaseTransition", "WorkerLoop", "run_worker"]

@@ -1,0 +1,131 @@
+"""Client-side lease records and their explicit state machine.
+
+The server's :class:`~repro.service.jobs.LeaseLedger` is the authority on
+who holds what; this module is the *worker's* view of one granted lease.
+Every lease a :class:`~repro.worker.loop.WorkerLoop` holds moves through
+an explicit, validated state machine — an illegal transition is a bug in
+the loop, and raising :class:`InvalidLeaseTransition` immediately beats
+silently double-completing a shard or abandoning one that looked done.
+
+States::
+
+    acquired ──> running ──> completing ──> completed
+        │            │            │
+        │            └──> failed  └────────────> lost
+        └──> released            (any non-terminal ──> lost)
+
+``lost`` is the server telling us the lease expired or was revoked (the
+job was cancelled, or we heartbeated too late): the shard belongs to
+someone else now and the local result, if any, is discarded.
+``released`` is the worker handing an un-started shard back during
+shutdown.  ``failed`` is a real execution error, reported to the server
+so the job fails the same way a local-pool failure would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = [
+    "LEASE_STATES",
+    "TERMINAL_LEASE_STATES",
+    "VALID_TRANSITIONS",
+    "InvalidLeaseTransition",
+    "WorkerLease",
+]
+
+#: Every state a worker-held lease can be in.
+LEASE_STATES = (
+    "acquired",
+    "running",
+    "completing",
+    "completed",
+    "failed",
+    "released",
+    "lost",
+)
+
+#: States with no outgoing transitions.
+TERMINAL_LEASE_STATES = ("completed", "failed", "released", "lost")
+
+#: The legal state machine: ``state -> states reachable from it``.
+#: ``lost`` is reachable from every non-terminal state because the server
+#: can expire or revoke a lease at any protocol call.
+VALID_TRANSITIONS: Dict[str, Tuple[str, ...]] = {
+    "acquired": ("running", "released", "lost"),
+    "running": ("completing", "failed", "lost"),
+    "completing": ("completed", "lost"),
+    "completed": (),
+    "failed": (),
+    "released": (),
+    "lost": (),
+}
+
+
+class InvalidLeaseTransition(RuntimeError):
+    """An illegal lease state transition (a worker-loop bug, not bad luck)."""
+
+    def __init__(self, lease_id: str, current: str, target: str) -> None:
+        allowed = VALID_TRANSITIONS.get(current, ())
+        super().__init__(
+            f"lease {lease_id}: cannot move {current!r} -> {target!r}; "
+            f"allowed from {current!r}: {sorted(allowed)}"
+        )
+        self.lease_id = lease_id
+        self.current = current
+        self.target = target
+
+
+@dataclass
+class WorkerLease:
+    """One lease this worker holds, as granted by ``POST /v1/leases``.
+
+    Carries everything needed to execute the shard (``spec_payload``, the
+    complete shard spec in ``to_dict`` form) and to keep the lease alive
+    (``ttl_s`` drives the heartbeat cadence).
+    """
+
+    id: str
+    job_id: str
+    shard_index: int
+    fingerprint: str
+    entries: int
+    spec_payload: Dict[str, Any]
+    ttl_s: float
+    deadline: float
+    state: str = "acquired"
+    #: Execution error message once the lease is ``failed``.
+    error: Optional[str] = None
+    #: Shard execution wall-clock seconds, reported with the completion.
+    seconds: Optional[float] = None
+    #: Next wall-clock instant the heartbeat loop should beat this lease.
+    next_beat: float = field(default=0.0, repr=False)
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "WorkerLease":
+        """Build a lease from one entry of the acquire response's ``leases``."""
+        shard = payload["shard"]
+        return cls(
+            id=payload["id"],
+            job_id=payload["job_id"],
+            shard_index=shard["index"],
+            fingerprint=shard["fingerprint"],
+            entries=shard["entries"],
+            spec_payload=shard["spec"],
+            ttl_s=float(payload["ttl_s"]),
+            deadline=float(payload["deadline"]),
+        )
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the lease reached a state with no outgoing transitions."""
+        return self.state in TERMINAL_LEASE_STATES
+
+    def advance(self, target: str) -> None:
+        """Move to ``target``; raises :class:`InvalidLeaseTransition` if illegal."""
+        if target not in LEASE_STATES:
+            raise InvalidLeaseTransition(self.id, self.state, target)
+        if target not in VALID_TRANSITIONS[self.state]:
+            raise InvalidLeaseTransition(self.id, self.state, target)
+        self.state = target

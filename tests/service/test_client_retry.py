@@ -1,0 +1,154 @@
+"""ServiceClient retry/backoff against a deliberately flaky fake server.
+
+The fake is a raw TCP listener that hard-closes its first N connections
+(a connection *error*, not an HTTP error response) and then serves a
+canned JSON answer — exactly the blip pattern a restarting server or a
+dropping proxy produces.  The contract under test: retries are opt-in,
+GET-only, backoff actually waits, and HTTP error responses are never
+retried.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.service import ServiceClient
+
+
+class FlakyServer:
+    """A TCP server that resets its first ``failures`` connections.
+
+    After the budget is spent, every connection gets a minimal valid
+    HTTP/1.1 JSON response (status configurable).  ``connections`` counts
+    every accepted socket, so tests can assert exactly how many attempts
+    a client made.
+    """
+
+    def __init__(self, failures: int, status: int = 200, body: dict | None = None):
+        self.failures = failures
+        self.status = status
+        self.body = {"status": "ok"} if body is None else body
+        self.connections = 0
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self.port = self._listener.getsockname()[1]
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        self._listener.settimeout(0.1)
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            with conn:
+                self.connections += 1
+                if self.connections <= self.failures:
+                    # Hard reset: SO_LINGER 0 makes close() send RST, the
+                    # unambiguous "connection error" a dead server gives.
+                    conn.setsockopt(
+                        socket.SOL_SOCKET,
+                        socket.SO_LINGER,
+                        b"\x01\x00\x00\x00\x00\x00\x00\x00",
+                    )
+                    continue
+                try:
+                    conn.settimeout(5.0)
+                    conn.recv(65536)  # drain the request; content ignored
+                    data = json.dumps(self.body).encode()
+                    conn.sendall(
+                        (
+                            f"HTTP/1.1 {self.status} X\r\n"
+                            "Content-Type: application/json\r\n"
+                            f"Content-Length: {len(data)}\r\n"
+                            "Connection: close\r\n\r\n"
+                        ).encode()
+                        + data
+                    )
+                except OSError:
+                    pass
+
+    def close(self) -> None:
+        self._stop.set()
+        self._thread.join(5.0)
+        self._listener.close()
+
+
+@pytest.fixture()
+def flaky():
+    servers = []
+
+    def make(failures: int, status: int = 200, body: dict | None = None) -> FlakyServer:
+        server = FlakyServer(failures, status=status, body=body)
+        servers.append(server)
+        return server
+
+    yield make
+    for server in servers:
+        server.close()
+
+
+def test_no_retries_by_default(flaky):
+    """retries=0 (the default): the first connection error propagates."""
+    server = flaky(failures=1)
+    client = ServiceClient(port=server.port, timeout=5.0)
+    with pytest.raises(OSError):
+        client.health()
+    assert server.connections == 1
+
+
+def test_get_retries_through_transient_failures(flaky):
+    """retries=3 survives 3 resets and returns the 4th, real, answer."""
+    server = flaky(failures=3)
+    client = ServiceClient(port=server.port, timeout=5.0, retries=3, backoff_s=0.01)
+    assert client.health() == {"status": "ok"}
+    assert server.connections == 4
+
+
+def test_retries_exhausted_raises_the_connection_error(flaky):
+    server = flaky(failures=10)
+    client = ServiceClient(port=server.port, timeout=5.0, retries=2, backoff_s=0.01)
+    with pytest.raises(OSError):
+        client.health()
+    assert server.connections == 3  # 1 try + 2 retries, then give up
+
+
+def test_post_is_never_auto_retried(flaky):
+    """Non-idempotent requests fail fast even with retries enabled."""
+    server = flaky(failures=1)
+    client = ServiceClient(port=server.port, timeout=5.0, retries=5, backoff_s=0.01)
+    with pytest.raises(OSError):
+        client._request("POST", "/v1/jobs", {"spec": {}})
+    assert server.connections == 1
+
+
+def test_http_error_responses_are_not_retried(flaky):
+    """A 500 is an answer, not a blip: no retry, raised as ServiceError."""
+    from repro.service import ServiceError
+
+    server = flaky(failures=0, status=500, body={"error": "boom"})
+    client = ServiceClient(port=server.port, timeout=5.0, retries=5, backoff_s=0.01)
+    with pytest.raises(ServiceError) as excinfo:
+        client.health()
+    assert excinfo.value.status == 500
+    assert server.connections == 1
+
+
+def test_backoff_actually_waits_and_grows(flaky):
+    """Two retries at backoff_s=0.1 must take >= 0.05 + 0.1 jittered-min."""
+    server = flaky(failures=2)
+    client = ServiceClient(port=server.port, timeout=5.0, retries=2, backoff_s=0.1)
+    started = time.monotonic()
+    assert client.health() == {"status": "ok"}
+    elapsed = time.monotonic() - started
+    # Jitter scales each delay into [0.5, 1.0]×: minimum 0.05 + 0.1.
+    assert elapsed >= 0.15
+    assert server.connections == 3

@@ -1,0 +1,143 @@
+"""Worker-side units: the lease state machine and loop plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ServiceClient
+from repro.worker import InvalidLeaseTransition, WorkerLease, WorkerLoop
+from repro.worker.leases import (
+    LEASE_STATES,
+    TERMINAL_LEASE_STATES,
+    VALID_TRANSITIONS,
+)
+from repro.worker.loop import parse_server_url
+
+
+def make_lease(state="acquired"):
+    lease = WorkerLease(
+        id="lease-000001-abcdef",
+        job_id="job-000001-abcdef",
+        shard_index=0,
+        fingerprint="f" * 64,
+        entries=5,
+        spec_payload={"schema": "spec"},
+        ttl_s=60.0,
+        deadline=1.0,
+    )
+    lease.state = state
+    return lease
+
+
+class TestLeaseStateMachine:
+    def test_happy_path(self):
+        lease = make_lease()
+        for state in ("running", "completing", "completed"):
+            lease.advance(state)
+        assert lease.terminal
+
+    def test_every_state_is_mapped(self):
+        assert set(VALID_TRANSITIONS) == set(LEASE_STATES)
+        for state in TERMINAL_LEASE_STATES:
+            assert VALID_TRANSITIONS[state] == ()
+
+    def test_lost_reachable_from_every_non_terminal_state(self):
+        for state in LEASE_STATES:
+            if state in TERMINAL_LEASE_STATES:
+                continue
+            lease = make_lease(state)
+            lease.advance("lost")
+            assert lease.state == "lost"
+
+    @pytest.mark.parametrize(
+        ("current", "target"),
+        [
+            ("acquired", "completing"),  # must run first
+            ("acquired", "completed"),
+            ("running", "completed"),  # must go through completing
+            ("running", "released"),  # running shards finish, not release
+            ("completed", "running"),  # terminal states are final
+            ("lost", "completed"),
+            ("failed", "running"),
+            ("released", "running"),
+            ("completing", "failed"),  # the result exists; it can only land or lose
+        ],
+    )
+    def test_illegal_transitions_raise(self, current, target):
+        lease = make_lease(current)
+        with pytest.raises(InvalidLeaseTransition, match=current):
+            lease.advance(target)
+        assert lease.state == current  # unchanged on rejection
+
+    def test_unknown_state_raises(self):
+        with pytest.raises(InvalidLeaseTransition):
+            make_lease().advance("banana")
+
+    def test_from_payload_round_trip(self):
+        payload = {
+            "id": "lease-000002-aa",
+            "job_id": "job-000009-bb",
+            "ttl_s": 2.5,
+            "deadline": 100.0,
+            "shard": {
+                "index": 3,
+                "fingerprint": "abc",
+                "entries": 7,
+                "networks": ["vgg16-d"],
+                "devices": ["xc7vx485t"],
+                "spec": {"name": "x"},
+            },
+        }
+        lease = WorkerLease.from_payload(payload)
+        assert lease.id == "lease-000002-aa"
+        assert lease.shard_index == 3
+        assert lease.entries == 7
+        assert lease.spec_payload == {"name": "x"}
+        assert lease.ttl_s == 2.5
+        assert lease.state == "acquired"
+
+
+class TestParseServerUrl:
+    @pytest.mark.parametrize(
+        ("url", "expected"),
+        [
+            ("http://127.0.0.1:8787", ("127.0.0.1", 8787)),
+            ("http://example.com", ("example.com", 8787)),
+            ("localhost:9000", ("localhost", 9000)),
+            ("10.0.0.5", ("10.0.0.5", 8787)),
+        ],
+    )
+    def test_accepted_forms(self, url, expected):
+        assert parse_server_url(url) == expected
+
+    def test_non_http_scheme_rejected(self):
+        with pytest.raises(ValueError, match="http"):
+            parse_server_url("https://example.com")
+
+
+class TestWorkerLoopValidation:
+    def test_bad_arguments_rejected(self):
+        client = ServiceClient(port=1)
+        with pytest.raises(ValueError, match="concurrency"):
+            WorkerLoop(client, concurrency=0)
+        with pytest.raises(ValueError, match="poll_s"):
+            WorkerLoop(client, poll_s=0)
+        with pytest.raises(ValueError, match="max_shards"):
+            WorkerLoop(client, max_shards=0)
+
+    def test_stop_flag(self):
+        loop = WorkerLoop(ServiceClient(port=1), worker_id="w")
+        assert not loop.stopping
+        loop.request_stop()
+        assert loop.stopping
+
+    def test_default_worker_id_is_host_and_pid(self):
+        import os
+        import socket
+
+        loop = WorkerLoop(ServiceClient(port=1))
+        assert loop.worker_id == f"{socket.gethostname()}-{os.getpid()}"
+
+    def test_client_retries_validation(self):
+        with pytest.raises(ValueError, match="retries"):
+            ServiceClient(port=1, retries=-1)
