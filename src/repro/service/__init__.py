@@ -5,9 +5,16 @@ evaluated campaigns into long-lived, queryable artifacts and single
 design-point questions into micro-batched vectorized evaluations:
 
 * :mod:`repro.service.store` — :class:`ResultStore`, an append-only,
-  content-addressed store of campaign results (JSONL segments + a
-  rebuildable index keyed by spec fingerprint, network and device) with
-  ``put``/``get``/``query``/``latest`` and compaction;
+  content-addressed store of campaign results (binary columnar segments
+  memory-mapped for zero-copy vectorized queries, with JSONL retained as
+  an import/migration path, plus a rebuildable index keyed by spec
+  fingerprint, network and device) with ``put``/``get``/``query``/
+  ``pareto``/``best``/``latest``, compaction and ``migrate``;
+* :mod:`repro.service.queryspec` — :class:`QuerySpec`, the frozen
+  JSON-round-trippable description of a read (result selection, ``where``
+  filters, sort, ``select`` projection, top-k, ``limit``/``cursor``
+  pagination) shared verbatim by the store, the HTTP handlers and the
+  client;
 * :mod:`repro.service.batching` — :class:`MicroBatcher`, the scheduler
   that holds concurrent ``evaluate`` requests for a small window and
   dispatches them as one stacked :func:`repro.dse.batch.evaluate_requests`
@@ -42,6 +49,7 @@ Quickstart::
 from .batching import BatcherStats, MicroBatcher
 from .client import InfeasibleDesignError, ServiceClient, ServiceError
 from .jobs import Job, JobManager, Lease, LeaseLedger, ShardPlan, execute_shard, plan_shards
+from .queryspec import BestResult, ParetoPage, QueryPage, QuerySpec
 from .server import ApiError, ResultServer, serve
 from .store import ResultStore, StoreRecord, result_key
 
@@ -57,6 +65,10 @@ __all__ = [
     "ResultStore",
     "StoreRecord",
     "result_key",
+    "QuerySpec",
+    "QueryPage",
+    "ParetoPage",
+    "BestResult",
     "Job",
     "JobManager",
     "Lease",

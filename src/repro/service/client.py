@@ -16,11 +16,12 @@ import http.client
 import json
 import random
 import time
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Union
 
 from ..core.design_point import DesignPoint
 from ..experiments.persistence import point_from_dict
 from ..experiments.spec import ExperimentSpec
+from .queryspec import QuerySpec
 
 __all__ = ["ServiceError", "InfeasibleDesignError", "ServiceClient"]
 
@@ -146,6 +147,39 @@ class ServiceClient:
         return self._request("GET", f"/v1/results/{key}/report{query}")["report"]
 
     # ------------------------------------------------------------------ #
+    def query_page(
+        self, spec: Optional[QuerySpec] = None, **fields: Any
+    ) -> Dict[str, Any]:
+        """One raw ``POST /v1/query`` page (``points``/``total``/``next_cursor``).
+
+        Pass a :class:`~repro.service.queryspec.QuerySpec` or its fields
+        as keywords; rows come back exactly as the server sent them (full
+        point dicts, or flat ``{metric: value}`` rows under ``select``).
+        """
+        body = spec.to_dict() if isinstance(spec, QuerySpec) else _drop_none(fields)
+        return self._request("POST", "/v1/query", body)
+
+    def iter_query(
+        self, spec: Optional[QuerySpec] = None, **fields: Any
+    ) -> Iterator[Any]:
+        """All rows of a query, following ``next_cursor`` transparently.
+
+        Yields :class:`DesignPoint` objects (or raw ``select`` rows) one
+        page at a time; the cursor pins both the stored result and the
+        row ordering, so iteration is stable across concurrent appends
+        and compactions.
+        """
+        body = spec.to_dict() if isinstance(spec, QuerySpec) else _drop_none(fields)
+        select = body.get("select")
+        while True:
+            payload = self._request("POST", "/v1/query", body)
+            for row in payload["points"]:
+                yield row if select else point_from_dict(row)
+            cursor = payload.get("next_cursor")
+            if not cursor:
+                return
+            body = dict(body, cursor=cursor)
+
     def query(
         self,
         key: Optional[str] = None,
@@ -156,16 +190,38 @@ class ServiceClient:
         metric: Optional[str] = None,
         top_k: Optional[int] = None,
         maximize: Optional[bool] = None,
-    ) -> List[DesignPoint]:
-        """Filtered (optionally metric-sorted, top-k) points of a result."""
-        body: Dict[str, Any] = {
+        where: Optional[List] = None,
+        select: Optional[List[str]] = None,
+        limit: Optional[int] = None,
+        cursor: Optional[str] = None,
+    ) -> List[Any]:
+        """Filtered (optionally metric-sorted, top-k) points of a result.
+
+        The legacy keyword shim over the :class:`QuerySpec` surface.
+        Without ``limit``/``cursor`` every row is returned (cursors are
+        followed internally); with them, exactly one page.  ``where``
+        adds column filters and ``select`` projects flat rows instead of
+        full points.
+        """
+        body = _drop_none({
             "key": key, "fingerprint": fingerprint, "network": network,
             "device": device, "name": name, "metric": metric, "top_k": top_k,
-        }
-        if maximize is not None:
-            body["maximize"] = maximize
-        payload = self._request("POST", "/v1/query", _drop_none(body))
+            "maximize": maximize, "where": where, "select": select,
+            "limit": limit, "cursor": cursor,
+        })
+        if limit is None and cursor is None:
+            return list(self.iter_query(**body))
+        payload = self._request("POST", "/v1/query", body)
+        if select:
+            return payload["points"]
         return [point_from_dict(point) for point in payload["points"]]
+
+    def pareto_page(
+        self, spec: Optional[QuerySpec] = None, **fields: Any
+    ) -> Dict[str, Any]:
+        """One raw ``POST /v1/pareto`` page (``fronts``/``total``/``next_cursor``)."""
+        body = spec.to_dict() if isinstance(spec, QuerySpec) else _drop_none(fields)
+        return self._request("POST", "/v1/pareto", body)
 
     def pareto(
         self,
@@ -174,18 +230,33 @@ class ServiceClient:
         network: Optional[str] = None,
         name: Optional[str] = None,
         objectives: Optional[List] = None,
+        device: Optional[str] = None,
+        limit: Optional[int] = None,
+        cursor: Optional[str] = None,
     ) -> Dict[str, List[DesignPoint]]:
-        """Per-network Pareto fronts of a stored result."""
-        body: Dict[str, Any] = {
-            "key": key, "fingerprint": fingerprint, "network": network, "name": name,
-        }
+        """Per-network Pareto fronts of a stored result.
+
+        Without ``limit``/``cursor`` the complete fronts are returned
+        (pages merged internally); with them, one page's worth regrouped
+        per network.
+        """
+        body: Dict[str, Any] = _drop_none({
+            "key": key, "fingerprint": fingerprint, "network": network,
+            "name": name, "device": device, "limit": limit, "cursor": cursor,
+        })
         if objectives is not None:
             body["objectives"] = [list(pair) for pair in objectives]
-        payload = self._request("POST", "/v1/pareto", _drop_none(body))
-        return {
-            name: [point_from_dict(point) for point in front]
-            for name, front in payload["fronts"].items()
-        }
+        fronts: Dict[str, List[DesignPoint]] = {}
+        while True:
+            payload = self._request("POST", "/v1/pareto", body)
+            for front_name, front in payload["fronts"].items():
+                fronts.setdefault(front_name, []).extend(
+                    point_from_dict(point) for point in front
+                )
+            next_cursor = payload.get("next_cursor")
+            if limit is not None or cursor is not None or not next_cursor:
+                return fronts
+            body = dict(body, cursor=next_cursor)
 
     def best(
         self,
@@ -196,15 +267,15 @@ class ServiceClient:
         device: Optional[str] = None,
         name: Optional[str] = None,
         maximize: Optional[bool] = None,
+        where: Optional[List] = None,
     ) -> DesignPoint:
         """The best stored point by ``metric``."""
-        body: Dict[str, Any] = {
+        body = _drop_none({
             "key": key, "fingerprint": fingerprint, "network": network,
             "device": device, "name": name, "metric": metric,
-        }
-        if maximize is not None:
-            body["maximize"] = maximize
-        payload = self._request("POST", "/v1/best", _drop_none(body))
+            "maximize": maximize, "where": where,
+        })
+        payload = self._request("POST", "/v1/best", body)
         return point_from_dict(payload["point"])
 
     # ------------------------------------------------------------------ #

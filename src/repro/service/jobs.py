@@ -892,7 +892,12 @@ class JobManager:
         loop = asyncio.get_running_loop()
         try:
             self._validate_shard_payload(shard, payload)
-            key = await loop.run_in_executor(None, self.store.put_payload, payload)
+            # Shard-level appends skip the per-put index rewrite; the job
+            # runner flushes once when the job settles (crash in between
+            # heals via the store's count-validated rebuild on open).
+            key = await loop.run_in_executor(
+                None, lambda: self.store.put_payload(payload, flush_index=False)
+            )
         except Exception:
             # Invalid completion: the shard still needs executing.
             self.ledger.close(lease, "invalid")
@@ -1077,6 +1082,9 @@ class JobManager:
             job.state = "failed"
         finally:
             job.finished = time.time()
+            # Persist index rows for every shard put that deferred its
+            # flush (no-op when _assemble's flushing put already did).
+            await loop.run_in_executor(None, self.store.flush_index)
             for shard in job.shards:
                 shard.payload = None  # free assembled payloads
             job._done.set()
@@ -1129,7 +1137,7 @@ class JobManager:
                     self._executor(), execute_shard, shard.plan.spec.to_dict()
                 )
                 shard.key = await loop.run_in_executor(
-                    None, self.store.put_payload, payload
+                    None, lambda: self.store.put_payload(payload, flush_index=False)
                 )
                 shard.payload = payload
                 shard.seconds = time.perf_counter() - started

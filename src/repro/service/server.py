@@ -19,9 +19,9 @@ Endpoints (all JSON):
 ``GET  /v1/results/<key>/report``
     Summary/comparison rows of a stored result (``?metric=`` optional).
 ``POST /v1/query``
-    Filter/select/top-k over a stored result's points.
+    Filter/select/top-k over a stored result's points (paginated).
 ``POST /v1/pareto``
-    Per-network Pareto fronts of a stored result.
+    Per-network Pareto fronts of a stored result (paginated).
 ``POST /v1/best``
     Single best point of a stored result by a metric.
 ``POST /v1/evaluate``
@@ -51,7 +51,12 @@ Endpoints (all JSON):
 
 Result selection for ``query``/``pareto``/``best``: pass ``key`` for an
 exact result, or ``fingerprint`` (and/or ``network``/``device``/``name``
-filters) to use the latest matching stored result.
+filters) to use the latest matching stored result.  The three endpoints
+share one request vocabulary — the
+:class:`~repro.service.queryspec.QuerySpec` fields — and ``query``/
+``pareto`` page their responses: ``limit`` (default 1000) caps the rows
+returned and ``next_cursor`` (an opaque token, stable across appends and
+compactions) continues where the page stopped.
 
 The full request/response reference, including error shapes, lives in
 ``docs/http-api.md`` (a test diffs it against :meth:`ResultServer.route_table`).
@@ -70,17 +75,19 @@ import math
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
 from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from ..core.design_space import GridEntry
 from ..dse.batch import EvalRequest
-from ..dse.campaign import CampaignResult, metric_direction
+from ..dse.campaign import CampaignResult
 from ..experiments.persistence import point_to_dict, result_to_dict
 from ..experiments.spec import ExperimentSpec
 from ..reporting import campaign_report_payload, json_sanitize, jsonable_rows
 from .batching import MicroBatcher
 from .jobs import DEFAULT_LEASE_TTL_S, DEFAULT_SHARD_ENTRIES, JobManager
+from .queryspec import QuerySpec
 from .store import ResultStore
 
 __all__ = ["ApiError", "ResultServer", "serve", "DEFAULT_MAX_BODY_BYTES"]
@@ -103,6 +110,11 @@ MAX_EVALUATE_TILE = 16
 #: Deserialized stored results memoized by key (segments are append-only,
 #: so a cached result can never go stale).  Small: entries can be large.
 RESULT_CACHE_SIZE = 8
+
+#: Rows per ``/v1/query``/``/v1/pareto`` response when the request sets no
+#: ``limit`` — large stores no longer produce unbounded responses; follow
+#: ``next_cursor`` (or use ``ServiceClient.iter_query``) for the rest.
+DEFAULT_PAGE_LIMIT = 1000
 
 
 class ApiError(Exception):
@@ -487,121 +499,104 @@ class ResultServer:
             self._result_cache.popitem(last=False)
         return result
 
-    async def _select_result(self, body: Dict[str, Any]) -> Tuple[str, CampaignResult]:
-        """Resolve the stored result a query addresses (key wins)."""
-        key = _field(body, "key", (str,), None)
-        if key is not None:
-            return key, await self._load_by_key(key)
-        filters = {
-            name: _field(body, name, (str,), None)
-            for name in ("fingerprint", "network", "device", "name")
-        }
-        matches = self.store.query(**filters)
-        if not matches:
-            raise ApiError(
-                404,
-                "no stored result matches "
-                + (json.dumps({k: v for k, v in filters.items() if v})
-                   if any(filters.values()) else "an empty store"),
+    def _query_spec(self, body: Dict[str, Any], allowed: set, what: str) -> QuerySpec:
+        """Build the endpoint's :class:`QuerySpec` from a request body.
+
+        ``_check_fields`` keeps the legacy unknown-field message; the
+        spec's own validation covers types, metric names, where clauses
+        and pagination fields with stable 400 texts.
+        """
+        _check_fields(body, allowed, what)
+        try:
+            # null fields mean "unset", exactly like the legacy handlers.
+            spec = QuerySpec.from_dict(
+                {k: v for k, v in body.items() if v is not None}
             )
-        record = matches[-1]
-        return record.key, await self._load_by_key(record.key)
+        except ValueError as error:
+            raise ApiError(400, str(error)) from None
+        if spec.limit is None:
+            spec = replace(spec, limit=DEFAULT_PAGE_LIMIT)
+        return spec
 
     async def _query(self, args, params, body) -> Dict[str, Any]:
-        """``POST /v1/query`` — filter/sort/top-k over a stored result."""
-        _check_fields(
+        """``POST /v1/query`` — filter/sort/top-k over a stored result.
+
+        Runs as a vectorized column scan on the store's query engine;
+        only the returned page of rows is materialized.  ``limit``
+        defaults to 1000 and ``next_cursor`` continues the row ordering.
+        """
+        spec = self._query_spec(
             body,
             {"key", "fingerprint", "network", "device", "name", "metric", "top_k",
-             "maximize"},
+             "maximize", "where", "select", "limit", "cursor"},
             "query",
         )
-        key, result = await self._select_result(body)
-        network = _field(body, "network", (str,), None)
-        device = _field(body, "device", (str,), None)
-        points = result.select(network=network, device=device)
-        metric = _field(body, "metric", (str,), None)
-        top_k = _field(body, "top_k", (int,), None)
-        if top_k is not None and top_k < 1:
-            raise ApiError(400, "top_k must be >= 1")
-        if metric is not None:
-            maximize = _field(body, "maximize", (bool,), metric_direction(metric))
-            try:
-                points = sorted(
-                    points, key=lambda point: getattr(point, metric), reverse=maximize
-                )
-            except AttributeError:
-                raise ApiError(400, f"unknown metric {metric!r}") from None
-        elif _field(body, "maximize", (bool,), None) is not None:
-            raise ApiError(400, "maximize requires a metric")
-        if top_k is not None:
-            points = points[:top_k]
+        loop = asyncio.get_running_loop()
+        try:
+            page = await loop.run_in_executor(None, self.store.query_page, spec)
+        except KeyError as error:
+            raise ApiError(404, error.args[0]) from None
+        except ValueError as error:
+            raise ApiError(400, str(error)) from None
         return {
-            "key": key,
-            "count": len(points),
-            "points": [point_to_dict(point) for point in points],
+            "key": page.key,
+            "count": len(page.rows),
+            "total": page.total,
+            "points": page.rows,
+            "next_cursor": page.next_cursor,
         }
 
     async def _pareto(self, args, params, body) -> Dict[str, Any]:
-        """``POST /v1/pareto`` — per-network Pareto fronts of a result."""
-        _check_fields(
-            body, {"key", "fingerprint", "network", "device", "name", "objectives"},
+        """``POST /v1/pareto`` — per-network Pareto fronts of a result.
+
+        Fronts are flattened in network order for pagination; the page is
+        regrouped per network in the response.
+        """
+        spec = self._query_spec(
+            body,
+            {"key", "fingerprint", "network", "device", "name", "objectives",
+             "limit", "cursor"},
             "pareto",
         )
-        key, result = await self._select_result(body)
-        objectives = body.get("objectives")
-        if objectives is not None:
-            if not isinstance(objectives, list) or not all(
-                isinstance(pair, list)
-                and len(pair) == 2
-                and isinstance(pair[0], str)
-                and isinstance(pair[1], bool)
-                for pair in objectives
-            ):
-                # The bool check matters: a truthy non-bool ("min", 1)
-                # would silently flip the optimization direction.
-                raise ApiError(
-                    400, "objectives must be a list of [metric, maximize-bool] pairs"
-                )
-            objectives = [tuple(pair) for pair in objectives]
+        loop = asyncio.get_running_loop()
         try:
-            fronts = result.pareto_fronts(objectives)
-        except (AttributeError, ValueError) as error:
-            raise ApiError(400, f"invalid objectives: {error}") from None
-        network = _field(body, "network", (str,), None)
-        if network is not None:
-            fronts = {name: front for name, front in fronts.items() if name == network}
+            page = await loop.run_in_executor(None, self.store.pareto, spec)
+        except KeyError as error:
+            raise ApiError(404, error.args[0]) from None
+        except ValueError as error:
+            message = str(error)
+            if message.startswith("unknown metric"):
+                message = f"invalid objectives: {message}"
+            raise ApiError(400, message) from None
         return {
-            "key": key,
-            "objectives": [
-                list(pair) for pair in (objectives or result.campaign.objectives)
-            ],
-            "fronts": {
-                name: [point_to_dict(point) for point in front]
-                for name, front in fronts.items()
-            },
+            "key": page.key,
+            "objectives": page.objectives,
+            "fronts": page.fronts,
+            "total": page.total,
+            "next_cursor": page.next_cursor,
         }
 
     async def _best(self, args, params, body) -> Dict[str, Any]:
         """``POST /v1/best`` — the single best stored point by a metric."""
-        _check_fields(
+        _field(body, "metric", (str,), None, required=True)
+        spec = self._query_spec(
             body,
-            {"key", "fingerprint", "network", "device", "name", "metric", "maximize"},
+            {"key", "fingerprint", "network", "device", "name", "metric",
+             "maximize", "where", "select"},
             "best",
         )
-        key, result = await self._select_result(body)
-        metric = _field(body, "metric", (str,), None, required=True)
-        maximize = _field(body, "maximize", (bool,), None)
-        network = _field(body, "network", (str,), None)
-        device = _field(body, "device", (str,), None)
+        loop = asyncio.get_running_loop()
         try:
-            best = result.best(metric, maximize=maximize, network=network, device=device)
-        except (AttributeError, ValueError) as error:
+            best = await loop.run_in_executor(None, self.store.best, spec)
+        except KeyError as error:
+            raise ApiError(404, error.args[0]) from None
+        except ValueError as error:
             raise ApiError(400, str(error)) from None
         return {
-            "key": key,
-            "metric": metric,
-            "value": float(getattr(best, metric)),
-            "point": point_to_dict(best),
+            "key": best.key,
+            "metric": best.metric,
+            "value": best.value,
+            "point": best.row,
         }
 
     async def _evaluate(self, args, params, body) -> Dict[str, Any]:

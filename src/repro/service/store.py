@@ -2,18 +2,32 @@
 
 The store turns "run a campaign" into "compute once, serve forever": every
 :class:`~repro.dse.CampaignResult` is serialized through the versioned
-:mod:`repro.experiments.persistence` schema and appended to a JSONL
-*segment* file, keyed by the content hash of its canonical JSON form and
-indexed by the embedded spec's :meth:`~repro.experiments.ExperimentSpec.fingerprint`
+:mod:`repro.experiments.persistence` schema and appended to a *segment*
+file, keyed by the content hash of its canonical JSON form and indexed by
+the embedded spec's :meth:`~repro.experiments.ExperimentSpec.fingerprint`
 plus its network and device names.  Consumers (the HTTP server, the CLI,
 notebooks) answer "what-if" queries against stored results without owning
 the evaluation engine.
 
-Layout on disk (everything human-inspectable)::
+Layout on disk::
 
     <root>/
-      segments/segment-000001.jsonl   # one envelope per line, append-only
+      segments/segment-000001.col     # binary columnar blocks (default)
+      segments/segment-000002.jsonl   # legacy JSONL envelopes (import path)
+      segments/.trash/                # compacted-away segments pending unlink
       index.json                      # metadata by key; rebuildable
+
+Two segment formats share one numbering sequence:
+
+* **columnar** (``.col``, the default) — each stored result is one binary
+  block of NumPy-structured design-point columns (:mod:`.columnar`),
+  memory-mapped on read so ``query``/``pareto``/``best`` run as zero-copy
+  vectorized column scans and only the returned page of rows is ever
+  materialized.
+* **jsonl** (``.jsonl``) — the original one-envelope-per-line text format,
+  retained as an import/migration path; :meth:`ResultStore.migrate`
+  rewrites a store between formats in one pass and reads understand both
+  forever.
 
 Properties:
 
@@ -23,9 +37,14 @@ Properties:
   existing key, so re-submitting a campaign never duplicates storage.
 * **Append-only** — segments are only ever appended to (and atomically
   rewritten by :meth:`ResultStore.compact`); a crash mid-append loses at
-  most the trailing partial line, which the loader skips.
+  most the trailing partial line/block, which the loader skips.
 * **Self-healing index** — ``index.json`` is a cache; when missing, stale
   or corrupt it is rebuilt by scanning the segments.
+* **Reader-safe compaction** — compaction never truncates a segment in
+  place: rewritten segments are promoted with atomic renames and old ones
+  are moved aside into ``segments/.trash`` before unlinking, so a reader
+  holding a memory-mapped block keeps a consistent view for as long as it
+  holds the map.
 """
 
 from __future__ import annotations
@@ -34,19 +53,40 @@ import json
 import os
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..dse.campaign import CampaignResult
 from ..experiments.persistence import RESULT_SCHEMA, result_from_dict, result_to_dict
 from ..experiments.spec import ExperimentSpec, canonical_json_hash
+from .query import ReferenceEngine, best_row, pareto_rows, query_rows
+from .queryspec import (
+    BestResult,
+    ParetoPage,
+    QueryPage,
+    QuerySpec,
+    decode_cursor,
+    encode_cursor,
+)
+
+try:  # Columnar segments need NumPy; JSONL keeps working without it.
+    from . import columnar as _columnar
+    from .query import ColumnarEngine
+except ImportError:  # pragma: no cover - exercised only on numpy-free installs
+    _columnar = None  # type: ignore[assignment]
+    ColumnarEngine = None  # type: ignore[assignment,misc]
 
 __all__ = ["StoreRecord", "ResultStore", "result_key"]
 
 #: Versioned schema tags for the segment envelopes and the index cache.
 ENVELOPE_SCHEMA = "repro.result-store/1"
 INDEX_SCHEMA = "repro.result-store-index/1"
+
+#: How many per-result query engines (memory-mapped columnar blocks or
+#: decoded reference payloads) the store keeps warm.
+ENGINE_CACHE_SIZE = 16
 
 
 #: Provenance-only payload fields excluded from the content key: they vary
@@ -82,9 +122,9 @@ def result_key(payload: Dict[str, Any]) -> str:
 class StoreRecord:
     """Index metadata of one stored result (no point payload).
 
-    ``segment``/``offset`` locate the envelope on disk, so a read is one
-    seek + one line parse instead of a segment scan; ``offset`` is ``-1``
-    for records whose position is unknown (falls back to scanning).
+    ``segment``/``offset`` locate the envelope/block on disk, so a read is
+    one seek instead of a segment scan; ``offset`` is ``-1`` for records
+    whose position is unknown (falls back to scanning).
     """
 
     key: str
@@ -141,47 +181,102 @@ class ResultStore:
     instance.  Results themselves stay on disk — only index metadata is
     held in memory — so the store's footprint is independent of how many
     points the stored campaigns contain.
+
+    ``format`` picks the segment format new appends use (``"columnar"`` /
+    ``"jsonl"``); when omitted it is auto-detected from the existing
+    segments (columnar wins for a fresh store when NumPy is available).
+    Reads always understand both formats regardless.
     """
 
     def __init__(
         self,
         root: Union[str, Path],
         segment_max_records: int = 64,
+        format: Optional[str] = None,
     ) -> None:
         if segment_max_records < 1:
             raise ValueError("segment_max_records must be >= 1")
+        if format not in (None, "columnar", "jsonl"):
+            raise ValueError(f"unknown store format {format!r}")
+        if format == "columnar" and _columnar is None:
+            raise ValueError("columnar store format requires numpy")
         self.root = Path(root)
         self.segment_max_records = segment_max_records
         self._lock = threading.RLock()
         self._records: Dict[str, StoreRecord] = {}
         self._next_sequence = 1
         self._segments_dir = self.root / "segments"
+        self._trash_dir = self._segments_dir / ".trash"
         self._index_path = self.root / "index.json"
         self._segments_dir.mkdir(parents=True, exist_ok=True)
-        # Append cursor: the active segment, its (raw) line count and
-        # whether its tail ends in a newline — maintained in memory so a
-        # put() never has to re-read the segment it is appending to.
+        self.format = format if format is not None else self._detect_format()
+        # Per-result query engines, LRU by content key.  An engine owns a
+        # memory-mapped columnar block (or a decoded payload for JSONL /
+        # opaque blocks); entries are validated against the index row and
+        # dropped wholesale on compact/rebuild.
+        self._engines: "OrderedDict[str, Tuple[str, int, Any]]" = OrderedDict()
+        # Append cursor: the active segment, its record count and whether
+        # its tail is clean — maintained in memory so a put() never has to
+        # re-read the segment it is appending to.
         self._active_segment: Optional[Path] = None
         self._active_count = 0
         self._active_tail_clean = True
+        self._drain_trash()
         self._load_index()
         self._reset_append_cursor()
 
     # ------------------------------------------------------------------ #
     # Loading / index maintenance
     # ------------------------------------------------------------------ #
+    def _detect_format(self) -> str:
+        if any(self._segments_dir.glob("segment-*.col")):
+            return "columnar"
+        if any(self._segments_dir.glob("segment-*.jsonl")):
+            return "jsonl"
+        return "columnar" if _columnar is not None else "jsonl"
+
     def _segment_paths(self) -> List[Path]:
-        return sorted(self._segments_dir.glob("segment-*.jsonl"))
+        paths = list(self._segments_dir.glob("segment-*.jsonl"))
+        paths.extend(self._segments_dir.glob("segment-*.col"))
+        return sorted(paths, key=lambda p: (int(p.stem.split("-")[1]), p.name))
+
+    def _drain_trash(self) -> None:
+        """Best-effort unlink of segments compaction moved aside.
+
+        Compaction defers the unlink of replaced segments (readers may
+        hold them memory-mapped); whatever could not be removed then is
+        retried here on every open and after every compact.
+        """
+        if not self._trash_dir.is_dir():
+            return
+        for path in list(self._trash_dir.iterdir()):
+            try:
+                path.unlink()
+            except OSError:  # still mapped by a reader (e.g. Windows)
+                pass
+
+    def _complete_record_count(self, path: Path) -> int:
+        """Complete records in a segment (torn tails excluded), any format."""
+        if path.suffix == ".col":
+            if _columnar is None:
+                raise ValueError(
+                    f"cannot read columnar segment {path.name!r} without numpy"
+                )
+            return _columnar.complete_block_count(path)
+        return self._complete_line_count(path.read_bytes())
 
     def _load_index(self) -> None:
         """Load ``index.json``, falling back to a full segment scan.
 
         The index is trusted only when it is provably in sync with the
         segments: every indexed segment must exist and every segment's
-        on-disk line count must equal the number of records indexed in
-        it.  A crash after a segment append but before the index write
-        therefore triggers a rebuild — the orphaned (fully written)
-        envelope is recovered, never silently hidden.
+        on-disk complete-record count must equal the number of records
+        indexed in it.  A crash after a segment append but before the
+        index write therefore triggers a rebuild — the orphaned (fully
+        written) envelope is recovered, never silently hidden.  Batched
+        ingest (``put_payload(..., flush_index=False)``) leans on the
+        same property: the records it appends before the final
+        :meth:`flush_index` are recovered identically.
         """
         if self._index_path.exists():
             try:
@@ -197,11 +292,11 @@ class ResultStore:
                     indexed_per_segment[record.segment] = (
                         indexed_per_segment.get(record.segment, 0) + 1
                     )
-                # Count *complete* (newline-terminated) lines: a torn tail
-                # from a crash mid-append is not yet a record, so it must
-                # not invalidate the index on every subsequent open.
+                # Count *complete* records: a torn tail from a crash
+                # mid-append is not yet a record, so it must not
+                # invalidate the index on every subsequent open.
                 disk_per_segment = {
-                    path.name: self._complete_line_count(path.read_bytes())
+                    path.name: self._complete_record_count(path)
                     for path in self._segment_paths()
                 }
                 if indexed_per_segment != disk_per_segment:
@@ -215,7 +310,7 @@ class ResultStore:
 
     @staticmethod
     def _scan_segment(path: Path):
-        """Yield ``(offset, envelope)`` for every parseable line of a segment.
+        """Yield ``(offset, envelope)`` for every parseable line of a JSONL segment.
 
         Torn trailing lines (crash mid-append) and foreign content are
         skipped.
@@ -233,20 +328,32 @@ class ResultStore:
                     yield offset, envelope
             offset += len(raw)
 
+    def _scan_metas(self, path: Path):
+        """Yield ``(offset, meta)`` for every complete record of a segment."""
+        if path.suffix == ".col":
+            for offset, header in _columnar.iter_blocks(path):
+                meta = header.get("meta")
+                if isinstance(meta, dict):
+                    yield offset, meta
+        else:
+            for offset, envelope in self._scan_segment(path):
+                yield offset, envelope["meta"]
+
     def rebuild_index(self) -> int:
         """Rescan every segment and rewrite ``index.json``.
 
         Returns the number of live records.  Later envelopes win on key
         collisions (compaction preserves this by keeping the newest).
-        Partial trailing lines (crash mid-append) are skipped.
+        Partial trailing lines/blocks (crash mid-append) are skipped.
         """
         with self._lock:
             self._records = {}
+            self._engines.clear()
             max_sequence = 0
             for path in self._segment_paths():
-                for offset, envelope in self._scan_segment(path):
+                for offset, meta in self._scan_metas(path):
                     record = StoreRecord.from_dict(
-                        {**envelope["meta"], "segment": path.name, "offset": offset}
+                        {**meta, "segment": path.name, "offset": offset}
                     )
                     self._records[record.key] = record
                     max_sequence = max(max_sequence, record.sequence)
@@ -267,6 +374,11 @@ class ResultStore:
         tmp.write_text(json.dumps(payload, indent=2) + "\n")
         os.replace(tmp, self._index_path)
 
+    def flush_index(self) -> None:
+        """Persist the in-memory index now (see ``put_payload(flush_index=)``)."""
+        with self._lock:
+            self._write_index()
+
     # ------------------------------------------------------------------ #
     # Writes
     # ------------------------------------------------------------------ #
@@ -284,22 +396,31 @@ class ResultStore:
             self._active_tail_clean = True
             return
         last = paths[-1]
-        data = last.read_bytes()
         self._active_segment = last
-        self._active_count = self._complete_line_count(data)
-        self._active_tail_clean = (not data) or data.endswith(b"\n")
+        if last.suffix == ".col":
+            count, end = _columnar.segment_extent(last)
+            self._active_count = count
+            self._active_tail_clean = end == last.stat().st_size
+        else:
+            data = last.read_bytes()
+            self._active_count = self._complete_line_count(data)
+            self._active_tail_clean = (not data) or data.endswith(b"\n")
+
+    def _segment_suffix(self) -> str:
+        return ".col" if self.format == "columnar" else ".jsonl"
 
     def _append_segment(self) -> Path:
-        """The segment new envelopes append to.
+        """The segment new records append to.
 
-        Rolls over to a fresh segment when the active one is full — or
-        when its tail is torn (crash mid-append left no trailing newline):
-        appending there would merge the new envelope into the torn line
-        and lose it to the next rescan, so the torn segment is left as-is
-        for compact() to clean up.
+        Rolls over to a fresh segment when the active one is full, is in
+        the other format, or has a torn tail (a crash mid-append left
+        trailing garbage): appending there would merge the new record
+        into the torn bytes and lose it to the next rescan, so the torn
+        segment is left as-is for compact() to clean up.
         """
         if (
             self._active_segment is not None
+            and self._active_segment.suffix == self._segment_suffix()
             and self._active_count < self.segment_max_records
             and self._active_tail_clean
         ):
@@ -308,7 +429,9 @@ class ResultStore:
             number = int(self._active_segment.stem.split("-")[1]) + 1
         else:
             number = 1
-        self._active_segment = self._segments_dir / f"segment-{number:06d}.jsonl"
+        self._active_segment = (
+            self._segments_dir / f"segment-{number:06d}{self._segment_suffix()}"
+        )
         self._active_count = 0
         self._active_tail_clean = True
         return self._active_segment
@@ -323,7 +446,7 @@ class ResultStore:
         """
         return self.put_payload(result_to_dict(result))
 
-    def put_payload(self, payload: Dict[str, Any]) -> str:
+    def put_payload(self, payload: Dict[str, Any], flush_index: bool = True) -> str:
         """Persist an already-serialized result payload; returns its key.
 
         ``payload`` is the versioned :func:`~repro.experiments.persistence.result_to_dict`
@@ -331,6 +454,12 @@ class ResultStore:
         ingests worker-produced payloads through this entry point so the
         parent process never re-materializes design points just to store
         them.  Same content addressing and dedup rules as :meth:`put`.
+
+        ``flush_index=False`` skips the per-put ``index.json`` rewrite for
+        bulk ingest; callers finish with :meth:`flush_index`.  A crash in
+        between leaves a stale index, which the next open detects (record
+        counts disagree) and heals by rebuilding — nothing appended is
+        ever lost.
         """
         if payload.get("schema") != RESULT_SCHEMA:
             raise ValueError(
@@ -365,27 +494,27 @@ class ResultStore:
                 created=time.time(),
                 segment=segment.name,
             )
-            envelope = {
-                "schema": ENVELOPE_SCHEMA,
-                # segment/offset are positional, known only to the index.
-                "meta": {
-                    k: v
-                    for k, v in record.to_dict().items()
-                    if k not in ("segment", "offset")
-                },
-                "result": payload,
+            # segment/offset are positional, known only to the index.
+            meta = {
+                k: v
+                for k, v in record.to_dict().items()
+                if k not in ("segment", "offset")
             }
+            if segment.suffix == ".col":
+                blob = _columnar.encode_block(meta, payload)
+            else:
+                envelope = {"schema": ENVELOPE_SCHEMA, "meta": meta, "result": payload}
+                blob = (json.dumps(envelope, separators=(",", ":")) + "\n").encode()
             # Binary mode: tell() must be a true byte offset for get()'s seek.
             with segment.open("ab") as handle:
                 offset = handle.tell()
-                handle.write(
-                    (json.dumps(envelope, separators=(",", ":")) + "\n").encode()
-                )
+                handle.write(blob)
                 handle.flush()
             self._active_count += 1
             self._records[key] = replace(record, offset=offset)
             self._next_sequence += 1
-            self._write_index()
+            if flush_index:
+                self._write_index()
             return key
 
     # ------------------------------------------------------------------ #
@@ -414,37 +543,186 @@ class ResultStore:
         """
         return result_from_dict(self.get_payload(key))
 
+    def _block_at(self, path: Path, offset: int, key: str):
+        """The columnar block for ``key`` (offset first, scan fallback)."""
+        if offset >= 0:
+            try:
+                block = _columnar.ColumnarBlock.read_at(path, offset)
+            except (ValueError, OSError):
+                block = None
+            if block is not None and block.key == key:
+                return block
+        for found_offset, header in _columnar.iter_blocks(path):
+            if header.get("meta", {}).get("key") == key:
+                return _columnar.ColumnarBlock.read_at(path, found_offset)
+        return None
+
     def get_payload(self, key: str) -> Dict[str, Any]:
         """The raw serialized payload stored under ``key`` (no rebuild).
 
         What :meth:`get` parses into a :class:`CampaignResult`; the job
-        scheduler reassembles campaigns from these directly.  Reads are one
-        seek + one line parse via the record's byte offset (falling back
-        to a segment scan when the offset is unknown or stale).
+        scheduler reassembles campaigns from these directly.  Reads are
+        one seek via the record's byte offset (falling back to a segment
+        scan when the offset is unknown or stale).
         """
         with self._lock:
             record = self._records[key]
             path = self._segments_dir / record.segment
-            if record.offset >= 0:
-                with path.open("rb") as handle:
-                    handle.seek(record.offset)
-                    line = handle.readline()
-                try:
-                    envelope = json.loads(line)
-                except json.JSONDecodeError:
-                    envelope = None
-                if (
-                    isinstance(envelope, dict)
-                    and envelope.get("meta", {}).get("key") == key
-                ):
-                    return envelope["result"]
-            # Fallback: offset unknown/stale — scan the segment.
-            for _, envelope in self._scan_segment(path):
-                if envelope.get("meta", {}).get("key") == key:
-                    return envelope["result"]
+            if path.suffix == ".col":
+                block = self._block_at(path, record.offset, key)
+                if block is not None:
+                    return block.payload()
+            else:
+                if record.offset >= 0:
+                    with path.open("rb") as handle:
+                        handle.seek(record.offset)
+                        line = handle.readline()
+                    try:
+                        envelope = json.loads(line)
+                    except json.JSONDecodeError:
+                        envelope = None
+                    if (
+                        isinstance(envelope, dict)
+                        and envelope.get("meta", {}).get("key") == key
+                    ):
+                        return envelope["result"]
+                # Fallback: offset unknown/stale — scan the segment.
+                for _, envelope in self._scan_segment(path):
+                    if envelope.get("meta", {}).get("key") == key:
+                        return envelope["result"]
         raise KeyError(f"stored result {key!r} vanished from segment {record.segment!r}")
 
+    # ------------------------------------------------------------------ #
+    # Spec-driven reads (the unified query surface)
+    # ------------------------------------------------------------------ #
+    def _engine_for(self, key: str):
+        """The query engine for one stored result (LRU-cached).
+
+        Columnar blocks get the zero-copy :class:`ColumnarEngine`; JSONL
+        envelopes and opaque blocks get the :class:`ReferenceEngine` over
+        the decoded payload.  Both answer queries identically.
+        """
+        record = self._records[key]
+        cached = self._engines.get(key)
+        if cached is not None:
+            segment, offset, engine = cached
+            if segment == record.segment and offset == record.offset:
+                self._engines.move_to_end(key)
+                return engine
+            del self._engines[key]
+        path = self._segments_dir / record.segment
+        engine = None
+        if path.suffix == ".col":
+            block = self._block_at(path, record.offset, key)
+            if block is None:
+                raise KeyError(
+                    f"stored result {key!r} vanished from segment {record.segment!r}"
+                )
+            if not block.opaque:
+                engine = ColumnarEngine(block)
+            else:
+                engine = ReferenceEngine(block.payload())
+        if engine is None:
+            engine = ReferenceEngine(self.get_payload(key))
+        self._engines[key] = (record.segment, record.offset, engine)
+        while len(self._engines) > ENGINE_CACHE_SIZE:
+            self._engines.popitem(last=False)
+        return engine
+
+    def _resolve(self, spec: QuerySpec, mode: str) -> Tuple[str, int, str]:
+        """Pick the stored result a spec addresses: ``(key, start row, binding)``.
+
+        A ``cursor`` re-addresses the result its first page came from (and
+        must have been minted by a query of the same shape); an explicit
+        ``key`` wins next; otherwise the newest record matching the
+        ``fingerprint``/``network``/``device``/``name`` filters is used.
+        Raises ``KeyError`` with the stable not-found messages the HTTP
+        layer forwards verbatim.
+        """
+        binding = spec.binding_hash(mode)
+        if spec.cursor is not None:
+            token = decode_cursor(spec.cursor)
+            if token["q"] != binding:
+                raise ValueError(
+                    "invalid cursor: cursor was issued for a different query"
+                )
+            key = token["k"]
+            if spec.key is not None and spec.key != key:
+                raise ValueError(
+                    "invalid cursor: cursor belongs to a different result"
+                )
+            if key not in self._records:
+                raise KeyError(f"no stored result with key {key!r}")
+            return key, token["o"], binding
+        if spec.key is not None:
+            if spec.key not in self._records:
+                raise KeyError(f"no stored result with key {spec.key!r}")
+            return spec.key, 0, binding
+        filters = {
+            "fingerprint": spec.fingerprint,
+            "network": spec.network,
+            "device": spec.device,
+            "name": spec.name,
+        }
+        matches = self._query_records(**filters)
+        if not matches:
+            raise KeyError(
+                "no stored result matches "
+                + (
+                    json.dumps({k: v for k, v in filters.items() if v})
+                    if any(filters.values())
+                    else "an empty store"
+                )
+            )
+        return matches[-1].key, 0, binding
+
+    def query_page(self, spec: QuerySpec) -> QueryPage:
+        """One page of filtered/sorted/top-k rows from one stored result.
+
+        Row semantics (filter by ``network``/``device``/``where``, stable
+        sort by ``metric``/``maximize``, ``top_k`` cap, ``select``
+        projection) are identical on columnar and JSONL storage; ``limit``
+        and ``cursor`` paginate the ordered row set and ``next_cursor``
+        continues it, stable across concurrent appends and compactions.
+        """
+        with self._lock:
+            key, start, binding = self._resolve(spec, "query")
+            engine = self._engine_for(key)
+            segment = self._records[key].segment
+        rows, total, next_start = query_rows(engine, spec, start, spec.limit)
+        next_cursor = (
+            encode_cursor(key, segment, next_start, binding)
+            if next_start is not None
+            else None
+        )
+        return QueryPage(key=key, rows=rows, total=total, next_cursor=next_cursor)
+
     def query(
+        self,
+        spec: Union[QuerySpec, str, None] = None,
+        network: Optional[str] = None,
+        device: Optional[str] = None,
+        name: Optional[str] = None,
+        *,
+        fingerprint: Optional[str] = None,
+    ):
+        """Spec-driven page query, or the legacy index-record filter.
+
+        With a :class:`QuerySpec` this is :meth:`query_page`.  The legacy
+        keyword form — ``query(fingerprint=..., network=..., device=...,
+        name=...)`` returning matching :class:`StoreRecord` rows oldest
+        first — keeps working unchanged (a positional first string is the
+        fingerprint, as before).
+        """
+        if isinstance(spec, QuerySpec):
+            return self.query_page(spec)
+        if fingerprint is None:
+            fingerprint = spec
+        return self._query_records(
+            fingerprint=fingerprint, network=network, device=device, name=name
+        )
+
+    def _query_records(
         self,
         fingerprint: Optional[str] = None,
         network: Optional[str] = None,
@@ -462,6 +740,60 @@ class ResultStore:
             and (device is None or device in record.devices)
             and (name is None or record.name == name)
         ]
+
+    def _default_objectives(self, key: str):
+        """The stored spec's campaign objectives (no point materialization)."""
+        with self._lock:
+            record = self._records[key]
+            path = self._segments_dir / record.segment
+            spec_data = None
+            if path.suffix == ".col":
+                block = self._block_at(path, record.offset, key)
+                if block is not None:
+                    spec_data = block.result_extra.get("spec")
+            if spec_data is None:
+                spec_data = self.get_payload(key).get("spec")
+        return ExperimentSpec.from_dict(spec_data).to_campaign().objectives
+
+    def pareto(self, spec: QuerySpec) -> ParetoPage:
+        """Per-network Pareto fronts of one stored result, paginated.
+
+        ``objectives`` defaults to the stored spec's campaign objectives;
+        fronts use the legacy domination semantics over the stored row
+        order.  ``limit``/``cursor`` paginate the fronts flattened in
+        network first-appearance order.
+        """
+        with self._lock:
+            key, start, binding = self._resolve(spec, "pareto")
+            engine = self._engine_for(key)
+            segment = self._records[key].segment
+        default_objectives = (
+            self._default_objectives(key) if spec.objectives is None else ()
+        )
+        objectives, fronts, total, next_start = pareto_rows(
+            engine, spec, default_objectives, start, spec.limit
+        )
+        next_cursor = (
+            encode_cursor(key, segment, next_start, binding)
+            if next_start is not None
+            else None
+        )
+        return ParetoPage(
+            key=key,
+            objectives=objectives,
+            fronts=fronts,
+            total=total,
+            next_cursor=next_cursor,
+        )
+
+    def best(self, spec: QuerySpec) -> BestResult:
+        """The single best row of one stored result by ``spec.metric``."""
+        with self._lock:
+            key, _start, _binding = self._resolve(spec, "best")
+            engine = self._engine_for(key)
+        row, value = best_row(engine, spec)
+        assert spec.metric is not None  # best_row raised otherwise
+        return BestResult(key=key, metric=spec.metric, value=value, row=row)
 
     def find(self, fingerprint: str) -> Optional[StoreRecord]:
         """Newest index record whose spec fingerprint matches, if any.
@@ -507,7 +839,7 @@ class ResultStore:
         name: Optional[str] = None,
     ) -> Optional[CampaignResult]:
         """The most recently stored result matching the filters, if any."""
-        matches = self.query(
+        matches = self._query_records(
             fingerprint=fingerprint, network=network, device=device, name=name
         )
         if not matches:
@@ -517,79 +849,140 @@ class ResultStore:
     # ------------------------------------------------------------------ #
     # Maintenance
     # ------------------------------------------------------------------ #
-    def compact(self) -> Dict[str, int]:
-        """Rewrite the segments keeping only live envelopes.
+    def _gather_sources(self) -> Tuple[List[Tuple[dict, Any]], int]:
+        """Collect the newest source of every live record, plus drop count.
 
-        Re-scans the segments first (so envelopes a crashed ``put`` left
-        un-indexed are recovered, never dropped), keeps the newest
-        envelope per key, drops superseded duplicates and torn lines,
-        renumbers segments from 1 and rewrites the index.  Returns
-        ``{"kept": n, "dropped": m}``.  Safe to call on a live store (the
-        lock blocks writers for the duration).
+        Each source is ``(meta, locator)`` where the locator rereads the
+        record's payload/bytes from its current segment; sources are
+        returned oldest sequence first.
         """
-        with self._lock:
-            # Liveness is decided from the segments themselves, not the
-            # possibly-stale in-memory index.
-            self.rebuild_index()
-            envelopes: Dict[str, dict] = {}
-            dropped = 0
-            for path in self._segment_paths():
+        by_key: Dict[str, Tuple[dict, Any]] = {}
+        dropped = 0
+        for path in self._segment_paths():
+            if path.suffix == ".col":
+                count, end = _columnar.segment_extent(path)
+                if end < path.stat().st_size:
+                    dropped += 1  # torn block tail
+                for offset, meta in self._scan_metas(path):
+                    if meta.get("key") in by_key:
+                        dropped += 1
+                    by_key[meta["key"]] = (meta, (path, offset))
+            else:
                 raw_lines = [
                     line for line in path.read_text().splitlines() if line.strip()
                 ]
                 parsed = list(self._scan_segment(path))
                 dropped += len(raw_lines) - len(parsed)  # torn/foreign lines
-                for _, envelope in parsed:
+                for _offset, envelope in parsed:
                     key = envelope.get("meta", {}).get("key")
-                    if key in self._records:
-                        if key in envelopes:
-                            dropped += 1
-                        envelopes[key] = envelope
-                    else:
+                    if key in by_key:
                         dropped += 1
+                    by_key[key] = (envelope["meta"], envelope["result"])
+        ordered = sorted(by_key.values(), key=lambda source: source[0]["sequence"])
+        return ordered, dropped
 
-            ordered = sorted(
-                envelopes.values(), key=lambda env: env["meta"]["sequence"]
-            )
+    def _source_blob(self, meta: dict, locator) -> bytes:
+        """Re-encode one gathered source in the store's current format."""
+        if self.format == "columnar":
+            if isinstance(locator, tuple):
+                # Columnar block staying columnar: copy the bytes verbatim
+                # (the block is position-independent), no re-encode.
+                return _columnar.read_block_bytes(*locator)
+            return _columnar.encode_block(meta, locator)
+        if isinstance(locator, tuple):
+            payload = _columnar.ColumnarBlock.read_at(*locator).payload()
+        else:
+            payload = locator
+        envelope = {"schema": ENVELOPE_SCHEMA, "meta": meta, "result": payload}
+        return (json.dumps(envelope, separators=(",", ":")) + "\n").encode()
+
+    def compact(self) -> Dict[str, int]:
+        """Rewrite the segments keeping only live records.
+
+        Re-scans the segments first (so records a crashed ``put`` left
+        un-indexed are recovered, never dropped), keeps the newest record
+        per key, drops superseded duplicates and torn tails, renumbers
+        segments from 1 — in the store's *current* format, so compacting
+        after :meth:`migrate` converts legacy JSONL segments — and
+        rewrites the index.  Returns ``{"kept": n, "dropped": m}``.
+
+        Safe on a live store, including while readers hold memory-mapped
+        blocks: new segments are written to the side and promoted with
+        atomic renames, and old segments are *moved aside* into
+        ``segments/.trash`` (then unlinked best-effort) instead of being
+        truncated in place — an open map keeps reading the old inode's
+        consistent bytes.  A crash at any point leaves every live record
+        on disk under a ``segment-*`` name, worst case with superseded
+        duplicates, which the next rebuild/compact resolves.
+        """
+        with self._lock:
+            # Liveness is decided from the segments themselves, not the
+            # possibly-stale in-memory index.
+            self.rebuild_index()
+            ordered, dropped = self._gather_sources()
+
             old_paths = self._segment_paths()
+            suffix = self._segment_suffix()
             new_records: Dict[str, StoreRecord] = {}
             written: List[Path] = []
             for start in range(0, len(ordered), self.segment_max_records):
                 number = len(written) + 1
-                path = self._segments_dir / f"segment-{number:06d}.jsonl.compact"
+                path = self._segments_dir / f"segment-{number:06d}{suffix}.compact"
                 with path.open("wb") as handle:
-                    for envelope in ordered[start : start + self.segment_max_records]:
+                    for meta, locator in ordered[start : start + self.segment_max_records]:
                         offset = handle.tell()
-                        handle.write(
-                            (json.dumps(envelope, separators=(",", ":")) + "\n").encode()
-                        )
+                        handle.write(self._source_blob(meta, locator))
                         record = StoreRecord.from_dict(
                             {
-                                **envelope["meta"],
+                                **meta,
                                 "segment": path.name.replace(".compact", ""),
                                 "offset": offset,
                             }
                         )
                         new_records[record.key] = record
                 written.append(path)
-            # Crash safety: promote the rewritten segments FIRST (os.replace
-            # atomically overwrites same-named old segments), and only then
-            # drop old segments that were not overwritten.  A crash at any
-            # point leaves every live envelope on disk under a
-            # ``segment-*.jsonl`` name — worst case with some superseded
-            # duplicates, which rebuild_index/the next compact resolve.
+            # Promote the rewritten segments FIRST (os.replace atomically
+            # overwrites same-named old segments), then move the remaining
+            # old segments into .trash and only unlink them from there —
+            # readers holding memory maps keep the old inodes alive.
             final_names = set()
             for path in written:
                 final = path.with_name(path.name.replace(".compact", ""))
                 os.replace(path, final)
                 final_names.add(final.name)
+            self._trash_dir.mkdir(exist_ok=True)
             for path in old_paths:
                 if path.name not in final_names:
-                    path.unlink()
+                    os.replace(path, self._trash_dir / path.name)
+            self._drain_trash()
             self._records = new_records
+            self._engines.clear()
             self._write_index()
             self._reset_append_cursor()
             return {"kept": len(new_records), "dropped": dropped}
 
+    def migrate(self, format: str = "columnar") -> Dict[str, Any]:
+        """Rewrite every segment into ``format`` (default: columnar).
+
+        The JSONL→columnar import path: flips the store's append format
+        and compacts, which re-encodes all segments.  Payloads round-trip
+        bit-identically (strictly-encoded columns, or opaque JSON bodies
+        for points the strict encoder cannot represent).  Migrating to
+        the current format is a plain compact.  Returns the compaction
+        stats plus the target format.
+        """
+        if format not in ("columnar", "jsonl"):
+            raise ValueError(f"unknown store format {format!r}")
+        if format == "columnar" and _columnar is None:
+            raise ValueError("columnar store format requires numpy")
+        with self._lock:
+            self.format = format
+            stats: Dict[str, Any] = dict(self.compact())
+            stats["format"] = format
+            return stats
+
     def __repr__(self) -> str:
-        return f"ResultStore(root={str(self.root)!r}, results={len(self)})"
+        return (
+            f"ResultStore(root={str(self.root)!r}, results={len(self)}, "
+            f"format={self.format!r})"
+        )

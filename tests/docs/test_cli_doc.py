@@ -18,7 +18,7 @@ import pytest
 from repro.experiments.cli import build_parser
 
 DOC = Path(__file__).resolve().parents[2] / "docs" / "cli.md"
-SUBCOMMANDS = ("run", "report", "list", "serve", "worker")
+SUBCOMMANDS = ("run", "report", "list", "serve", "worker", "migrate")
 
 FLAG = re.compile(r"`(--[a-z][a-z0-9-]*)`")
 

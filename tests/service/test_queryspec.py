@@ -1,0 +1,213 @@
+"""QuerySpec: validation, JSON round trip, cursor codec, binding hash."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.service.queryspec import (
+    DERIVED_METRICS,
+    METRIC_ALIASES,
+    SCALAR_COLUMNS,
+    QuerySpec,
+    decode_cursor,
+    encode_cursor,
+    resolve_metric,
+)
+
+
+class TestValidation:
+    def test_defaults_are_empty(self):
+        spec = QuerySpec()
+        assert spec.to_dict() == {}
+
+    def test_frozen(self):
+        spec = QuerySpec(metric="throughput_gops")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.metric = "power_watts"
+
+    def test_listy_fields_normalized_to_tuples(self):
+        spec = QuerySpec(
+            where=[["throughput_gops", ">", 1.0]],
+            objectives=[["throughput_gops", True]],
+            select=["throughput_gops", "power_watts"],
+        )
+        assert spec.where == (("throughput_gops", ">", 1.0),)
+        assert spec.objectives == (("throughput_gops", True),)
+        assert spec.select == ("throughput_gops", "power_watts")
+        assert hash(spec) == hash(QuerySpec(**spec.to_dict()))
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric 'nope'"):
+            QuerySpec(metric="nope")
+
+    def test_metric_alias_resolves(self):
+        path, kind = resolve_metric("total_latency_ms")
+        assert path == METRIC_ALIASES["total_latency_ms"]
+        assert kind == "num"
+
+    def test_derived_metric_resolves(self):
+        assert "multiplication_saving_factor" in DERIVED_METRICS
+        path, kind = resolve_metric("multiplication_saving_factor")
+        assert kind == "num"
+
+    def test_every_scalar_column_resolves(self):
+        for path, kind in SCALAR_COLUMNS:
+            got_path, got_kind = resolve_metric(path)
+            assert got_path == path
+            assert got_kind == kind
+
+    def test_maximize_without_metric_rejected(self):
+        with pytest.raises(ValueError, match="maximize requires a metric"):
+            QuerySpec(maximize=True)
+
+    def test_top_k_and_limit_must_be_positive(self):
+        with pytest.raises(ValueError, match="top_k must be >= 1"):
+            QuerySpec(top_k=0)
+        with pytest.raises(ValueError, match="limit must be >= 1"):
+            QuerySpec(limit=-1)
+        with pytest.raises(ValueError, match="must be int"):
+            QuerySpec(limit=True)
+
+    def test_where_validation(self):
+        with pytest.raises(ValueError, match="triples"):
+            QuerySpec(where=[["throughput_gops", ">"]])
+        with pytest.raises(ValueError, match="unknown where operator"):
+            QuerySpec(where=[["throughput_gops", "~", 1.0]])
+        with pytest.raises(ValueError, match="must be a number"):
+            QuerySpec(where=[["throughput_gops", ">", "fast"]])
+        with pytest.raises(ValueError, match="requires a numeric metric"):
+            QuerySpec(where=[["name", ">", "a"]])
+        with pytest.raises(ValueError, match="must be a string"):
+            QuerySpec(where=[["name", "==", 3]])
+        with pytest.raises(ValueError, match="must be a boolean"):
+            QuerySpec(where=[["shared_data_transform", "==", 1]])
+        # Valid forms of each kind.
+        QuerySpec(where=[["throughput_gops", ">=", 2]])
+        QuerySpec(where=[["name", "!=", "m2"]])
+        QuerySpec(where=[["shared_data_transform", "==", True]])
+
+    def test_objectives_require_bool_direction(self):
+        with pytest.raises(ValueError, match="maximize-bool"):
+            QuerySpec(objectives=[["throughput_gops", 1]])
+        with pytest.raises(ValueError, match="maximize-bool"):
+            QuerySpec(objectives=[["throughput_gops"]])
+
+    def test_select_entries_validated(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            QuerySpec(select=["throughput_gops", "bogus"])
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_round_trips(self):
+        spec = QuerySpec(
+            fingerprint="abc",
+            network="vgg16-d",
+            where=[["throughput_gops", ">", 10.0], ["name", "==", "m2"]],
+            metric="total_latency_ms",
+            maximize=False,
+            select=["total_latency_ms", "throughput_gops"],
+            top_k=5,
+            limit=2,
+        )
+        data = spec.to_dict()
+        assert json.loads(json.dumps(data)) == data  # JSON-clean
+        assert QuerySpec.from_dict(data) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown query fields \\['nope'\\]"):
+            QuerySpec.from_dict({"nope": 1})
+
+    def test_from_dict_rejects_non_mapping(self):
+        with pytest.raises(ValueError, match="must be a mapping"):
+            QuerySpec.from_dict([1, 2])
+
+    def test_from_dict_rejects_scalar_where(self):
+        with pytest.raises(ValueError, match="where must be a list"):
+            QuerySpec.from_dict({"where": "throughput_gops > 1"})
+        with pytest.raises(ValueError, match="select must be a list"):
+            QuerySpec.from_dict({"select": "throughput_gops"})
+
+
+class TestCursorCodec:
+    def test_round_trip(self):
+        token = encode_cursor("deadbeef", "segment-000001.col", 42, "b" * 16)
+        decoded = decode_cursor(token)
+        assert decoded == {
+            "v": 1,
+            "k": "deadbeef",
+            "s": "segment-000001.col",
+            "o": 42,
+            "q": "b" * 16,
+        }
+
+    def test_token_is_url_safe(self):
+        token = encode_cursor("k", "s", 7, "q")
+        assert "=" not in token
+        assert all(c.isalnum() or c in "-_" for c in token)
+
+    @pytest.mark.parametrize(
+        "bad", ["", "!!!", "bm90IGpzb24", encode_cursor("k", "s", 1, "q")[:-4] + "AAAA"]
+    )
+    def test_garbage_rejected(self, bad):
+        with pytest.raises(ValueError, match="invalid cursor"):
+            decode_cursor(bad)
+
+    def test_wrong_version_rejected(self):
+        import base64
+
+        raw = json.dumps({"v": 99, "k": "k", "s": "s", "o": 0, "q": "q"}).encode()
+        token = base64.urlsafe_b64encode(raw).decode().rstrip("=")
+        with pytest.raises(ValueError, match="unsupported cursor version"):
+            decode_cursor(token)
+
+    def test_negative_offset_rejected(self):
+        import base64
+
+        raw = json.dumps({"v": 1, "k": "k", "s": "s", "o": -1, "q": "q"}).encode()
+        token = base64.urlsafe_b64encode(raw).decode().rstrip("=")
+        with pytest.raises(ValueError, match="bad row offset"):
+            decode_cursor(token)
+
+
+class TestBindingHash:
+    def test_ordering_fields_bind(self):
+        base = QuerySpec(metric="throughput_gops")
+        assert base.binding_hash("query") == QuerySpec(
+            metric="throughput_gops"
+        ).binding_hash("query")
+        # Anything that reshapes the row ordering must change the hash.
+        assert base.binding_hash("query") != base.binding_hash("pareto")
+        assert (
+            base.binding_hash("query")
+            != QuerySpec(metric="power_watts").binding_hash("query")
+        )
+        assert (
+            base.binding_hash("query")
+            != QuerySpec(metric="throughput_gops", maximize=False).binding_hash("query")
+        )
+        assert (
+            base.binding_hash("query")
+            != QuerySpec(metric="throughput_gops", top_k=3).binding_hash("query")
+        )
+        assert (
+            base.binding_hash("query")
+            != QuerySpec(
+                metric="throughput_gops", where=[["power_watts", "<", 5]]
+            ).binding_hash("query")
+        )
+
+    def test_pagination_fields_do_not_bind(self):
+        # limit and cursor only slice the ordering; a cursor minted at one
+        # page size must stay valid when the client changes limit.
+        a = QuerySpec(metric="throughput_gops", limit=2)
+        b = QuerySpec(metric="throughput_gops", limit=500)
+        assert a.binding_hash("query") == b.binding_hash("query")
+
+    def test_key_does_not_bind(self):
+        # Result identity travels in the cursor's "k" slot, not the hash.
+        a = QuerySpec(key="aaaa", metric="throughput_gops")
+        b = QuerySpec(key="bbbb", metric="throughput_gops")
+        assert a.binding_hash("query") == b.binding_hash("query")

@@ -54,7 +54,7 @@ class TestPutGet:
         assert loaded.evaluations == result.evaluations
 
     def test_content_addressing_dedups(self, tmp_path, result):
-        store = ResultStore(tmp_path)
+        store = ResultStore(tmp_path, format="jsonl")
         key = store.put(result)
         assert store.put(result) == key
         assert len(store) == 1
@@ -110,7 +110,7 @@ class TestPutGet:
             store.get("no-such-key")
 
     def test_envelope_schema_tag(self, tmp_path, result):
-        store = ResultStore(tmp_path)
+        store = ResultStore(tmp_path, format="jsonl")
         store.put(result)
         segment = next((tmp_path / "segments").glob("*.jsonl"))
         envelope = json.loads(segment.read_text().splitlines()[0])
@@ -180,7 +180,7 @@ class TestIndexSelfHealing:
         assert sorted(reopened.keys()) == sorted([first, second])
 
     def test_torn_segment_line_skipped(self, tmp_path, result, other_result):
-        store = ResultStore(tmp_path)
+        store = ResultStore(tmp_path, format="jsonl")
         first = store.put(result)
         # Simulate a crash mid-append: a truncated JSON line at the tail.
         segment = next((tmp_path / "segments").glob("*.jsonl"))
@@ -196,7 +196,7 @@ class TestIndexSelfHealing:
         """A put onto a segment with a torn (newline-less) tail must start
         a fresh line — otherwise the new envelope merges into the torn one
         and a later rebuild permanently drops it."""
-        store = ResultStore(tmp_path)
+        store = ResultStore(tmp_path, format="jsonl")
         first = store.put(result)
         segment = next((tmp_path / "segments").glob("*.jsonl"))
         with segment.open("a") as handle:
@@ -213,7 +213,7 @@ class TestIndexSelfHealing:
 
 class TestCompaction:
     def test_compact_drops_dead_weight(self, tmp_path, result, other_result):
-        store = ResultStore(tmp_path, segment_max_records=1)
+        store = ResultStore(tmp_path, segment_max_records=1, format="jsonl")
         first = store.put(result)
         second = store.put(other_result)
         # Duplicate the first envelope manually (a superseded copy) plus junk.
@@ -240,4 +240,4 @@ class TestCompaction:
         store = ResultStore(tmp_path, segment_max_records=1)
         store.put(result)
         store.put(other_result)
-        assert len(list((tmp_path / "segments").glob("*.jsonl"))) == 2
+        assert len(list((tmp_path / "segments").glob("segment-*"))) == 2
