@@ -1,0 +1,341 @@
+"""Service load benchmark — sustained mixed traffic against a live server.
+
+Every other service benchmark isolates one path.  This one does what a
+real deployment does: four traffic classes hammering one
+:class:`~repro.service.ResultServer` at the same time, over real HTTP —
+
+* **evaluate** — single-point ``POST /v1/evaluate`` requests through the
+  micro-batcher (a rotating plane of feasible configurations);
+* **query** — paginated ``POST /v1/query`` top-k reads against a stored
+  campaign result;
+* **submit** — ``POST /v1/jobs`` submissions of distinct single-entry
+  campaigns (the server runs ``workers=0``, so shards queue for the
+  lease protocol instead of executing locally);
+* **lease** — fleet churn: ``POST /v1/leases`` acquires against the
+  queue the submit class feeds, each granted lease heartbeated once and
+  then failed back (requeue until the attempt cap retires the shard) —
+  the grant/heartbeat/fail cycle a flapping worker generates.
+
+Each class records per-request wall latency; the report prints p50/p99
+and sustained request rate per class, plus the overall error rate (any
+non-2xx or transport error).  At the end the benchmark scrapes
+``GET /metrics`` and asserts the scrape reflects the traffic it just
+generated — the observability layer is part of the contract under load.
+
+Every full-mode run appends a ``service_load`` trend record to
+``BENCH_service.json`` (override with ``REPRO_BENCH_RECORD_LOAD``; set
+it in fast mode to record smoke runs too);
+``benchmarks/check_regression.py`` gates CI on the recorded evaluate
+p99 and error rate.  Set ``REPRO_BENCH_FAST=1`` to shrink the run.
+"""
+
+import asyncio
+import json
+import os
+import platform
+import statistics
+import threading
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from conftest import emit, record_trend
+
+from repro.core.design_space import SweepSpec
+from repro.experiments import ExperimentSpec, run_experiment
+from repro.experiments.persistence import result_to_dict
+from repro.reporting import format_table
+from repro.service import ResultServer, ResultStore, ServiceClient, ServiceError
+
+FAST = os.environ.get("REPRO_BENCH_FAST") == "1"
+
+#: Where the trend record lands unless REPRO_BENCH_RECORD_LOAD is set.
+DEFAULT_RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+BASELINES_PATH = Path(__file__).resolve().parent / "baselines.json"
+
+if FAST:
+    DURATION_S = 2.0
+    THREADS_PER_CLASS = 1
+    BOUNDS = None
+else:
+    DURATION_S = 8.0
+    THREADS_PER_CLASS = 2
+    BOUNDS = json.loads(BASELINES_PATH.read_text())["service_load"]["metrics"]
+
+#: Rotating evaluate plane — all feasible on the paper's device.
+EVAL_PLANE = [
+    {"network": "alexnet", "device": "xc7vx485t", "m": m, "multiplier_budget": b}
+    for m in (2, 3, 4)
+    for b in (256, 512)
+]
+
+#: Metric families the end-of-run scrape must show as exercised.
+EXPECTED_FAMILIES = (
+    "repro_http_requests_total",
+    "repro_http_request_seconds",
+    "repro_batcher_requests_total",
+    "repro_jobs_queue_depth",
+    "repro_fleet_leases",
+)
+
+
+def seed_payload() -> dict:
+    """One evaluated campaign payload for the query traffic to read."""
+    spec = ExperimentSpec(
+        networks=("vgg16-d",),
+        devices=("xc7vx485t",),
+        sweeps=(
+            SweepSpec(
+                m_values=(2, 3, 4),
+                multiplier_budgets=(256, 512),
+                frequencies_mhz=(150.0, 200.0),
+            ),
+        ),
+        name="bench-load-seed",
+    )
+    return result_to_dict(run_experiment(spec, cache=False))
+
+
+def submit_spec(index: int) -> ExperimentSpec:
+    """A distinct single-entry campaign (unique name => unique fingerprint)."""
+    return ExperimentSpec(
+        networks=("alexnet",),
+        devices=("xc7vx485t",),
+        sweeps=(
+            SweepSpec(
+                m_values=(2,), multiplier_budgets=(256,), frequencies_mhz=(200.0,)
+            ),
+        ),
+        name=f"bench-load-{index:06d}",
+    )
+
+
+class TrafficClass:
+    """Latency samples and error count for one traffic class."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.latencies = []
+        self.errors = 0
+        self._lock = threading.Lock()
+
+    def timed(self, call) -> object:
+        """Run ``call``, recording wall latency or an error; never raises."""
+        started = time.perf_counter()
+        try:
+            result = call()
+        except (ServiceError, OSError):
+            with self._lock:
+                self.errors += 1
+            return None
+        elapsed = time.perf_counter() - started
+        with self._lock:
+            self.latencies.append(elapsed)
+        return result
+
+    def percentile_ms(self, fraction: float) -> float:
+        ordered = sorted(self.latencies)
+        if not ordered:
+            return float("nan")
+        return ordered[min(len(ordered) - 1, int(len(ordered) * fraction))] * 1e3
+
+    def p50_ms(self) -> float:
+        return statistics.median(self.latencies) * 1e3 if self.latencies else float("nan")
+
+
+def drive_evaluate(client: ServiceClient, stats: TrafficClass, deadline: float) -> None:
+    index = 0
+    while time.perf_counter() < deadline:
+        request = EVAL_PLANE[index % len(EVAL_PLANE)]
+        index += 1
+        answer = stats.timed(lambda: client.evaluate_raw(**request))
+        if answer is not None:
+            assert answer["feasible"], answer
+
+
+def drive_query(
+    client: ServiceClient, stats: TrafficClass, deadline: float, key: str
+) -> None:
+    while time.perf_counter() < deadline:
+        page = stats.timed(
+            lambda: client.query_page(
+                key=key, metric="throughput_gops", top_k=8, limit=8
+            )
+        )
+        if page is not None:
+            assert page["count"] == 8, page
+
+
+def drive_submit(
+    client: ServiceClient, stats: TrafficClass, deadline: float, offset: int
+) -> None:
+    index = offset
+    while time.perf_counter() < deadline:
+        spec = submit_spec(index)
+        index += 10_000  # keep per-thread name ranges disjoint
+        job = stats.timed(lambda: client.submit_job(spec))
+        if job is not None:
+            assert job["state"] in ("queued", "running"), job
+        time.sleep(0.005)  # pace submissions: jobs outlive the run
+
+
+def drive_lease(
+    client: ServiceClient, stats: TrafficClass, deadline: float, worker: str
+) -> None:
+    while time.perf_counter() < deadline:
+        grant = stats.timed(lambda: client.acquire_leases(worker, count=1))
+        leases = grant["leases"] if grant else []
+        if not leases:
+            time.sleep(0.01)  # queue momentarily empty; let submits catch up
+            continue
+        lease_id = leases[0]["id"]
+        stats.timed(lambda: client.heartbeat_lease(lease_id))
+        stats.timed(
+            lambda: client.fail_lease(lease_id, "bench-load churn", requeue=True)
+        )
+
+
+def start_server(store_root: str):
+    """A fleet-only server on a background loop; returns (server, stop)."""
+    store = ResultStore(store_root)
+    loop = asyncio.new_event_loop()
+    server = ResultServer(store, port=0, workers=0, lease_ttl_s=30.0, quiet=True)
+    started = threading.Event()
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert started.wait(10.0)
+
+    def stop() -> None:
+        asyncio.run_coroutine_threadsafe(server.close(), loop).result(30.0)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10.0)
+
+    return server, stop
+
+
+def test_sustained_mixed_load(tmp_path):
+    payload = seed_payload()
+    server, stop = start_server(str(tmp_path / "store"))
+    try:
+        key = server.store.put_payload(payload)
+        client = ServiceClient(port=server.port)
+
+        classes = {
+            name: TrafficClass(name)
+            for name in ("evaluate", "query", "submit", "lease")
+        }
+        deadline = time.perf_counter() + DURATION_S
+        threads = []
+        for slot in range(THREADS_PER_CLASS):
+            threads.extend(
+                [
+                    threading.Thread(
+                        target=drive_evaluate,
+                        args=(ServiceClient(port=server.port), classes["evaluate"], deadline),
+                    ),
+                    threading.Thread(
+                        target=drive_query,
+                        args=(ServiceClient(port=server.port), classes["query"], deadline, key),
+                    ),
+                    threading.Thread(
+                        target=drive_submit,
+                        args=(ServiceClient(port=server.port), classes["submit"], deadline, slot),
+                    ),
+                    threading.Thread(
+                        target=drive_lease,
+                        args=(
+                            ServiceClient(port=server.port),
+                            classes["lease"],
+                            deadline,
+                            f"bench-load-w{slot}",
+                        ),
+                    ),
+                ]
+            )
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=DURATION_S + 60.0)
+            assert not thread.is_alive(), "traffic thread wedged past the deadline"
+        wall = time.perf_counter() - started
+
+        # The observability layer must reflect the traffic it just carried.
+        scrape = client.metrics_text()
+        for family in EXPECTED_FAMILIES:
+            assert f"# TYPE {family.removesuffix('_bucket')}" in scrape, family
+        assert 'route="/v1/evaluate"' in scrape
+        assert 'repro_fleet_leases{event="granted"}' in scrape
+    finally:
+        stop()
+
+    total_requests = sum(len(c.latencies) for c in classes.values())
+    total_errors = sum(c.errors for c in classes.values())
+    error_rate = total_errors / max(1, total_requests + total_errors)
+    for stats in classes.values():
+        assert stats.latencies, f"{stats.name} traffic never completed a request"
+
+    emit(
+        f"Sustained mixed service load ({DURATION_S:.0f}s, "
+        f"{THREADS_PER_CLASS} thread(s) per class, {total_requests} requests, "
+        f"{total_errors} errors)",
+        format_table(
+            [
+                {
+                    "class": stats.name,
+                    "requests": len(stats.latencies),
+                    "rps": len(stats.latencies) / wall,
+                    "p50_ms": stats.p50_ms(),
+                    "p99_ms": stats.percentile_ms(0.99),
+                }
+                for stats in classes.values()
+            ],
+            precision=2,
+        )
+        + f"\noverall {total_requests / wall:.0f} req/s  "
+        f"error rate {error_rate:.4f}",
+    )
+
+    if not FAST or os.environ.get("REPRO_BENCH_RECORD_LOAD"):
+        record = {
+            "benchmark": "service_load",
+            "mode": "fast" if FAST else "full",
+            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "duration_seconds": DURATION_S,
+            "threads_per_class": THREADS_PER_CLASS,
+            "total_requests": total_requests,
+            "total_errors": total_errors,
+            "error_rate": round(error_rate, 6),
+            "throughput_rps": round(total_requests / wall, 1),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        }
+        for stats in classes.values():
+            record[f"{stats.name}_requests"] = len(stats.latencies)
+            record[f"{stats.name}_rps"] = round(len(stats.latencies) / wall, 1)
+            record[f"{stats.name}_p50_ms"] = round(stats.p50_ms(), 3)
+            record[f"{stats.name}_p99_ms"] = round(stats.percentile_ms(0.99), 3)
+        path = record_trend(
+            record,
+            default_path=DEFAULT_RECORD_PATH,
+            env_var="REPRO_BENCH_RECORD_LOAD",
+        )
+        print(f"trend record appended to {path}")
+
+    if BOUNDS is not None:
+        p99_cap = BOUNDS["evaluate_p99_ms"]["max"]
+        p99 = classes["evaluate"].percentile_ms(0.99)
+        assert p99 <= p99_cap, (
+            f"evaluate p99 {p99:.1f} ms over the {p99_cap} ms baseline cap"
+        )
+        rate_cap = BOUNDS["error_rate"]["max"]
+        assert error_rate <= rate_cap, (
+            f"error rate {error_rate:.4f} over the {rate_cap} baseline cap"
+        )

@@ -167,6 +167,30 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve_parser.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="disable the metrics registry and the /metrics + /v1/stats endpoints",
+    )
+    serve_parser.add_argument(
+        "--max-pending-evals",
+        type=int,
+        default=None,
+        help=(
+            "admission bound on queued + in-flight /v1/evaluate requests; "
+            "beyond it the server answers 429 with Retry-After "
+            "(default: unbounded)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--max-pending-jobs",
+        type=int,
+        default=None,
+        help=(
+            "bound on active (non-terminal) campaign jobs; beyond it job "
+            "submission answers 429 with Retry-After (default: unbounded)"
+        ),
+    )
+    serve_parser.add_argument(
         "-q", "--quiet", action="store_true", help="suppress the startup banner"
     )
 
@@ -323,6 +347,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shard_entries=args.shard_entries,
         lease_ttl_s=args.lease_ttl_s,
         quiet=args.quiet,
+        metrics=not args.no_metrics,
+        max_pending_evals=args.max_pending_evals,
+        max_pending_jobs=args.max_pending_jobs,
     )
 
 

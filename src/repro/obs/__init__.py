@@ -1,0 +1,55 @@
+"""``repro.obs`` — stdlib-only observability for the service stack.
+
+Three small layers, no third-party dependencies:
+
+:mod:`repro.obs.metrics`
+    :class:`MetricsRegistry` holding thread-safe :class:`Counter`,
+    :class:`Gauge` (settable or scrape-time callback) and
+    :class:`Histogram` (fixed log-spaced buckets, p50/p95/p99 estimation)
+    families, rendered as Prometheus text exposition for ``GET /metrics``
+    or as a JSON twin for ``GET /v1/stats``.
+:mod:`repro.obs.tracing`
+    Per-request trace ids propagated over the ``X-Repro-Trace-Id`` header
+    and held in a :mod:`contextvars` variable inside each process.
+:mod:`repro.obs.logging`
+    :class:`StructuredLogger` — single-line JSON events on stderr, stamped
+    with the current trace id automatically.
+
+Only the service/worker layer imports this package; ``repro.core`` and
+``repro.dse`` stay observability-free, and the registry instruments hot
+paths lazily (metric families are created when a server starts, not at
+import time).
+"""
+
+from .logging import StructuredLogger, get_logger
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .tracing import (
+    TRACE_HEADER,
+    current_trace_id,
+    new_trace_id,
+    set_trace_id,
+    trace_context,
+    valid_trace_id,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "StructuredLogger",
+    "TRACE_HEADER",
+    "current_trace_id",
+    "get_logger",
+    "new_trace_id",
+    "set_trace_id",
+    "trace_context",
+    "valid_trace_id",
+]

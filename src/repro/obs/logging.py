@@ -1,0 +1,79 @@
+"""Structured JSON log lines, one event per line, trace-aware.
+
+Every component of the service stack logs through a
+:class:`StructuredLogger`: a named emitter that writes single-line JSON
+objects to a stream (stderr by default, so human-readable stdout output
+stays uncluttered).  Each line carries a monotonic-enough wall-clock
+timestamp, the component name, an event name, the current trace id (read
+from :mod:`repro.obs.tracing` automatically — callers never thread it
+through), and whatever key/value fields the call site supplies.
+
+Lines are machine-first: tests and operators ``json.loads`` them and
+filter on ``event`` / ``trace_id``.  Emission is guarded by a lock so
+lines from concurrent threads never interleave, and any serialization
+surprise degrades to ``repr`` rather than raising into the hot path.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import IO, Optional
+
+from .tracing import current_trace_id
+
+__all__ = ["StructuredLogger", "get_logger"]
+
+
+def _jsonable(value: object) -> object:
+    try:
+        json.dumps(value)
+        return value
+    except (TypeError, ValueError):
+        return repr(value)
+
+
+class StructuredLogger:
+    """Named JSON-lines emitter; disabled loggers cost one attribute check."""
+
+    def __init__(
+        self,
+        component: str,
+        stream: Optional[IO[str]] = None,
+        enabled: bool = True,
+    ):
+        self.component = component
+        self.enabled = enabled
+        self._stream = stream
+        self._lock = threading.Lock()
+
+    def event(self, event: str, **fields: object) -> Optional[dict]:
+        """Emit one structured line; returns the record (or None if off)."""
+        if not self.enabled:
+            return None
+        record = {
+            "ts": round(time.time(), 6),
+            "component": self.component,
+            "event": event,
+        }
+        trace_id = fields.pop("trace_id", None) or current_trace_id()
+        if trace_id is not None:
+            record["trace_id"] = trace_id
+        for key, value in fields.items():
+            record[key] = _jsonable(value)
+        line = json.dumps(record, separators=(",", ":"))
+        stream = self._stream if self._stream is not None else sys.stderr
+        with self._lock:
+            print(line, file=stream, flush=True)
+        return record
+
+
+def get_logger(
+    component: str,
+    stream: Optional[IO[str]] = None,
+    enabled: bool = True,
+) -> StructuredLogger:
+    """A fresh :class:`StructuredLogger` for ``component``."""
+    return StructuredLogger(component, stream=stream, enabled=enabled)

@@ -1,0 +1,479 @@
+"""Thread-safe metrics primitives with Prometheus text exposition.
+
+The service stack needs counters, gauges and latency histograms that many
+threads (HTTP connections, the micro-batcher's executor, the job manager's
+shard drivers) can update concurrently, and that a scraper can read without
+pausing any of them.  Everything here is stdlib-only so ``repro.core`` /
+``repro.dse`` never grow an observability dependency; the service layer
+creates one :class:`MetricsRegistry` per server and instruments itself
+lazily at construction time.
+
+Three metric kinds, Prometheus semantics:
+
+``Counter``
+    Monotonically increasing float, ``inc()`` only.
+``Gauge``
+    Settable float, or a *callback* evaluated at scrape time — the natural
+    shape for live values such as queue depth or store segment bytes that
+    already exist in some data structure and should not be mirrored on
+    every update.
+``Histogram``
+    Fixed log-spaced buckets (``le``-inclusive upper bounds, factor-2 from
+    100 µs to ~105 s by default) with cumulative exposition plus
+    ``quantile()`` estimation (p50/p95/p99) by linear interpolation inside
+    the target bucket — the same model ``histogram_quantile`` applies
+    server-side in Prometheus.
+
+Labelled children are keyed by frozen tuples of label *values* in the
+declared label-name order; ``family.labels(route="/health")`` returns the
+child, creating it on first use.  A family and all its children share one
+lock: updates are short (a float add), so contention stays negligible at
+service request rates while keeping ``collect()`` snapshots coherent.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Factor-2 log-spaced upper bounds, 100 microseconds .. ~105 seconds.
+#: Every latency histogram in the service shares these so percentile
+#: estimates stay comparable across routes and subsystems.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = tuple(
+    1e-4 * (2.0**i) for i in range(21)
+)
+
+_CallbackValue = Union[float, int, Mapping[Tuple[str, ...], float]]
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way Prometheus text format expects."""
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(names: Sequence[str], values: Sequence[str]) -> str:
+    if not names:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label(str(value))}"' for name, value in zip(names, values)
+    )
+    return "{" + pairs + "}"
+
+
+class _Family:
+    """Shared machinery: child creation keyed by frozen label tuples."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()):
+        self.name = name
+        self.help = help
+        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    def _make_child(self) -> object:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def labels(self, *values: str, **kwargs: str):
+        """The child for one label-value combination (created on first use)."""
+        if kwargs:
+            if values:
+                raise ValueError("pass label values positionally or by name, not both")
+            try:
+                values = tuple(kwargs[name] for name in self.labelnames)
+            except KeyError as error:
+                raise ValueError(f"unknown label {error.args[0]!r} for {self.name}") from None
+            if len(kwargs) != len(self.labelnames):
+                extra = set(kwargs) - set(self.labelnames)
+                raise ValueError(f"unexpected labels {sorted(extra)} for {self.name}")
+        key = tuple(str(value) for value in values)
+        if len(key) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name} expects {len(self.labelnames)} label value(s), got {len(key)}"
+            )
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child()
+                self._children[key] = child
+        return child
+
+    def _items(self) -> List[Tuple[Tuple[str, ...], object]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+
+class _CounterChild:
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock):
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Counter(_Family):
+    """A monotonically increasing value, optionally labelled."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()):
+        super().__init__(name, help, labelnames)
+        if not self.labelnames:
+            self._children[()] = self._make_child()
+
+    def _make_child(self) -> _CounterChild:
+        return _CounterChild(self._lock)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self.labelnames:
+            raise ValueError(f"{self.name} is labelled; use .labels(...).inc()")
+        self._children[()].inc(amount)  # type: ignore[union-attr]
+
+    @property
+    def value(self) -> float:
+        if self.labelnames:
+            raise ValueError(f"{self.name} is labelled; use .labels(...).value")
+        return self._children[()].value  # type: ignore[union-attr]
+
+    def samples(self) -> List[Tuple[Tuple[str, ...], float]]:
+        return [(key, child.value) for key, child in self._items()]
+
+
+class _GaugeChild:
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock):
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge(_Family):
+    """A settable value — or a callback evaluated at scrape time.
+
+    A callback gauge never stores anything: ``collect()`` calls the
+    function and exports what it returns.  For an unlabelled gauge the
+    callback returns a number; for a labelled one it returns a mapping of
+    label-value tuples to numbers, so one callback can export a whole
+    family (e.g. shard counts per state) from a single snapshot.
+    """
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        callback: Optional[Callable[[], _CallbackValue]] = None,
+    ):
+        super().__init__(name, help, labelnames)
+        self.callback = callback
+        if not self.labelnames and callback is None:
+            self._children[()] = self._make_child()
+
+    def _make_child(self) -> _GaugeChild:
+        return _GaugeChild(self._lock)
+
+    def set(self, value: float) -> None:
+        if self.labelnames:
+            raise ValueError(f"{self.name} is labelled; use .labels(...).set()")
+        if self.callback is not None:
+            raise ValueError(f"{self.name} is a callback gauge; it cannot be set")
+        self._children[()].set(value)  # type: ignore[union-attr]
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self.labelnames or self.callback is not None:
+            raise ValueError(f"{self.name} does not support direct inc()")
+        self._children[()].inc(amount)  # type: ignore[union-attr]
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        if self.labelnames or self.callback is not None:
+            raise ValueError(f"{self.name} does not store a direct value")
+        return self._children[()].value  # type: ignore[union-attr]
+
+    def samples(self) -> List[Tuple[Tuple[str, ...], float]]:
+        if self.callback is not None:
+            try:
+                result = self.callback()
+            except Exception:
+                return []  # a broken callback must never break the scrape
+            if isinstance(result, Mapping):
+                return sorted(
+                    (tuple(str(part) for part in key), float(value))
+                    for key, value in result.items()
+                )
+            return [((), float(result))]
+        return [(key, child.value) for key, child in self._items()]
+
+
+class _HistogramChild:
+    __slots__ = ("_lock", "_bounds", "_counts", "_sum")
+
+    def __init__(self, lock: threading.Lock, bounds: Tuple[float, ...]):
+        self._lock = lock
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # final slot: +Inf
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+
+    def snapshot(self) -> Tuple[List[int], float]:
+        with self._lock:
+            return list(self._counts), self._sum
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return sum(self._counts)
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the q-quantile by interpolating inside its bucket.
+
+        Returns ``None`` on an empty histogram.  Values landing in the
+        +Inf bucket are clamped to the largest finite bound — the estimate
+        is then a lower bound, which is the honest answer a fixed-bucket
+        histogram can give.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        counts, _ = self.snapshot()
+        total = sum(counts)
+        if total == 0:
+            return None
+        target = q * total
+        cumulative = 0.0
+        for index, bucket_count in enumerate(counts):
+            if cumulative + bucket_count >= target and bucket_count > 0:
+                lo = self._bounds[index - 1] if index > 0 else 0.0
+                hi = self._bounds[index] if index < len(self._bounds) else self._bounds[-1]
+                if hi <= lo:
+                    return hi
+                fraction = (target - cumulative) / bucket_count
+                return lo + (hi - lo) * min(max(fraction, 0.0), 1.0)
+            cumulative += bucket_count
+        return self._bounds[-1]
+
+
+class Histogram(_Family):
+    """Fixed-bucket latency distribution with quantile estimation."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        super().__init__(name, help, labelnames)
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError("histogram buckets must be sorted, unique and non-empty")
+        self.buckets = bounds
+        if not self.labelnames:
+            self._children[()] = self._make_child()
+
+    def _make_child(self) -> _HistogramChild:
+        return _HistogramChild(self._lock, self.buckets)
+
+    def observe(self, value: float) -> None:
+        if self.labelnames:
+            raise ValueError(f"{self.name} is labelled; use .labels(...).observe()")
+        self._children[()].observe(value)  # type: ignore[union-attr]
+
+    def quantile(self, q: float) -> Optional[float]:
+        if self.labelnames:
+            raise ValueError(f"{self.name} is labelled; use .labels(...).quantile()")
+        return self._children[()].quantile(q)  # type: ignore[union-attr]
+
+    @property
+    def count(self) -> int:
+        if self.labelnames:
+            raise ValueError(f"{self.name} is labelled; use .labels(...).count")
+        return self._children[()].count  # type: ignore[union-attr]
+
+    def samples(self) -> List[Tuple[Tuple[str, ...], List[int], float]]:
+        return [
+            (key, *child.snapshot())  # type: ignore[misc]
+            for key, child in self._items()
+        ]
+
+
+class MetricsRegistry:
+    """A named collection of metric families with text + JSON exposition.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: asking twice
+    for the same name returns the same family (and raises if the second
+    request disagrees on kind or labels), so instrumentation points can
+    declare what they need without coordinating creation order.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+
+    def _register(self, family: _Family) -> _Family:
+        with self._lock:
+            existing = self._families.get(family.name)
+            if existing is not None:
+                if type(existing) is not type(family) or existing.labelnames != family.labelnames:
+                    raise ValueError(
+                        f"metric {family.name!r} already registered with a "
+                        f"different kind or label set"
+                    )
+                return existing
+            self._families[family.name] = family
+            return family
+
+    def counter(self, name: str, help: str, labelnames: Sequence[str] = ()) -> Counter:
+        return self._register(Counter(name, help, labelnames))  # type: ignore[return-value]
+
+    def gauge(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        callback: Optional[Callable[[], _CallbackValue]] = None,
+    ) -> Gauge:
+        return self._register(Gauge(name, help, labelnames, callback))  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        family = Histogram(name, help, labelnames, buckets)
+        return self._register(family)  # type: ignore[return-value]
+
+    def families(self) -> List[_Family]:
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    # -- exposition ----------------------------------------------------
+
+    def exposition(self) -> str:
+        """The Prometheus text format (version 0.0.4) of every family."""
+        lines: List[str] = []
+        for family in self.families():
+            lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            if isinstance(family, Histogram):
+                for key, counts, total in family.samples():
+                    cumulative = 0
+                    for bound, bucket_count in zip(family.buckets, counts):
+                        cumulative += bucket_count
+                        labels = _render_labels(
+                            (*family.labelnames, "le"), (*key, _format_value(bound))
+                        )
+                        lines.append(f"{family.name}_bucket{labels} {cumulative}")
+                    cumulative += counts[-1]
+                    labels = _render_labels((*family.labelnames, "le"), (*key, "+Inf"))
+                    lines.append(f"{family.name}_bucket{labels} {cumulative}")
+                    plain = _render_labels(family.labelnames, key)
+                    lines.append(f"{family.name}_sum{plain} {_format_value(total)}")
+                    lines.append(f"{family.name}_count{plain} {cumulative}")
+            else:
+                for key, value in family.samples():  # type: ignore[misc]
+                    labels = _render_labels(family.labelnames, key)
+                    lines.append(f"{family.name}{labels} {_format_value(value)}")
+        return "\n".join(lines) + "\n"
+
+    def to_dict(self) -> Dict[str, dict]:
+        """JSON twin of :meth:`exposition`, with percentile estimates."""
+        payload: Dict[str, dict] = {}
+        for family in self.families():
+            entry: Dict[str, object] = {"type": family.kind, "help": family.help}
+            samples: List[dict] = []
+            if isinstance(family, Histogram):
+                for key, counts, total in family.samples():
+                    child = family._children[key]
+                    count = sum(counts)
+                    samples.append(
+                        {
+                            "labels": dict(zip(family.labelnames, key)),
+                            "count": count,
+                            "sum": total,
+                            "p50": child.quantile(0.50),  # type: ignore[union-attr]
+                            "p95": child.quantile(0.95),  # type: ignore[union-attr]
+                            "p99": child.quantile(0.99),  # type: ignore[union-attr]
+                        }
+                    )
+            else:
+                for key, value in family.samples():  # type: ignore[misc]
+                    samples.append(
+                        {"labels": dict(zip(family.labelnames, key)), "value": value}
+                    )
+            entry["samples"] = samples
+            payload[family.name] = entry
+        return payload
+
+
+def merge_label_values(*parts: Iterable[str]) -> Tuple[str, ...]:
+    """Flatten label-value fragments into one frozen tuple."""
+    merged: List[str] = []
+    for part in parts:
+        merged.extend(str(item) for item in part)
+    return tuple(merged)

@@ -1,0 +1,75 @@
+"""Request tracing: one id per request, carried across process hops.
+
+A trace id is a short opaque token minted when a request enters the system
+(usually by :class:`~repro.service.client.ServiceClient`) and repeated in
+every log line and HTTP hop that serves it — client → server →
+micro-batcher → job manager → lease protocol → fleet worker.  Transport is
+the ``X-Repro-Trace-Id`` header; within a process the current id lives in a
+:mod:`contextvars` variable so deeply nested code (and the structured
+logger) can read it without parameter plumbing.
+
+The id is sixteen lowercase hex characters.  Anything arriving over the
+wire is validated against :data:`TRACE_ID_PATTERN` (alphanumerics plus
+dashes, length ≤ 64) so callers may send their own correlation tokens;
+malformed values are replaced rather than propagated.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import os
+import re
+from typing import Iterator, Optional
+
+__all__ = [
+    "TRACE_HEADER",
+    "TRACE_ID_PATTERN",
+    "new_trace_id",
+    "current_trace_id",
+    "set_trace_id",
+    "valid_trace_id",
+    "trace_context",
+]
+
+#: HTTP header carrying the trace id between client, server and workers.
+TRACE_HEADER = "X-Repro-Trace-Id"
+
+#: Accepted wire format — anything else is discarded and re-minted.
+TRACE_ID_PATTERN = re.compile(r"^[A-Za-z0-9-]{1,64}$")
+
+_current: contextvars.ContextVar[Optional[str]] = contextvars.ContextVar(
+    "repro_trace_id", default=None
+)
+
+
+def new_trace_id() -> str:
+    """A fresh sixteen-hex-character trace id."""
+    return os.urandom(8).hex()
+
+
+def current_trace_id() -> Optional[str]:
+    """The trace id bound to the current context, if any."""
+    return _current.get()
+
+
+def set_trace_id(trace_id: Optional[str]) -> contextvars.Token:
+    """Bind ``trace_id`` to the current context; returns the reset token."""
+    return _current.set(trace_id)
+
+
+def valid_trace_id(candidate: object) -> Optional[str]:
+    """``candidate`` if it is a well-formed trace id, else ``None``."""
+    if isinstance(candidate, str) and TRACE_ID_PATTERN.match(candidate):
+        return candidate
+    return None
+
+
+@contextlib.contextmanager
+def trace_context(trace_id: Optional[str] = None) -> Iterator[str]:
+    """Run a block under ``trace_id`` (minting one when not given)."""
+    token = _current.set(trace_id or new_trace_id())
+    try:
+        yield _current.get()  # type: ignore[misc]
+    finally:
+        _current.reset(token)

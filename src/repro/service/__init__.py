@@ -31,9 +31,16 @@ design-point questions into micro-batched vectorized evaluations:
 * :mod:`repro.service.server` — :class:`ResultServer` / :func:`serve`,
   the stdlib-only asyncio HTTP server behind ``python -m repro serve``
   (``/v1/query``, ``/v1/pareto``, ``/v1/best``, ``/v1/evaluate``,
-  ``/v1/campaign``, ``/v1/jobs``);
+  ``/v1/campaign``, ``/v1/jobs``, plus ``/metrics`` Prometheus text and
+  its JSON twin ``/v1/stats`` from :mod:`repro.obs`);
 * :mod:`repro.service.client` — :class:`ServiceClient`, the thin
   synchronous client used by tests, benchmarks and CI.
+
+Every request carries a trace id (minted or propagated via the
+``X-Repro-Trace-Id`` header) and the admission queues are bounded when
+the server is started with ``max_pending_evals`` / ``max_pending_jobs``
+— saturation answers ``429`` with a ``Retry-After`` hint
+(:class:`BatcherSaturated`, :class:`JobQueueFull`).
 
 Quickstart::
 
@@ -46,14 +53,24 @@ Quickstart::
     >>> point = client.evaluate("vgg16-d", m=4, multiplier_budget=512)
 """
 
-from .batching import BatcherStats, MicroBatcher
+from .batching import BatcherSaturated, BatcherStats, MicroBatcher
 from .client import InfeasibleDesignError, ServiceClient, ServiceError
-from .jobs import Job, JobManager, Lease, LeaseLedger, ShardPlan, execute_shard, plan_shards
+from .jobs import (
+    Job,
+    JobManager,
+    JobQueueFull,
+    Lease,
+    LeaseLedger,
+    ShardPlan,
+    execute_shard,
+    plan_shards,
+)
 from .queryspec import BestResult, ParetoPage, QueryPage, QuerySpec
 from .server import ApiError, ResultServer, serve
 from .store import ResultStore, StoreRecord, result_key
 
 __all__ = [
+    "BatcherSaturated",
     "BatcherStats",
     "MicroBatcher",
     "ServiceClient",
@@ -71,6 +88,7 @@ __all__ = [
     "BestResult",
     "Job",
     "JobManager",
+    "JobQueueFull",
     "Lease",
     "LeaseLedger",
     "ShardPlan",

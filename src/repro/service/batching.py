@@ -34,8 +34,27 @@ from typing import List, Optional, Tuple
 
 from ..dse.batch import BatchOutcome, EvalRequest, evaluate_requests
 from ..dse.engine import CacheLike
+from ..obs.logging import StructuredLogger
 
-__all__ = ["BatcherStats", "MicroBatcher"]
+__all__ = ["BatcherSaturated", "BatcherStats", "MicroBatcher"]
+
+
+class BatcherSaturated(RuntimeError):
+    """Raised by :meth:`MicroBatcher.submit` when the admission queue is full.
+
+    The server maps this to ``429 Too Many Requests`` with a
+    ``Retry-After`` header of :attr:`retry_after_s` seconds — roughly one
+    collection window, since that is when capacity next frees up.
+    """
+
+    def __init__(self, pending: int, limit: int, retry_after_s: float):
+        super().__init__(
+            f"micro-batcher saturated: {pending} request(s) pending or in "
+            f"flight against a limit of {limit}"
+        )
+        self.pending = pending
+        self.limit = limit
+        self.retry_after_s = retry_after_s
 
 
 @dataclass
@@ -46,6 +65,7 @@ class BatcherStats:
     batches: int = 0
     largest_batch: int = 0
     errors: int = 0
+    rejected: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -60,6 +80,7 @@ class BatcherStats:
             "largest_batch": self.largest_batch,
             "mean_batch_size": round(self.mean_batch_size, 3),
             "errors": self.errors,
+            "rejected": self.rejected,
         }
 
 
@@ -79,6 +100,14 @@ class MicroBatcher:
         Where dispatches run; ``None`` uses the loop's default thread
         pool.  Pass a single-thread executor to serialize evaluation
         against other CPU-bound work (the HTTP server does).
+    max_pending:
+        Admission bound: requests pending *or in flight* beyond this raise
+        :class:`BatcherSaturated` instead of buffering unboundedly.
+        ``None`` (the default) keeps the historical unbounded behaviour.
+    logger:
+        Optional :class:`~repro.obs.logging.StructuredLogger`; when set,
+        every dispatch emits a ``batch.dispatch`` event naming the trace
+        ids it coalesced.
     """
 
     def __init__(
@@ -88,34 +117,63 @@ class MicroBatcher:
         cache: CacheLike = None,
         vectorized: Optional[bool] = None,
         executor: Optional[Executor] = None,
+        max_pending: Optional[int] = None,
+        logger: Optional[StructuredLogger] = None,
     ) -> None:
         if window_ms < 0:
             raise ValueError("window_ms must be >= 0")
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1 (or None for unbounded)")
         self.window_ms = window_ms
         self.max_batch = max_batch
         self.cache = cache
         self.vectorized = vectorized
         self.executor = executor
+        self.max_pending = max_pending
+        self.logger = logger
         self.stats = BatcherStats()
         self._stats_lock = threading.Lock()
-        self._pending: List[Tuple[EvalRequest, "asyncio.Future[BatchOutcome]"]] = []
+        self._pending: List[
+            Tuple[EvalRequest, "asyncio.Future[BatchOutcome]", Optional[str]]
+        ] = []
+        self._inflight = 0
         self._flush_task: Optional["asyncio.Task"] = None
         self._closed = False
 
+    @property
+    def occupancy(self) -> int:
+        """Requests currently pending in the open window."""
+        return len(self._pending)
+
+    @property
+    def inflight(self) -> int:
+        """Requests dispatched to the executor but not yet resolved."""
+        return self._inflight
+
     # ------------------------------------------------------------------ #
-    async def submit(self, request: EvalRequest) -> BatchOutcome:
+    async def submit(
+        self, request: EvalRequest, trace_id: Optional[str] = None
+    ) -> BatchOutcome:
         """Enqueue one request and await its outcome.
 
         Requests submitted while a window is open join its batch; the
-        caller's coroutine resumes when the batch completes.
+        caller's coroutine resumes when the batch completes.  With
+        ``max_pending`` set, a full admission queue raises
+        :class:`BatcherSaturated` immediately instead of queueing.
         """
         if self._closed:
             raise RuntimeError("MicroBatcher is closed")
+        occupied = len(self._pending) + self._inflight
+        if self.max_pending is not None and occupied >= self.max_pending:
+            with self._stats_lock:
+                self.stats.rejected += 1
+            retry_after = max(self.window_ms / 1000.0, 0.05)
+            raise BatcherSaturated(occupied, self.max_pending, retry_after)
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[BatchOutcome]" = loop.create_future()
-        self._pending.append((request, future))
+        self._pending.append((request, future, trace_id))
         if len(self._pending) >= self.max_batch:
             self._cancel_window()
             self._dispatch_pending(loop)
@@ -144,8 +202,15 @@ class MicroBatcher:
             self.stats.requests += len(batch)
             self.stats.batches += 1
             self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
-        requests = [request for request, _ in batch]
-        futures = [future for _, future in batch]
+        requests = [request for request, _, _ in batch]
+        futures = [future for _, future, _ in batch]
+        if self.logger is not None:
+            self.logger.event(
+                "batch.dispatch",
+                size=len(batch),
+                trace_ids=[trace for _, _, trace in batch if trace],
+            )
+        self._inflight += len(batch)
 
         def run() -> List[BatchOutcome]:
             """Worker-side dispatch of the coalesced batch."""
@@ -157,6 +222,7 @@ class MicroBatcher:
 
         def finish(done: "asyncio.Future") -> None:
             """Resolve every request future from the batch outcome."""
+            self._inflight -= len(futures)
             error = done.exception()
             if error is not None:
                 with self._stats_lock:
@@ -175,7 +241,7 @@ class MicroBatcher:
     async def flush(self) -> None:
         """Dispatch any pending batch now and wait for it to finish."""
         self._cancel_window()
-        pending = [future for _, future in self._pending]
+        pending = [future for _, future, _ in self._pending]
         self._dispatch_pending(asyncio.get_running_loop())
         if pending:
             await asyncio.gather(*pending, return_exceptions=True)

@@ -21,18 +21,27 @@ from typing import Any, Dict, Iterator, List, Optional, Union
 from ..core.design_point import DesignPoint
 from ..experiments.persistence import point_from_dict
 from ..experiments.spec import ExperimentSpec
+from ..obs.tracing import TRACE_HEADER, current_trace_id, new_trace_id
 from .queryspec import QuerySpec
 
 __all__ = ["ServiceError", "InfeasibleDesignError", "ServiceClient"]
 
 
 class ServiceError(Exception):
-    """An HTTP error response from the service (status + server message)."""
+    """An HTTP error response from the service (status + server message).
 
-    def __init__(self, status: int, message: str) -> None:
+    ``retry_after_s`` carries the server's ``Retry-After`` header (parsed
+    to seconds) when present — set on 429 backpressure responses so a
+    caller can sleep exactly as long as the server asked.
+    """
+
+    def __init__(
+        self, status: int, message: str, retry_after_s: Optional[float] = None
+    ) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        self.retry_after_s = retry_after_s
 
 
 class InfeasibleDesignError(ValueError):
@@ -96,19 +105,51 @@ class ServiceClient:
     def _request_once(
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None
     ) -> Dict[str, Any]:
-        """One HTTP round-trip (no retries); raises ``ServiceError`` on 4xx/5xx."""
+        """One HTTP round-trip (no retries); raises ``ServiceError`` on 4xx/5xx.
+
+        Every request carries an ``X-Repro-Trace-Id`` header: the ambient
+        trace id when the caller bound one (``with trace_context(): ...``),
+        a freshly minted id otherwise.  The server echoes it and stamps it
+        on every log line the request touches, across processes.
+        """
         connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             payload = None if body is None else json.dumps(body)
-            headers = {"Content-Type": "application/json"} if payload else {}
+            headers = {TRACE_HEADER: current_trace_id() or new_trace_id()}
+            if payload:
+                headers["Content-Type"] = "application/json"
             connection.request(method, path, body=payload, headers=headers)
             response = connection.getresponse()
             data = json.loads(response.read().decode() or "{}")
             if response.status >= 400:
                 raise ServiceError(
-                    response.status, data.get("error", response.reason or "error")
+                    response.status,
+                    data.get("error", response.reason or "error"),
+                    retry_after_s=_parse_retry_after(
+                        response.getheader("Retry-After")
+                    ),
                 )
             return data
+        finally:
+            connection.close()
+
+    def _request_text(self, path: str) -> str:
+        """GET a non-JSON endpoint (``/metrics``) and return its body text."""
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request(
+                "GET", path, headers={TRACE_HEADER: current_trace_id() or new_trace_id()}
+            )
+            response = connection.getresponse()
+            text = response.read().decode()
+            if response.status >= 400:
+                message = text
+                try:
+                    message = json.loads(text).get("error", text)
+                except (json.JSONDecodeError, AttributeError):
+                    pass
+                raise ServiceError(response.status, message)
+            return text
         finally:
             connection.close()
 
@@ -123,6 +164,20 @@ class ServiceClient:
     def health(self) -> Dict[str, Any]:
         """The ``/health`` payload: liveness, store, batcher and job stats."""
         return self._request("GET", "/health")
+
+    def stats(self) -> Dict[str, Any]:
+        """``GET /v1/stats`` — the server's metrics as JSON.
+
+        Each entry maps a metric family name to its type, help text and
+        samples; histogram samples carry ``count``/``sum`` plus
+        p50/p95/p99 estimates.  404s (:class:`ServiceError`) when the
+        server runs with ``--no-metrics``.
+        """
+        return self._request("GET", "/v1/stats")["metrics"]
+
+    def metrics_text(self) -> str:
+        """``GET /metrics`` — the raw Prometheus text exposition."""
+        return self._request_text("/metrics")
 
     def results(
         self,
@@ -341,9 +396,28 @@ class ServiceClient:
         """One job's state, per-shard progress and ETA (404 when unknown)."""
         return self._request("GET", f"/v1/jobs/{job_id}")["job"]
 
+    def jobs_page(
+        self, limit: Optional[int] = None, cursor: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """One raw ``GET /v1/jobs`` page (``jobs``/``total``/``next_cursor``)."""
+        query = self._query_string(
+            {"limit": None if limit is None else str(limit), "cursor": cursor}
+        )
+        return self._request("GET", f"/v1/jobs{query}")
+
+    def iter_jobs(self, page_size: Optional[int] = None) -> Iterator[Dict[str, Any]]:
+        """Every tracked job, following ``next_cursor`` transparently."""
+        cursor: Optional[str] = None
+        while True:
+            payload = self.jobs_page(limit=page_size, cursor=cursor)
+            yield from payload["jobs"]
+            cursor = payload.get("next_cursor")
+            if not cursor:
+                return
+
     def jobs(self) -> List[Dict[str, Any]]:
         """Every job the server tracks, oldest submission first."""
-        return self._request("GET", "/v1/jobs")["jobs"]
+        return list(self.iter_jobs())
 
     def cancel_job(self, job_id: str) -> Dict[str, Any]:
         """Cancel a job's unfinished shards; returns the final job payload.
@@ -417,10 +491,30 @@ class ServiceClient:
             "POST", f"/v1/leases/{lease_id}/fail", {"error": error, "requeue": requeue}
         )
 
-    def leases(self) -> Dict[str, Any]:
-        """``GET /v1/leases`` — fleet statistics plus every active lease."""
-        return self._request("GET", "/v1/leases")
+    def leases(
+        self, limit: Optional[int] = None, cursor: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """``GET /v1/leases`` — fleet statistics plus active leases.
+
+        Paginated like ``/v1/jobs``: pass ``limit``/``cursor`` for one
+        page (``next_cursor`` continues), omit both for the first page at
+        the server's default size.
+        """
+        query = self._query_string(
+            {"limit": None if limit is None else str(limit), "cursor": cursor}
+        )
+        return self._request("GET", f"/v1/leases{query}")
 
 
 def _drop_none(body: Dict[str, Any]) -> Dict[str, Any]:
     return {key: value for key, value in body.items() if value is not None}
+
+
+def _parse_retry_after(value: Optional[str]) -> Optional[float]:
+    """Seconds from a ``Retry-After`` header (delta-seconds form only)."""
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except ValueError:
+        return None

@@ -85,12 +85,14 @@ from ..core.design_space import GridEntry, SweepSpec
 from ..dse.engine import ExecutorConfig, chunk_entries
 from ..experiments.persistence import RESULT_SCHEMA, result_to_dict
 from ..experiments.spec import ExperimentSpec, StrategySpec, canonical_json_hash
+from ..obs.tracing import current_trace_id
 from .store import ResultStore
 
 __all__ = [
     "DEFAULT_SHARD_ENTRIES",
     "DEFAULT_LEASE_TTL_S",
     "MAX_SHARD_LEASE_ATTEMPTS",
+    "JobQueueFull",
     "ShardPlan",
     "ShardRun",
     "Job",
@@ -100,6 +102,23 @@ __all__ = [
     "plan_shards",
     "execute_shard",
 ]
+
+
+class JobQueueFull(RuntimeError):
+    """Raised by :meth:`JobManager.submit` when too many jobs are active.
+
+    The server maps this to ``429 Too Many Requests`` with a
+    ``Retry-After`` hint: jobs drain at shard-execution speed, so the
+    caller should back off for seconds, not milliseconds.
+    """
+
+    def __init__(self, active: int, limit: int, retry_after_s: float = 2.0):
+        super().__init__(
+            f"job queue full: {active} active job(s) against a limit of {limit}"
+        )
+        self.active = active
+        self.limit = limit
+        self.retry_after_s = retry_after_s
 
 #: Grid entries per shard before a (network, device) cell is split further.
 #: Part of the shard identity: changing it changes shard fingerprints, so
@@ -331,10 +350,17 @@ class Job:
     fails.  ``await job.wait()`` blocks until a terminal state.
     """
 
-    def __init__(self, job_id: str, spec: ExperimentSpec, shards: Sequence[ShardPlan]) -> None:
+    def __init__(
+        self,
+        job_id: str,
+        spec: ExperimentSpec,
+        shards: Sequence[ShardPlan],
+        trace_id: Optional[str] = None,
+    ) -> None:
         self.id = job_id
         self.spec = spec
         self.fingerprint = spec.fingerprint()
+        self.trace_id = trace_id
         self.shards = [ShardRun(plan) for plan in shards]
         self.state = "queued"
         self.created = time.time()
@@ -399,6 +425,7 @@ class Job:
             "id": self.id,
             "name": self.spec.name,
             "fingerprint": self.fingerprint,
+            "trace_id": self.trace_id,
             "state": self.state,
             "created": self.created,
             "started": self.started,
@@ -613,7 +640,9 @@ class JobManager:
     whichever local pool exists: local slots and remote acquires compete
     for the same ``pending`` state, first claimant wins.  Submitting more
     work than there are claimants simply queues shards — jobs are accepted
-    immediately, never rejected.
+    immediately.  With ``max_pending_jobs`` set, submissions beyond that
+    many non-terminal jobs raise :class:`JobQueueFull` instead of growing
+    the queue unboundedly (the HTTP layer answers 429/Retry-After).
     """
 
     def __init__(
@@ -623,6 +652,7 @@ class JobManager:
         max_entries_per_shard: int = DEFAULT_SHARD_ENTRIES,
         lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
         max_lease_attempts: int = MAX_SHARD_LEASE_ATTEMPTS,
+        max_pending_jobs: Optional[int] = None,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0 (0 = fleet-only, no local pool)")
@@ -630,10 +660,14 @@ class JobManager:
             raise ValueError("max_entries_per_shard must be >= 1")
         if max_lease_attempts < 1:
             raise ValueError("max_lease_attempts must be >= 1")
+        if max_pending_jobs is not None and max_pending_jobs < 1:
+            raise ValueError("max_pending_jobs must be >= 1 (or None for unbounded)")
         self.store = store
         self.workers = workers
         self.max_entries_per_shard = max_entries_per_shard
         self.max_lease_attempts = max_lease_attempts
+        self.max_pending_jobs = max_pending_jobs
+        self.rejected_jobs = 0
         self.ledger = LeaseLedger(ttl_s=lease_ttl_s)
         self._jobs: Dict[str, Job] = {}
         self._pool: Optional[Executor] = None
@@ -664,15 +698,25 @@ class JobManager:
     def stats(self) -> Dict[str, Any]:
         """Aggregate job + fleet counters for the ``/health`` payload."""
         by_state: Dict[str, int] = {}
+        shard_states: Dict[str, int] = {state: 0 for state in SHARD_STATES}
         for job in self._jobs.values():
             by_state[job.state] = by_state.get(job.state, 0) + 1
+            for shard in job.shards:
+                shard_states[shard.state] += 1
         return {
             "workers": self.workers,
             "max_entries_per_shard": self.max_entries_per_shard,
             "jobs": len(self._jobs),
+            "active_jobs": self.active_jobs(),
+            "rejected_jobs": self.rejected_jobs,
             "by_state": by_state,
+            "shard_states": shard_states,
             "fleet": self.ledger.stats(),
         }
+
+    def active_jobs(self) -> int:
+        """Tracked jobs not yet in a terminal state (the queue depth)."""
+        return sum(1 for job in self._jobs.values() if not job.done)
 
     # ------------------------------------------------------------------ #
     async def submit(self, spec: ExperimentSpec) -> Job:
@@ -684,6 +728,11 @@ class JobManager:
         """
         if self._closed:
             raise RuntimeError("JobManager is closed")
+        if self.max_pending_jobs is not None:
+            active = self.active_jobs()
+            if active >= self.max_pending_jobs:
+                self.rejected_jobs += 1
+                raise JobQueueFull(active, self.max_pending_jobs)
         loop = asyncio.get_running_loop()
         if self._slots is None and self.workers >= 1:
             self._slots = asyncio.Semaphore(self.workers)
@@ -691,7 +740,12 @@ class JobManager:
         shards = await loop.run_in_executor(
             None, plan_shards, spec, self.max_entries_per_shard
         )
-        job = Job(f"job-{next(self._ids):06d}-{os.urandom(3).hex()}", spec, shards)
+        job = Job(
+            f"job-{next(self._ids):06d}-{os.urandom(3).hex()}",
+            spec,
+            shards,
+            trace_id=current_trace_id(),
+        )
         self._evict_terminal()
         self._jobs[job.id] = job
         job._runner = asyncio.ensure_future(self._run_job(job))
@@ -822,6 +876,7 @@ class JobManager:
                     "ttl_s": ttl,
                     "deadline": lease.deadline,
                     "job_id": job.id,
+                    "trace_id": job.trace_id,
                     "shard": {
                         "index": shard.plan.index,
                         "fingerprint": shard.plan.fingerprint,

@@ -48,6 +48,12 @@ Endpoints (all JSON):
     report a worker-side failure (optionally handing the shard back).
     Leases that stop heartbeating expire and their shards re-queue, so a
     killed worker never strands a job.
+``GET  /metrics`` / ``GET /v1/stats``
+    Prometheus text exposition of the server's metrics / its JSON twin:
+    request count + latency histograms per route, micro-batcher occupancy
+    and coalesce ratio, store segment count/bytes, job queue depth and
+    shard states, fleet lease counters, evaluation-cache hit rates.
+    Disabled (404) when the server was started with ``--no-metrics``.
 
 Result selection for ``query``/``pareto``/``best``: pass ``key`` for an
 exact result, or ``fingerprint`` (and/or ``network``/``device``/``name``
@@ -56,7 +62,19 @@ share one request vocabulary — the
 :class:`~repro.service.queryspec.QuerySpec` fields — and ``query``/
 ``pareto`` page their responses: ``limit`` (default 1000) caps the rows
 returned and ``next_cursor`` (an opaque token, stable across appends and
-compactions) continues where the page stopped.
+compactions) continues where the page stopped.  ``GET /v1/jobs`` and
+``GET /v1/leases`` page the same way (``?limit=&cursor=``).
+
+Backpressure: with ``--max-pending-evals`` / ``--max-pending-jobs`` set,
+a saturated micro-batcher or job queue answers ``429 Too Many Requests``
+with a ``Retry-After`` header instead of buffering without bound; the
+rejections are counted in the metrics.
+
+Tracing: every request carries an ``X-Repro-Trace-Id`` header (minted
+here when the client sent none), echoed on the response, propagated into
+job submissions and fleet lease grants, and stamped on every structured
+log line the server and workers emit — one id follows one request across
+processes.
 
 The full request/response reference, including error shapes, lives in
 ``docs/http-api.md`` (a test diffs it against :meth:`ResultServer.route_table`).
@@ -84,10 +102,22 @@ from ..dse.batch import EvalRequest
 from ..dse.campaign import CampaignResult
 from ..experiments.persistence import point_to_dict, result_to_dict
 from ..experiments.spec import ExperimentSpec
+from ..obs import MetricsRegistry, get_logger
+from ..obs.tracing import (
+    TRACE_HEADER,
+    new_trace_id,
+    set_trace_id,
+    valid_trace_id,
+)
 from ..reporting import campaign_report_payload, json_sanitize, jsonable_rows
-from .batching import MicroBatcher
-from .jobs import DEFAULT_LEASE_TTL_S, DEFAULT_SHARD_ENTRIES, JobManager
-from .queryspec import QuerySpec
+from .batching import BatcherSaturated, MicroBatcher
+from .jobs import (
+    DEFAULT_LEASE_TTL_S,
+    DEFAULT_SHARD_ENTRIES,
+    JobManager,
+    JobQueueFull,
+)
+from .queryspec import QuerySpec, decode_cursor, encode_cursor
 from .store import ResultStore
 
 __all__ = ["ApiError", "ResultServer", "serve", "DEFAULT_MAX_BODY_BYTES"]
@@ -117,13 +147,35 @@ RESULT_CACHE_SIZE = 8
 DEFAULT_PAGE_LIMIT = 1000
 
 
-class ApiError(Exception):
-    """A client-visible error with an HTTP status code."""
+#: Default rows per ``GET /v1/jobs`` / ``GET /v1/leases`` page.  Smaller
+#: than the query default: listing payloads carry per-job shard tallies.
+DEFAULT_LISTING_LIMIT = 500
 
-    def __init__(self, status: int, message: str) -> None:
+
+class ApiError(Exception):
+    """A client-visible error with an HTTP status code.
+
+    ``headers`` (e.g. ``Retry-After`` on a 429) are added verbatim to the
+    error response.
+    """
+
+    def __init__(
+        self, status: int, message: str, headers: Optional[Dict[str, str]] = None
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.headers = dict(headers) if headers else {}
+
+
+class RawResponse:
+    """A handler's non-JSON response: raw bytes plus a content type."""
+
+    def __init__(
+        self, body: bytes, content_type: str = "text/plain; charset=utf-8"
+    ) -> None:
+        self.body = body
+        self.content_type = content_type
 
 
 # --------------------------------------------------------------------- #
@@ -200,6 +252,8 @@ class ResultServer:
         ("POST", "/v1/leases/{lease_id}/heartbeat", "_heartbeat_lease"),
         ("POST", "/v1/leases/{lease_id}/complete", "_complete_lease"),
         ("POST", "/v1/leases/{lease_id}/fail", "_fail_lease"),
+        ("GET", "/metrics", "_metrics"),
+        ("GET", "/v1/stats", "_stats"),
     )
 
     def __init__(
@@ -214,6 +268,9 @@ class ResultServer:
         lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         quiet: bool = False,
+        metrics: bool = True,
+        max_pending_evals: Optional[int] = None,
+        max_pending_jobs: Optional[int] = None,
     ) -> None:
         if max_body_bytes < 1:
             raise ValueError("max_body_bytes must be >= 1")
@@ -222,20 +279,192 @@ class ResultServer:
         self.port = port
         self.quiet = quiet
         self.max_body_bytes = max_body_bytes
+        self.log = get_logger("server", enabled=not quiet)
         self._worker = ThreadPoolExecutor(max_workers=1, thread_name_prefix="repro-eval")
         self.batcher = MicroBatcher(
-            window_ms=batch_window_ms, max_batch=max_batch, executor=self._worker
+            window_ms=batch_window_ms,
+            max_batch=max_batch,
+            executor=self._worker,
+            max_pending=max_pending_evals,
+            logger=self.log if not quiet else None,
         )
         self.jobs = JobManager(
             store,
             workers=workers,
             max_entries_per_shard=shard_entries,
             lease_ttl_s=lease_ttl_s,
+            max_pending_jobs=max_pending_jobs,
         )
         self._server: Optional[asyncio.AbstractServer] = None
         self._started = time.time()
         self.campaigns_run = 0
         self._result_cache: "OrderedDict[str, CampaignResult]" = OrderedDict()
+        self.registry: Optional[MetricsRegistry] = None
+        if metrics:
+            self._init_metrics()
+
+    def _init_metrics(self) -> None:
+        """Create the metric families and scrape-time callback gauges.
+
+        Counters and histograms are updated on the request path; anything
+        that already lives in a data structure (queue depths, segment
+        sizes, fleet counters, cache hit rates) is exported by callback at
+        scrape time instead of being mirrored on every update.
+        """
+        registry = MetricsRegistry()
+        self.registry = registry
+        self._m_requests = registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by method, route pattern and status.",
+            ("method", "route", "status"),
+        )
+        self._m_latency = registry.histogram(
+            "repro_http_request_seconds",
+            "Wall-clock request latency in seconds, by route pattern.",
+            ("route",),
+        )
+        self._m_rejected = registry.counter(
+            "repro_http_rejected_total",
+            "Requests answered 429 because a bounded queue was full.",
+            ("queue",),
+        )
+        self._m_store_scan = registry.histogram(
+            "repro_store_scan_seconds",
+            "Store scan latency in seconds (includes executor queueing).",
+            ("op",),
+        )
+        registry.gauge(
+            "repro_batcher_occupancy",
+            "Evaluate requests pending in the open micro-batch window.",
+            callback=lambda: self.batcher.occupancy,
+        )
+        registry.gauge(
+            "repro_batcher_inflight",
+            "Evaluate requests dispatched to the executor, unresolved.",
+            callback=lambda: self.batcher.inflight,
+        )
+        registry.gauge(
+            "repro_batcher_requests_total",
+            "Evaluate requests admitted by the micro-batcher.",
+            callback=lambda: self.batcher.stats.requests,
+        )
+        registry.gauge(
+            "repro_batcher_batches_total",
+            "Batches the micro-batcher dispatched.",
+            callback=lambda: self.batcher.stats.batches,
+        )
+        registry.gauge(
+            "repro_batcher_coalesce_ratio",
+            "Mean evaluate requests coalesced per dispatched batch.",
+            callback=lambda: self.batcher.stats.mean_batch_size,
+        )
+        registry.gauge(
+            "repro_batcher_rejected_total",
+            "Evaluate requests refused because the admission queue was full.",
+            callback=lambda: self.batcher.stats.rejected,
+        )
+        registry.gauge(
+            "repro_store_results",
+            "Results the store currently indexes.",
+            callback=lambda: len(self.store),
+        )
+        registry.gauge(
+            "repro_store_segments",
+            "Live on-disk segments, by format.",
+            ("format",),
+            callback=lambda: {
+                (fmt,): count
+                for fmt, count in self.store.stats()["segments_by_format"].items()
+            },
+        )
+        registry.gauge(
+            "repro_store_segment_bytes",
+            "Total bytes of live on-disk segments.",
+            callback=lambda: self.store.stats()["segment_bytes"],
+        )
+        registry.gauge(
+            "repro_jobs_tracked",
+            "Jobs tracked by the scheduler, by state.",
+            ("state",),
+            callback=lambda: {
+                (state,): count
+                for state, count in self.jobs.stats()["by_state"].items()
+            },
+        )
+        registry.gauge(
+            "repro_jobs_queue_depth",
+            "Jobs submitted but not yet terminal.",
+            callback=self.jobs.active_jobs,
+        )
+        registry.gauge(
+            "repro_jobs_rejected_total",
+            "Job submissions refused because the queue bound was reached.",
+            callback=lambda: self.jobs.rejected_jobs,
+        )
+        registry.gauge(
+            "repro_job_shards",
+            "Shards across all tracked jobs, by state.",
+            ("state",),
+            callback=lambda: {
+                (state,): count
+                for state, count in self.jobs.stats()["shard_states"].items()
+            },
+        )
+        registry.gauge(
+            "repro_fleet_leases",
+            "Fleet lease counters (granted/completed/failed/expired/...).",
+            ("event",),
+            callback=lambda: {
+                (event,): count
+                for event, count in self.jobs.ledger.counters.items()
+            },
+        )
+        registry.gauge(
+            "repro_fleet_active_leases",
+            "Leases currently held by fleet workers.",
+            callback=lambda: len(self.jobs.ledger._leases),
+        )
+        registry.gauge(
+            "repro_fleet_workers_seen",
+            "Distinct fleet workers the ledger remembers.",
+            callback=lambda: self.jobs.ledger.stats()["workers_seen"],
+        )
+        registry.gauge(
+            "repro_fleet_oldest_heartbeat_age_seconds",
+            "Age of the stalest active lease's deadline progress (0 = fresh).",
+            callback=self._oldest_heartbeat_age,
+        )
+        registry.gauge(
+            "repro_eval_cache_hit_rate",
+            "Evaluation-cache hit rate, by cache layer.",
+            ("layer",),
+            callback=self._cache_hit_rates,
+        )
+        registry.gauge(
+            "repro_uptime_seconds",
+            "Seconds since the server process started.",
+            callback=lambda: time.time() - self._started,
+        )
+
+    def _oldest_heartbeat_age(self) -> float:
+        """Seconds since the least-recently-extended active lease moved."""
+        now = time.time()
+        ages = [
+            now - (lease.deadline - lease.ttl_s)
+            for lease in self.jobs.ledger._leases.values()
+        ]
+        return max(ages) if ages else 0.0
+
+    @staticmethod
+    def _cache_hit_rates() -> Dict[Tuple[str, ...], float]:
+        """Hit rate per evaluation-cache layer (import deferred: the
+        global cache only exists once evaluation has actually run)."""
+        from ..dse.cache import global_cache
+
+        return {
+            (layer,): stats.hit_rate
+            for layer, stats in global_cache().stats.items()
+        }
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -310,15 +539,24 @@ class ResultServer:
                 if request is None:
                     break
                 method, target, headers, body = request
-                status, payload = await self._route(method, target, body)
+                status, payload, extra = await self._route(method, target, headers, body)
                 keep_alive = headers.get("connection", "keep-alive").lower() != "close"
-                data = json.dumps(json_sanitize(payload), indent=None).encode()
+                if isinstance(payload, RawResponse):
+                    data = payload.body
+                    content_type = payload.content_type
+                else:
+                    data = json.dumps(json_sanitize(payload), indent=None).encode()
+                    content_type = "application/json"
+                extra_lines = "".join(
+                    f"{name}: {value}\r\n" for name, value in extra.items()
+                )
                 writer.write(
                     (
                         f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
                         f"Server: {SERVER_NAME}\r\n"
-                        "Content-Type: application/json\r\n"
+                        f"Content-Type: {content_type}\r\n"
                         f"Content-Length: {len(data)}\r\n"
+                        f"{extra_lines}"
                         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
                         "\r\n"
                     ).encode()
@@ -404,33 +642,88 @@ class ResultServer:
             )
         raise ApiError(404, f"no route for {method} {path}")
 
-    async def _route(self, method: str, target: str, raw_body: bytes) -> Tuple[int, Any]:
-        """Parse, dispatch and shield one request; returns (status, payload)."""
+    async def _route(
+        self, method: str, target: str, headers: Dict[str, str], raw_body: bytes
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        """Parse, dispatch and shield one request.
+
+        Returns ``(status, payload, extra response headers)``.  The trace
+        id (taken from the request's ``X-Repro-Trace-Id`` header, minted
+        fresh when absent or malformed) is bound to the task context for
+        the duration of the dispatch — handlers, the job manager and the
+        structured logger all read it from there — and echoed back on the
+        response.
+        """
         split = urlsplit(target)
         path = split.path.rstrip("/") or "/"
         params = {key: values[-1] for key, values in parse_qs(split.query).items()}
+        trace_id = valid_trace_id(headers.get(TRACE_HEADER.lower())) or new_trace_id()
+        token = set_trace_id(trace_id)
+        route_pattern = path
+        started = time.perf_counter()
         try:
-            body: Dict[str, Any] = {}
-            if raw_body:
-                try:
-                    body = json.loads(raw_body)
-                except json.JSONDecodeError as error:
-                    raise ApiError(400, f"request body is not valid JSON: {error}")
-                if not isinstance(body, dict):
-                    raise ApiError(400, "request body must be a JSON object")
-            handler_name, args = self._match(method, path)
-            response = await getattr(self, handler_name)(args, params, body)
-            if (
-                isinstance(response, tuple)
-                and len(response) == 2
-                and isinstance(response[0], int)
-            ):
-                return response
-            return 200, response
-        except ApiError as error:
-            return error.status, {"error": error.message}
-        except Exception as error:  # noqa: BLE001 — the server must not die
-            return 500, {"error": f"{type(error).__name__}: {error}"}
+            try:
+                body: Dict[str, Any] = {}
+                if raw_body:
+                    try:
+                        body = json.loads(raw_body)
+                    except json.JSONDecodeError as error:
+                        raise ApiError(400, f"request body is not valid JSON: {error}")
+                    if not isinstance(body, dict):
+                        raise ApiError(400, "request body must be a JSON object")
+                handler_name, args = self._match(method, path)
+                route_pattern = self._pattern_of(handler_name)
+                response = await getattr(self, handler_name)(args, params, body)
+                if (
+                    isinstance(response, tuple)
+                    and len(response) == 2
+                    and isinstance(response[0], int)
+                ):
+                    status, payload = response
+                else:
+                    status, payload = 200, response
+                extra: Dict[str, str] = {}
+            except ApiError as error:
+                status, payload, extra = error.status, {"error": error.message}, error.headers
+            except Exception as error:  # noqa: BLE001 — the server must not die
+                status, payload, extra = 500, {"error": f"{type(error).__name__}: {error}"}, {}
+            elapsed = time.perf_counter() - started
+            self._observe_request(method, route_pattern, status, elapsed)
+            extra = {TRACE_HEADER: trace_id, **extra}
+            return status, payload, extra
+        finally:
+            try:
+                token.var.reset(token)
+            except ValueError:
+                pass  # context moved on (e.g. task switch); nothing to unbind
+
+    def _pattern_of(self, handler_name: str) -> str:
+        """The route pattern behind a handler (the metrics route label)."""
+        for _, pattern, name in self.ROUTES:
+            if name == handler_name:
+                return pattern
+        return handler_name
+
+    def _observe_request(
+        self, method: str, route: str, status: int, elapsed: float
+    ) -> None:
+        """Count + time one finished request; emit the access-log line.
+
+        Unmatched paths are all labelled ``(unrouted)`` so junk URLs
+        cannot mint unbounded metric children.
+        """
+        patterns = {pattern for _, pattern, _ in self.ROUTES}
+        label = route if route in patterns else "(unrouted)"
+        if self.registry is not None:
+            self._m_requests.labels(method, label, str(status)).inc()
+            self._m_latency.labels(label).observe(elapsed)
+        self.log.event(
+            "http.request",
+            method=method,
+            route=label,
+            status=status,
+            ms=round(elapsed * 1e3, 3),
+        )
 
     # ------------------------------------------------------------------ #
     # Handlers
@@ -499,6 +792,21 @@ class ResultServer:
             self._result_cache.popitem(last=False)
         return result
 
+    async def _timed_store_call(self, op: str, fn, *args):
+        """Run a store scan off the event loop, timing it into the metrics.
+
+        The measured span includes executor queueing — deliberately: that
+        wait is part of the latency a caller experiences when scans back
+        up behind each other.
+        """
+        loop = asyncio.get_running_loop()
+        started = time.perf_counter()
+        try:
+            return await loop.run_in_executor(None, fn, *args)
+        finally:
+            if self.registry is not None:
+                self._m_store_scan.labels(op).observe(time.perf_counter() - started)
+
     def _query_spec(self, body: Dict[str, Any], allowed: set, what: str) -> QuerySpec:
         """Build the endpoint's :class:`QuerySpec` from a request body.
 
@@ -531,9 +839,8 @@ class ResultServer:
              "maximize", "where", "select", "limit", "cursor"},
             "query",
         )
-        loop = asyncio.get_running_loop()
         try:
-            page = await loop.run_in_executor(None, self.store.query_page, spec)
+            page = await self._timed_store_call("query", self.store.query_page, spec)
         except KeyError as error:
             raise ApiError(404, error.args[0]) from None
         except ValueError as error:
@@ -558,9 +865,8 @@ class ResultServer:
              "limit", "cursor"},
             "pareto",
         )
-        loop = asyncio.get_running_loop()
         try:
-            page = await loop.run_in_executor(None, self.store.pareto, spec)
+            page = await self._timed_store_call("pareto", self.store.pareto, spec)
         except KeyError as error:
             raise ApiError(404, error.args[0]) from None
         except ValueError as error:
@@ -585,9 +891,8 @@ class ResultServer:
              "maximize", "where", "select"},
             "best",
         )
-        loop = asyncio.get_running_loop()
         try:
-            best = await loop.run_in_executor(None, self.store.best, spec)
+            best = await self._timed_store_call("best", self.store.best, spec)
         except KeyError as error:
             raise ApiError(404, error.args[0]) from None
         except ValueError as error:
@@ -646,7 +951,18 @@ class ResultServer:
                 400, f"unknown device {request.device!r}; known devices: {known_devices()}"
             )
 
-        outcome = await self.batcher.submit(request)
+        from ..obs.tracing import current_trace_id
+
+        try:
+            outcome = await self.batcher.submit(request, trace_id=current_trace_id())
+        except BatcherSaturated as error:
+            if self.registry is not None:
+                self._m_rejected.labels("evaluate").inc()
+            raise ApiError(
+                429,
+                str(error),
+                headers={"Retry-After": str(max(1, math.ceil(error.retry_after_s)))},
+            ) from None
         if outcome.point is None:
             return {"feasible": False, "error": outcome.error}
         return {"feasible": True, "point": point_to_dict(outcome.point)}
@@ -673,7 +989,7 @@ class ResultServer:
         reassembly preserves the serial point ordering).
         """
         spec = self._parse_spec(body)
-        job = await self.jobs.submit(spec)
+        job = await self._submit_spec(spec)
         await job.wait()
         if job.state != "completed":
             raise ApiError(
@@ -699,19 +1015,79 @@ class ResultServer:
     # ------------------------------------------------------------------ #
     # Job endpoints
     # ------------------------------------------------------------------ #
+    async def _submit_spec(self, spec: ExperimentSpec):
+        """Submit a spec to the job manager, mapping saturation to a 429."""
+        try:
+            return await self.jobs.submit(spec)
+        except JobQueueFull as error:
+            if self.registry is not None:
+                self._m_rejected.labels("jobs").inc()
+            raise ApiError(
+                429,
+                str(error),
+                headers={"Retry-After": str(max(1, math.ceil(error.retry_after_s)))},
+            ) from None
+
     async def _submit_job(self, args, params, body) -> Tuple[int, Dict[str, Any]]:
         """``POST /v1/jobs`` — submit a campaign job; 202 with the job id."""
         spec = self._parse_spec(body)
-        job = await self.jobs.submit(spec)
+        job = await self._submit_spec(spec)
         return 202, {"job": job.to_payload(self.jobs.workers, include_shards=False)}
 
+    @staticmethod
+    def _listing_page(
+        params: Dict[str, str], rows: List[Dict[str, Any]], kind: str
+    ) -> Tuple[List[Dict[str, Any]], Optional[str], int]:
+        """Cursor pagination over an ordinal-ordered listing.
+
+        Jobs and leases carry monotonic ordinals inside their ids
+        (``job-000012-…``), so a page is "the first ``limit`` rows with an
+        ordinal beyond the cursor's".  The token is the same opaque
+        base64 cursor ``/v1/query`` uses; ``kind`` is bound inside it so a
+        jobs cursor cannot be replayed against the leases listing.
+        """
+        limit = DEFAULT_LISTING_LIMIT
+        if "limit" in params:
+            try:
+                limit = int(params["limit"])
+            except ValueError:
+                raise ApiError(400, f"limit must be an integer, got {params['limit']!r}")
+            if limit < 1:
+                raise ApiError(400, "limit must be >= 1")
+        after = -1
+        cursor = params.get("cursor")
+        if cursor:
+            try:
+                payload = decode_cursor(cursor)
+            except ValueError as error:
+                raise ApiError(400, str(error)) from None
+            if payload["k"] != kind:
+                raise ApiError(400, f"invalid cursor: not a {kind} cursor")
+            after = payload["o"]
+
+        def ordinal(row: Dict[str, Any]) -> int:
+            return int(str(row["id"]).split("-")[1])
+
+        remaining = [row for row in rows if ordinal(row) > after]
+        page = remaining[:limit]
+        next_cursor = None
+        if len(remaining) > limit:
+            next_cursor = encode_cursor(kind, "", ordinal(page[-1]), kind)
+        return page, next_cursor, len(rows)
+
     async def _list_jobs(self, args, params, body) -> Dict[str, Any]:
-        """``GET /v1/jobs`` — every tracked job, oldest first."""
+        """``GET /v1/jobs`` — tracked jobs, oldest first, paginated."""
+        _check_fields(params, {"limit", "cursor"}, "query")
+        rows = [
+            job.to_payload(self.jobs.workers, include_shards=False)
+            for job in self.jobs.jobs()
+        ]
+        page, next_cursor, total = self._listing_page(params, rows, "jobs")
         return {
-            "jobs": [
-                job.to_payload(self.jobs.workers, include_shards=False)
-                for job in self.jobs.jobs()
-            ]
+            "jobs": page,
+            "count": len(page),
+            "total": total,
+            "next_cursor": next_cursor,
         }
 
     def _job_or_404(self, job_id: str):
@@ -759,10 +1135,17 @@ class ResultServer:
         }
 
     async def _list_leases(self, args, params, body) -> Dict[str, Any]:
-        """``GET /v1/leases`` — fleet statistics plus every active lease."""
+        """``GET /v1/leases`` — fleet statistics plus active leases, paginated."""
+        _check_fields(params, {"limit", "cursor"}, "query")
+        page, next_cursor, total = self._listing_page(
+            params, self.jobs.ledger.rows(), "leases"
+        )
         return {
             "fleet": self.jobs.ledger.stats(),
-            "leases": self.jobs.ledger.rows(),
+            "leases": page,
+            "count": len(page),
+            "total": total,
+            "next_cursor": next_cursor,
         }
 
     async def _heartbeat_lease(self, args, params, body) -> Dict[str, Any]:
@@ -801,6 +1184,26 @@ class ResultServer:
         requeue = _field(body, "requeue", (bool,), False)
         return await self.jobs.fail_lease(args["lease_id"], error, requeue=requeue)
 
+    # ------------------------------------------------------------------ #
+    # Observability endpoints
+    # ------------------------------------------------------------------ #
+    async def _metrics(self, args, params, body) -> RawResponse:
+        """``GET /metrics`` — Prometheus text exposition of every metric."""
+        if self.registry is None:
+            raise ApiError(404, "metrics are disabled on this server (--no-metrics)")
+        loop = asyncio.get_running_loop()
+        # Callback gauges stat segment files etc.; keep that off the loop.
+        text = await loop.run_in_executor(None, self.registry.exposition)
+        return RawResponse(text.encode(), "text/plain; version=0.0.4; charset=utf-8")
+
+    async def _stats(self, args, params, body) -> Dict[str, Any]:
+        """``GET /v1/stats`` — the JSON twin of ``/metrics`` for clients."""
+        if self.registry is None:
+            raise ApiError(404, "metrics are disabled on this server (--no-metrics)")
+        loop = asyncio.get_running_loop()
+        metrics = await loop.run_in_executor(None, self.registry.to_dict)
+        return {"metrics": metrics}
+
 
 _REASONS = {
     200: "OK",
@@ -809,6 +1212,7 @@ _REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
 }
 
@@ -823,6 +1227,9 @@ def serve(
     shard_entries: int = DEFAULT_SHARD_ENTRIES,
     lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
     quiet: bool = False,
+    metrics: bool = True,
+    max_pending_evals: Optional[int] = None,
+    max_pending_jobs: Optional[int] = None,
 ) -> int:
     """Blocking entry point used by ``python -m repro serve``.
 
@@ -832,7 +1239,10 @@ def serve(
     pool), ``shard_entries`` caps grid entries per shard (see
     :mod:`repro.service.jobs`) and ``lease_ttl_s`` is how long a fleet
     worker's lease survives without a heartbeat before its shard
-    re-queues.
+    re-queues.  ``metrics=False`` disables the registry and the
+    ``/metrics`` + ``/v1/stats`` endpoints; ``max_pending_evals`` /
+    ``max_pending_jobs`` bound the evaluate and job admission queues
+    (full queues answer 429 with ``Retry-After``).
     """
     store = ResultStore(store_root)
     server = ResultServer(
@@ -845,6 +1255,9 @@ def serve(
         shard_entries=shard_entries,
         lease_ttl_s=lease_ttl_s,
         quiet=quiet,
+        metrics=metrics,
+        max_pending_evals=max_pending_evals,
+        max_pending_jobs=max_pending_jobs,
     )
 
     async def main() -> None:

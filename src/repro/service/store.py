@@ -529,6 +529,32 @@ class ResultStore:
         with self._lock:
             return sorted(self._records, key=lambda key: self._records[key].sequence)
 
+    def stats(self) -> Dict[str, Any]:
+        """Segment-level store statistics for metrics and ``/v1/stats``.
+
+        ``segment_bytes`` is on-disk size summed over live segments (the
+        trash directory is excluded — those bytes are already logically
+        gone).  Cheap enough to call at scrape time: one ``stat`` per
+        segment, no file contents touched.
+        """
+        with self._lock:
+            paths = self._segment_paths()
+            by_format = {"columnar": 0, "jsonl": 0}
+            total_bytes = 0
+            for path in paths:
+                by_format["columnar" if path.suffix == ".col" else "jsonl"] += 1
+                try:
+                    total_bytes += path.stat().st_size
+                except OSError:
+                    pass
+            return {
+                "results": len(self._records),
+                "segments": len(paths),
+                "segment_bytes": total_bytes,
+                "segments_by_format": by_format,
+                "format": self.format,
+            }
+
     def record(self, key: str) -> StoreRecord:
         """Index metadata for ``key``; raises ``KeyError`` when absent."""
         with self._lock:

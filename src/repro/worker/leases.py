@@ -95,6 +95,9 @@ class WorkerLease:
     ttl_s: float
     deadline: float
     state: str = "acquired"
+    #: The submitting request's trace id, carried through the lease grant
+    #: so worker log lines correlate with the server's for the same job.
+    trace_id: Optional[str] = None
     #: Execution error message once the lease is ``failed``.
     error: Optional[str] = None
     #: Shard execution wall-clock seconds, reported with the completion.
@@ -115,6 +118,7 @@ class WorkerLease:
             spec_payload=shard["spec"],
             ttl_s=float(payload["ttl_s"]),
             deadline=float(payload["deadline"]),
+            trace_id=payload.get("trace_id"),
         )
 
     @property

@@ -29,6 +29,8 @@ from threading import Event
 from typing import Any, Callable, Dict, List, Optional, Tuple
 from urllib.parse import urlsplit
 
+from ..obs.logging import get_logger
+from ..obs.tracing import set_trace_id
 from ..service.client import ServiceClient, ServiceError
 from ..service.jobs import execute_shard
 from .leases import WorkerLease
@@ -110,6 +112,11 @@ class WorkerLoop:
         }
         self._stop = Event()
         self._inflight: List[Tuple[WorkerLease, Future]] = []
+        #: Structured JSON log lines (stderr).  Deliberately *not* gated
+        #: on ``quiet``: ``-q`` silences the human progress lines, while
+        #: the machine-readable stream stays available for log shippers
+        #: and the trace-propagation tests.
+        self.obs = get_logger("worker")
 
     # ------------------------------------------------------------------ #
     def request_stop(self) -> None:
@@ -204,15 +211,32 @@ class WorkerLoop:
             f"lease {lease.id}: shard {lease.shard_index} of {lease.job_id} "
             f"({lease.entries} entries)"
         )
+        self.obs.event(
+            "lease.acquired",
+            trace_id=lease.trace_id,
+            lease_id=lease.id,
+            job_id=lease.job_id,
+            shard_index=lease.shard_index,
+            entries=lease.entries,
+            worker=self.worker_id,
+        )
         future = executor.submit(self._execute, lease)
         self._inflight.append((lease, future))
 
     @staticmethod
     def _execute(lease: WorkerLease) -> Dict[str, Any]:
-        """Shard-pool thread body: evaluate the lease's spec payload."""
+        """Shard-pool thread body: evaluate the lease's spec payload.
+
+        The lease's trace id is bound to this thread's context for the
+        duration, so anything the evaluation stack logs carries it.
+        """
+        token = set_trace_id(lease.trace_id)
         started = time.perf_counter()
-        payload = execute_shard(lease.spec_payload)
-        lease.seconds = time.perf_counter() - started
+        try:
+            payload = execute_shard(lease.spec_payload)
+        finally:
+            lease.seconds = time.perf_counter() - started
+            token.var.reset(token)
         return payload
 
     def _reap_finished(self) -> None:
@@ -237,8 +261,13 @@ class WorkerLoop:
         self._inflight = still
 
     def _complete(self, lease: WorkerLease, payload: Dict[str, Any]) -> None:
-        """Push one finished shard's payload; settle the lease state."""
+        """Push one finished shard's payload; settle the lease state.
+
+        The completion request runs under the lease's trace id, so the
+        server's access log shows the same id the submitter minted.
+        """
         lease.advance("completing")
+        token = set_trace_id(lease.trace_id) if lease.trace_id else None
         try:
             response = self._with_retries(
                 lambda: self.client.complete_lease(lease.id, payload, lease.seconds)
@@ -260,6 +289,9 @@ class WorkerLoop:
             self.counters["connection_errors"] += 1
             self._say(f"lease {lease.id}: server unreachable, abandoning completion")
             return
+        finally:
+            if token is not None:
+                token.var.reset(token)
         if response.get("accepted"):
             lease.advance("completed")
             self.counters["completed"] += 1
@@ -268,6 +300,17 @@ class WorkerLoop:
             self._say(
                 f"lease {lease.id}: completed shard {lease.shard_index} "
                 f"in {lease.seconds:.3f}s -> {response.get('key')}"
+            )
+            self.obs.event(
+                "shard.completed",
+                trace_id=lease.trace_id,
+                lease_id=lease.id,
+                job_id=lease.job_id,
+                shard_index=lease.shard_index,
+                seconds=round(lease.seconds or 0.0, 6),
+                key=response.get("key"),
+                duplicate=bool(response.get("duplicate")),
+                worker=self.worker_id,
             )
         else:
             lease.advance("lost")
@@ -286,6 +329,15 @@ class WorkerLoop:
         except (ServiceError, *_CONNECTION_ERRORS):
             pass  # the lease will expire; the error is already counted
         self._say(f"lease {lease.id}: shard failed ({lease.error})")
+        self.obs.event(
+            "shard.failed",
+            trace_id=lease.trace_id,
+            lease_id=lease.id,
+            job_id=lease.job_id,
+            shard_index=lease.shard_index,
+            error=lease.error,
+            worker=self.worker_id,
+        )
 
     def _heartbeat_due(self) -> None:
         """Beat every in-flight lease whose heartbeat interval elapsed."""
@@ -308,6 +360,15 @@ class WorkerLoop:
                 self._say(
                     f"lease {lease.id}: lost ({answer.get('reason')}); "
                     "discarding in-flight shard"
+                )
+                self.obs.event(
+                    "lease.lost",
+                    trace_id=lease.trace_id,
+                    lease_id=lease.id,
+                    job_id=lease.job_id,
+                    shard_index=lease.shard_index,
+                    reason=answer.get("reason"),
+                    worker=self.worker_id,
                 )
 
     def _drain(self, executor: ThreadPoolExecutor) -> None:

@@ -1,0 +1,227 @@
+"""Unit tests for the stdlib metrics core: registry, families, exposition.
+
+The acceptance-critical pieces: counters stay exact under concurrent
+increments from many threads (the server updates them from HTTP
+connections and executor threads at once), histogram quantile estimates
+agree with NumPy reference quantiles up to bucket resolution, and the
+text exposition is byte-exact Prometheus 0.0.4 (golden test with a tiny
+bucket set).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+
+class TestCounter:
+    def test_unlabelled_inc_and_value(self):
+        counter = Counter("c_total", "help text")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("c_total", "help")
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_labelled_children_are_independent(self):
+        counter = Counter("req_total", "help", labelnames=("route",))
+        counter.labels("/a").inc()
+        counter.labels(route="/b").inc(3)
+        assert counter.labels("/a").value == 1
+        assert counter.labels("/b").value == 3
+        # Same label values -> the same child object.
+        assert counter.labels("/a") is counter.labels(route="/a")
+
+    def test_labelled_family_rejects_bare_inc(self):
+        counter = Counter("req_total", "help", labelnames=("route",))
+        with pytest.raises(ValueError, match="labelled"):
+            counter.inc()
+        with pytest.raises(ValueError, match="labelled"):
+            counter.value
+
+    def test_label_cardinality_and_names_validated(self):
+        counter = Counter("req_total", "help", labelnames=("route", "status"))
+        with pytest.raises(ValueError, match="2 label"):
+            counter.labels("/a")
+        with pytest.raises(ValueError, match="unknown label"):
+            counter.labels(nope="/a")
+        with pytest.raises(ValueError, match="positionally or by name"):
+            counter.labels("/a", status="200")
+
+    def test_thread_safety_exact_under_concurrent_increments(self):
+        """8 threads x 10_000 increments must land exactly, not roughly."""
+        counter = Counter("c_total", "help")
+        labelled = Counter("l_total", "help", labelnames=("who",))
+        barrier = threading.Barrier(8)
+
+        def hammer(index: int) -> None:
+            child = labelled.labels(str(index % 2))
+            barrier.wait()
+            for _ in range(10_000):
+                counter.inc()
+                child.inc()
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 80_000
+        assert labelled.labels("0").value == 40_000
+        assert labelled.labels("1").value == 40_000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g", "help")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2.5)
+        assert gauge.value == 12.5
+
+    def test_callback_gauge_reads_live_value(self):
+        box = {"value": 1.0}
+        gauge = Gauge("g", "help", callback=lambda: box["value"])
+        assert gauge.samples() == [((), 1.0)]
+        box["value"] = 7.0
+        assert gauge.samples() == [((), 7.0)]
+        with pytest.raises(ValueError, match="callback"):
+            gauge.set(3)
+
+    def test_labelled_callback_exports_whole_family(self):
+        gauge = Gauge(
+            "shards", "help", labelnames=("state",),
+            callback=lambda: {("done",): 3, ("running",): 1},
+        )
+        assert gauge.samples() == [(("done",), 3.0), (("running",), 1.0)]
+
+    def test_broken_callback_never_breaks_the_scrape(self):
+        def boom():
+            raise RuntimeError("scrape-time failure")
+
+        gauge = Gauge("g", "help", callback=boom)
+        assert gauge.samples() == []
+        registry = MetricsRegistry()
+        registry.gauge("g", "help", callback=boom)
+        assert "# TYPE g gauge" in registry.exposition()
+
+
+class TestHistogram:
+    def test_buckets_validated(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram("h", "help", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram("h", "help", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram("h", "help", buckets=())
+
+    def test_observation_lands_in_le_inclusive_bucket(self):
+        hist = Histogram("h", "help", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 4.0, 9.0):
+            hist.observe(value)
+        counts, total = hist._children[()].snapshot()
+        # le=1 holds 0.5 and the boundary value 1.0; le=2 holds 1.5;
+        # le=4 holds the boundary 4.0; +Inf holds 9.0.
+        assert counts == [2, 1, 1, 1]
+        assert total == pytest.approx(16.0)
+        assert hist.count == 5
+
+    def test_quantiles_match_numpy_reference_within_bucket_resolution(self):
+        """Estimates must land in the same bucket as np.quantile's answer."""
+        rng = np.random.default_rng(7)
+        values = rng.lognormal(mean=-4.0, sigma=1.2, size=5_000)
+        hist = Histogram("h", "help")  # DEFAULT_LATENCY_BUCKETS
+        for value in values:
+            hist.observe(float(value))
+        bounds = (0.0, *DEFAULT_LATENCY_BUCKETS)
+        for q in (0.50, 0.95, 0.99):
+            reference = float(np.quantile(values, q))
+            estimate = hist.quantile(q)
+            # The bucket holding the true quantile bounds the estimate:
+            # fixed-bucket histograms cannot do better, and must not do
+            # worse (factor-2 buckets -> estimate within 2x of truth).
+            index = next(
+                i for i in range(1, len(bounds)) if reference <= bounds[i]
+            )
+            assert bounds[index - 1] <= estimate <= bounds[index]
+            assert estimate == pytest.approx(reference, rel=1.0)
+
+    def test_quantile_edge_cases(self):
+        hist = Histogram("h", "help", buckets=(1.0, 2.0))
+        assert hist.quantile(0.5) is None  # empty
+        hist.observe(10.0)  # lands in +Inf
+        # Clamped to the largest finite bound: an honest lower bound.
+        assert hist.quantile(0.99) == 2.0
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_default_buckets_are_factor_two_log_spaced(self):
+        assert len(DEFAULT_LATENCY_BUCKETS) == 21
+        assert DEFAULT_LATENCY_BUCKETS[0] == pytest.approx(1e-4)
+        for lo, hi in zip(DEFAULT_LATENCY_BUCKETS, DEFAULT_LATENCY_BUCKETS[1:]):
+            assert hi == pytest.approx(2 * lo)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "help")
+        second = registry.counter("c_total", "help")
+        assert first is second
+
+    def test_kind_or_label_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m", "help")
+        with pytest.raises(ValueError, match="different kind or label"):
+            registry.gauge("m", "help")
+        registry.counter("labelled", "help", labelnames=("a",))
+        with pytest.raises(ValueError, match="different kind or label"):
+            registry.counter("labelled", "help", labelnames=("b",))
+
+    def test_exposition_golden(self):
+        """Byte-exact Prometheus 0.0.4 text for a tiny known registry."""
+        registry = MetricsRegistry()
+        requests = registry.counter("req_total", "Requests.", labelnames=("route",))
+        requests.labels("/a").inc(2)
+        requests.labels('/b"\n\\').inc()  # label escaping: \ " newline
+        registry.gauge("depth", "Queue depth.").set(4)
+        hist = registry.histogram("lat_seconds", "Latency.", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        assert registry.exposition() == (
+            "# HELP depth Queue depth.\n"
+            "# TYPE depth gauge\n"
+            "depth 4\n"
+            "# HELP lat_seconds Latency.\n"
+            "# TYPE lat_seconds histogram\n"
+            'lat_seconds_bucket{le="0.1"} 1\n'
+            'lat_seconds_bucket{le="1"} 2\n'
+            'lat_seconds_bucket{le="+Inf"} 3\n'
+            "lat_seconds_sum 5.55\n"
+            "lat_seconds_count 3\n"
+            "# HELP req_total Requests.\n"
+            "# TYPE req_total counter\n"
+            'req_total{route="/a"} 2\n'
+            'req_total{route="/b\\"\\n\\\\"} 1\n'
+        )
+
+    def test_to_dict_includes_percentiles(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", "help", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0):
+            hist.observe(value)
+        payload = registry.to_dict()
+        entry = payload["lat"]["samples"][0]
+        assert entry["count"] == 3
+        assert entry["sum"] == pytest.approx(5.0)
+        assert 0.0 < entry["p50"] <= 2.0
+        assert payload["lat"]["type"] == "histogram"

@@ -1,0 +1,105 @@
+"""Unit tests for trace-id propagation and the structured JSON logger."""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+from repro.obs import (
+    StructuredLogger,
+    current_trace_id,
+    get_logger,
+    new_trace_id,
+    set_trace_id,
+    trace_context,
+)
+from repro.obs.tracing import TRACE_HEADER, TRACE_ID_PATTERN, valid_trace_id
+
+
+class TestTracing:
+    def test_new_trace_ids_are_well_formed_and_unique(self):
+        ids = {new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        for trace_id in ids:
+            assert TRACE_ID_PATTERN.match(trace_id)
+            assert len(trace_id) == 16
+
+    def test_context_binding_and_reset(self):
+        assert current_trace_id() is None
+        token = set_trace_id("abc-123")
+        assert current_trace_id() == "abc-123"
+        token.var.reset(token)
+        assert current_trace_id() is None
+
+    def test_trace_context_mints_and_restores(self):
+        with trace_context() as minted:
+            assert current_trace_id() == minted
+            with trace_context("explicit") as inner:
+                assert inner == "explicit"
+                assert current_trace_id() == "explicit"
+            assert current_trace_id() == minted
+        assert current_trace_id() is None
+
+    def test_context_is_thread_local(self):
+        seen = {}
+
+        def body():
+            seen["other"] = current_trace_id()
+
+        with trace_context("main-thread-id"):
+            thread = threading.Thread(target=body)
+            thread.start()
+            thread.join()
+        assert seen["other"] is None  # fresh thread: no inherited binding
+
+    def test_wire_validation(self):
+        assert valid_trace_id("abc-DEF-123") == "abc-DEF-123"
+        assert valid_trace_id(None) is None
+        assert valid_trace_id("") is None
+        assert valid_trace_id("bad id with spaces") is None
+        assert valid_trace_id("x" * 65) is None  # too long
+        assert valid_trace_id('evil"\n') is None  # no header injection
+        assert TRACE_HEADER == "X-Repro-Trace-Id"
+
+
+class TestStructuredLogger:
+    def read(self, stream: io.StringIO) -> list:
+        return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+    def test_single_line_json_with_fields(self):
+        stream = io.StringIO()
+        log = StructuredLogger("tester", stream=stream)
+        record = log.event("unit.test", answer=42, name="x")
+        lines = self.read(stream)
+        assert len(lines) == 1
+        assert lines[0] == record
+        assert record["component"] == "tester"
+        assert record["event"] == "unit.test"
+        assert record["answer"] == 42
+        assert isinstance(record["ts"], float)
+
+    def test_trace_id_comes_from_context(self):
+        stream = io.StringIO()
+        log = StructuredLogger("tester", stream=stream)
+        with trace_context("ctx-id"):
+            log.event("with.context")
+        log.event("without.context")
+        log.event("explicit.override", trace_id="override-id")
+        records = self.read(stream)
+        assert records[0]["trace_id"] == "ctx-id"
+        assert "trace_id" not in records[1]
+        assert records[2]["trace_id"] == "override-id"
+
+    def test_non_jsonable_fields_fall_back_to_repr(self):
+        stream = io.StringIO()
+        log = StructuredLogger("tester", stream=stream)
+        log.event("weird", payload=object())
+        (record,) = self.read(stream)
+        assert "object object" in record["payload"]
+
+    def test_disabled_logger_emits_nothing(self):
+        stream = io.StringIO()
+        log = get_logger("tester", stream=stream, enabled=False)
+        assert log.event("dropped") is None
+        assert stream.getvalue() == ""

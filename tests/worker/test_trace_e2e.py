@@ -1,0 +1,173 @@
+"""Trace-id propagation across processes: client -> server -> worker.
+
+The acceptance criterion made literal: a trace id bound in the submitting
+client's context must show up in the *server* process's structured log
+(the ``http.request`` line for the submission) and in the *worker*
+process's structured log (the ``lease.acquired`` / ``shard.completed``
+lines for the shard that job produced) — three processes, one id.
+
+The campaign is a single-entry grid so the whole round trip stays fast
+enough for the default test tier.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.design_space import SweepSpec
+from repro.experiments import ExperimentSpec
+from repro.obs.tracing import trace_context
+from repro.service import ServiceClient
+
+SPEC = ExperimentSpec(
+    networks=("alexnet",),
+    devices=("xc7vx485t",),
+    sweeps=(
+        SweepSpec(
+            m_values=(2,), multiplier_budgets=(256,), frequencies_mhz=(200.0,)
+        ),
+    ),
+    name="trace-e2e",
+)
+
+TRACE_ID = "trace-e2e-0123456789abcdef"
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def spawn(*argv: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.abspath("src"), env.get("PYTHONPATH", "")])
+    )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *argv],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def structured_records(stderr_text: str) -> list:
+    """Every parseable single-line JSON record in a captured stderr stream."""
+    records = []
+    for line in stderr_text.splitlines():
+        if not line.startswith("{"):
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return records
+
+
+def wait_until_serving(client: ServiceClient, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            client.health()
+            return
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.1)
+
+
+def test_trace_id_spans_client_server_and_worker_processes(tmp_path):
+    port = free_port()
+    server = spawn(
+        "serve", "--store", str(tmp_path / "store"),
+        "--port", str(port), "--workers", "0",
+    )
+    worker = None
+    try:
+        client = ServiceClient(port=port)
+        wait_until_serving(client)
+        with trace_context(TRACE_ID):
+            job = client.submit_job(SPEC)
+        worker = spawn(
+            "worker", "--server", f"http://127.0.0.1:{port}",
+            "--worker-id", "trace-w1", "--max-shards", "1",
+            "--poll-s", "0.1", "-q",
+        )
+        final = client.wait_for_job(job["id"], timeout=90)
+        assert final["state"] == "completed", final
+        assert final["trace_id"] == TRACE_ID  # the job record kept the id
+        worker_stderr = worker.communicate(timeout=60)[1]
+        assert worker.returncode == 0
+    finally:
+        if worker is not None and worker.poll() is None:
+            worker.kill()
+            worker.communicate()
+        server.terminate()
+        server_stderr = server.communicate(timeout=30)[1]
+
+    server_records = structured_records(server_stderr)
+    submission = [
+        record
+        for record in server_records
+        if record["event"] == "http.request"
+        and record.get("route") == "/v1/jobs"
+        and record.get("method") == "POST"
+    ]
+    assert submission, server_records
+    assert any(record.get("trace_id") == TRACE_ID for record in submission)
+
+    worker_records = structured_records(worker_stderr)
+    acquired = [r for r in worker_records if r["event"] == "lease.acquired"]
+    completed = [r for r in worker_records if r["event"] == "shard.completed"]
+    assert acquired and completed, worker_records
+    assert acquired[0]["trace_id"] == TRACE_ID
+    assert completed[0]["trace_id"] == TRACE_ID
+    assert completed[0]["worker"] == "trace-w1"
+    assert completed[0]["job_id"] == job["id"]
+
+
+def test_worker_completion_request_reuses_the_lease_trace(tmp_path):
+    """The worker's complete call hits the server under the same id."""
+    port = free_port()
+    server = spawn(
+        "serve", "--store", str(tmp_path / "store"),
+        "--port", str(port), "--workers", "0",
+    )
+    worker = None
+    try:
+        client = ServiceClient(port=port)
+        wait_until_serving(client)
+        with trace_context(TRACE_ID):
+            job = client.submit_job(SPEC)
+        worker = spawn(
+            "worker", "--server", f"http://127.0.0.1:{port}",
+            "--worker-id", "trace-w2", "--max-shards", "1",
+            "--poll-s", "0.1", "-q",
+        )
+        final = client.wait_for_job(job["id"], timeout=90)
+        assert final["state"] == "completed", final
+        worker.communicate(timeout=60)
+    finally:
+        if worker is not None and worker.poll() is None:
+            worker.kill()
+            worker.communicate()
+        server.terminate()
+        server_stderr = server.communicate(timeout=30)[1]
+
+    completions = [
+        record
+        for record in structured_records(server_stderr)
+        if record["event"] == "http.request"
+        and record.get("route", "").endswith("/complete")
+    ]
+    assert completions
+    assert any(record.get("trace_id") == TRACE_ID for record in completions)
