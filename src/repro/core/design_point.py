@@ -19,6 +19,7 @@ from ..hw.engine import EngineConfig, EngineModel, build_engine
 from ..hw.power import PowerModel
 from ..hw.resources import ResourceEstimate
 from ..nn.model import Network
+from ..winograd.quantized import calibrated_error, validate_bit_width
 from .complexity import (
     implementation_transform_complexity,
     multiplication_complexity,
@@ -66,6 +67,13 @@ class DesignPoint:
     engine: Optional[EngineModel] = field(default=None, compare=False, repr=False)
     workload_name: str = ""
 
+    # Accuracy (the third DSE axis): the numeric backend and its measured
+    # error from the per-(m, r, bit_width) calibration table.  ``None``
+    # bit_width is the paper's float datapath.
+    bit_width: Optional[int] = None
+    max_rel_error: float = 0.0
+    mean_rel_error: float = 0.0
+
     # ------------------------------------------------------------------ #
     @property
     def total_latency_ms(self) -> float:
@@ -106,7 +114,10 @@ class DesignPoint:
             "luts": self.resources.luts,
             "registers": self.resources.registers,
             "dsp_slices": self.resources.dsp_slices,
+            "max_rel_error": self.max_rel_error,
         }
+        if self.bit_width is not None:
+            row["bit_width"] = self.bit_width
         for group, value in sorted(self.group_latency_ms.items()):
             row[f"latency_{group.lower()}_ms"] = value
         return row
@@ -139,6 +150,10 @@ class ComponentProvider(Protocol):
 
     def implementation_transform_complexity(self, network, m, parallel_pes):
         """Implementation transform operation count (Eq. 6 family)."""
+        ...
+
+    def tile_error_stats(self, m, r, bit_width):
+        """Calibrated numerical-error statistics for ``(m, r, bit_width)``."""
         ...
 
 
@@ -175,6 +190,10 @@ class DirectComponents:
         """Evaluate the implementation transform complexity directly."""
         return implementation_transform_complexity(network, m, parallel_pes)
 
+    def tile_error_stats(self, m, r, bit_width):
+        """Measure (or fetch the memoised) calibration-table entry."""
+        return calibrated_error(m, r, bit_width)
+
 
 _DIRECT_COMPONENTS = DirectComponents()
 
@@ -192,6 +211,7 @@ def evaluate_design(
     include_pipeline_depth: bool = True,
     name: Optional[str] = None,
     components: Optional[ComponentProvider] = None,
+    bit_width: Optional[int] = None,
 ) -> DesignPoint:
     """Evaluate one engine configuration on one workload.
 
@@ -203,11 +223,18 @@ def evaluate_design(
     :class:`DirectComponents`); the memoising DSE layer passes its cache
     here so cached and uncached evaluation share this single body.
 
+    ``bit_width`` selects the numeric backend whose calibrated error is
+    attached to the point (``None`` — the float datapath — still carries
+    the measured float32 tile error).  An unsupported width, or one whose
+    quantized transform constants exhaust the fixed-point headroom,
+    raises ``ValueError`` like any other infeasible configuration.
+
     Returns a :class:`DesignPoint` carrying performance, resource, power and
     complexity metrics.
     """
     components = components or _DIRECT_COMPONENTS
     device = device or virtex7_485t()
+    validate_bit_width(bit_width)
     if parallel_pes is None and multiplier_budget is not None:
         per_pe = (m + r - 1) ** 2
         parallel_pes = multiplier_budget // per_pe
@@ -231,8 +258,12 @@ def evaluate_design(
     throughput = latency.throughput_gops
     power_model = PowerModel(calibration.power)
     power = power_model.total_watts(engine.resources, frequency_mhz)
+    error_stats = components.tile_error_stats(m, r, bit_width)
 
-    point_name = name or f"F({m}x{m},{r}x{r})-P{engine.parallel_pes}"
+    default_name = f"F({m}x{m},{r}x{r})-P{engine.parallel_pes}"
+    if bit_width is not None:
+        default_name = f"{default_name}-Q{bit_width}"
+    point_name = name or default_name
     return DesignPoint(
         name=point_name,
         m=m,
@@ -256,4 +287,7 @@ def evaluate_design(
         ),
         engine=engine,
         workload_name=network.name,
+        bit_width=bit_width,
+        max_rel_error=error_stats.max_rel,
+        mean_rel_error=error_stats.mean_rel,
     )

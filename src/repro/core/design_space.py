@@ -54,13 +54,21 @@ __all__ = [
 
 
 class GridEntry(NamedTuple):
-    """One fully specified configuration of a design-space grid."""
+    """One fully specified configuration of a design-space grid.
+
+    ``bit_width`` selects the fixed-point numeric backend
+    (:mod:`repro.winograd.quantized`); ``None`` is the paper's float
+    datapath.  ``error_budget`` carries the sweep-level accuracy
+    constraint down to the per-entry feasibility check.
+    """
 
     m: int
     r: int
     multiplier_budget: Optional[int]
     frequency_mhz: float
     shared_data_transform: bool
+    bit_width: Optional[int] = None
+    error_budget: Optional[float] = None
 
 
 def frequency_range(
@@ -116,6 +124,15 @@ class SweepSpec:
     r_values:
         Optional sequence of kernel sizes to sweep; when given it overrides
         ``r`` and the grid becomes ``m x r x budget x frequency x shared``.
+    bit_widths:
+        Numeric backends to sweep: ``None`` entries are the paper's float
+        datapath, integers select the fixed-point pipeline of
+        :mod:`repro.winograd.quantized` at that width.  The default sweeps
+        only the float path, so existing specs expand identically.
+    error_budget:
+        Optional accuracy constraint: designs whose calibrated
+        ``max_rel_error`` exceeds this are infeasible (dropped under
+        ``skip_infeasible``, like designs that do not fit the device).
     """
 
     m_values: Sequence[int] = (2, 3, 4, 5, 6, 7)
@@ -124,6 +141,8 @@ class SweepSpec:
     shared_data_transform: Sequence[bool] = (True,)
     r: int = 3
     r_values: Optional[Sequence[int]] = None
+    bit_widths: Sequence[Optional[int]] = (None,)
+    error_budget: Optional[float] = None
 
     def __post_init__(self) -> None:
         # Materialize every sequence field once: one-shot iterables (e.g.
@@ -131,7 +150,10 @@ class SweepSpec:
         # ``configurations()``, tuples keep the frozen spec hashable, and a
         # bare scalar (``m_values=4``, ``shared_data_transform=False``)
         # means a one-value sweep rather than a TypeError.
-        for field_name in ("m_values", "multiplier_budgets", "frequencies_mhz", "shared_data_transform"):
+        for field_name in (
+            "m_values", "multiplier_budgets", "frequencies_mhz",
+            "shared_data_transform", "bit_widths",
+        ):
             object.__setattr__(self, field_name, _field_tuple(getattr(self, field_name)))
         if self.r_values is not None:
             object.__setattr__(self, "r_values", _field_tuple(self.r_values))
@@ -146,7 +168,10 @@ class SweepSpec:
         "sweep nothing" meaning, since ``None`` — not ``()`` — is its
         neutral value).
         """
-        for field_name in ("m_values", "multiplier_budgets", "frequencies_mhz", "shared_data_transform"):
+        for field_name in (
+            "m_values", "multiplier_budgets", "frequencies_mhz",
+            "shared_data_transform", "bit_widths",
+        ):
             if not getattr(self, field_name):
                 raise ValueError(
                     f"SweepSpec.{field_name} is empty — an empty axis would "
@@ -180,6 +205,21 @@ class SweepSpec:
                 raise ValueError(
                     f"shared_data_transform entries must be booleans, got {shared!r}"
                 )
+        from ..winograd.quantized import validate_bit_width
+
+        for bit_width in self.bit_widths:
+            validate_bit_width(bit_width)
+        if self.error_budget is not None:
+            if (
+                not isinstance(self.error_budget, (int, float))
+                or isinstance(self.error_budget, bool)
+                or not math.isfinite(self.error_budget)
+                or self.error_budget <= 0
+            ):
+                raise ValueError(
+                    f"error_budget must be None or a positive finite number, "
+                    f"got {self.error_budget!r}"
+                )
 
     # ------------------------------------------------------------------ #
     @property
@@ -203,20 +243,26 @@ class SweepSpec:
             * len(self.multiplier_budgets)
             * len(self.frequencies_mhz)
             * len(self.shared_data_transform)
+            * len(self.bit_widths)
         )
 
     def configurations(self) -> Iterator[GridEntry]:
         """Expand the spec into grid entries in canonical nesting order.
 
-        The nesting (``m`` -> ``r`` -> budget -> frequency -> shared) matches
-        the historical ``explore`` loop, so results keep their ordering.
+        The nesting (``m`` -> ``r`` -> budget -> frequency -> shared ->
+        bit-width) matches the historical ``explore`` loop with the new
+        axis innermost, so pre-existing specs keep their ordering.
         """
         for m in self.m_values:
             for r in self.effective_r_values:
                 for budget in self.multiplier_budgets:
                     for frequency in self.frequencies_mhz:
                         for shared in self.shared_data_transform:
-                            yield GridEntry(m, r, budget, frequency, shared)
+                            for bit_width in self.bit_widths:
+                                yield GridEntry(
+                                    m, r, budget, frequency, shared,
+                                    bit_width, self.error_budget,
+                                )
 
     # ------------------------------------------------------------------ #
     def with_frequencies(self, frequencies_mhz: Sequence[float]) -> "SweepSpec":
@@ -231,8 +277,14 @@ class SweepSpec:
 
     # ------------------------------------------------------------------ #
     def to_dict(self) -> dict:
-        """JSON-ready representation; inverse of :meth:`from_dict`."""
-        return {
+        """JSON-ready representation; inverse of :meth:`from_dict`.
+
+        The accuracy axes are emitted only when set off their defaults:
+        a float-only spec serializes exactly as it did before the axes
+        existed, keeping :meth:`ExperimentSpec.fingerprint` (and with it
+        every stored-result index key) stable.
+        """
+        data = {
             "m_values": list(self.m_values),
             "multiplier_budgets": list(self.multiplier_budgets),
             "frequencies_mhz": [float(f) for f in self.frequencies_mhz],
@@ -240,6 +292,11 @@ class SweepSpec:
             "r": self.r,
             "r_values": None if self.r_values is None else list(self.r_values),
         }
+        if tuple(self.bit_widths) != (None,):
+            data["bit_widths"] = list(self.bit_widths)
+        if self.error_budget is not None:
+            data["error_budget"] = float(self.error_budget)
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "SweepSpec":
@@ -248,7 +305,7 @@ class SweepSpec:
             raise ValueError(f"sweep spec must be a mapping, got {type(data).__name__}")
         known = {
             "m_values", "multiplier_budgets", "frequencies_mhz",
-            "shared_data_transform", "r", "r_values",
+            "shared_data_transform", "r", "r_values", "bit_widths", "error_budget",
         }
         unknown = set(data) - known
         if unknown:

@@ -58,13 +58,21 @@ from .engine import (
     explore_cached,
     iter_explore,
 )
-from .vectorized import BatchResult, evaluate_cell_batch, numpy_available
+from .vectorized import (
+    BatchResult,
+    DOES_NOT_FIT,
+    EXCEEDS_ERROR_BUDGET,
+    evaluate_cell_batch,
+    numpy_available,
+)
 
 __all__ = [
     "BatchOutcome",
     "EvalRequest",
     "evaluate_requests",
     "BatchResult",
+    "DOES_NOT_FIT",
+    "EXCEEDS_ERROR_BUDGET",
     "evaluate_cell_batch",
     "numpy_available",
     "CacheStats",

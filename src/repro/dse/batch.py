@@ -38,7 +38,7 @@ from ..nn.model import Network
 from ..nn.registry import resolve_network
 from .cache import network_fingerprint
 from .engine import CacheLike, _evaluate_entry
-from .vectorized import DOES_NOT_FIT
+from .vectorized import DOES_NOT_FIT, EXCEEDS_ERROR_BUDGET
 
 __all__ = ["EvalRequest", "BatchOutcome", "evaluate_requests"]
 
@@ -93,6 +93,12 @@ def _serial_outcome(
         return BatchOutcome(error=str(error))
     if not point.resources.fits(device):
         return BatchOutcome(error=DOES_NOT_FIT.format(device=device.name))
+    if entry.error_budget is not None and point.max_rel_error > entry.error_budget:
+        return BatchOutcome(
+            error=EXCEEDS_ERROR_BUDGET.format(
+                error=point.max_rel_error, budget=entry.error_budget
+            )
+        )
     return BatchOutcome(point=point)
 
 

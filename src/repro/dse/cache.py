@@ -37,7 +37,9 @@ from ..hw.calibration import Calibration
 from ..hw.device import FpgaDevice
 from ..hw.engine import EngineConfig, EngineModel, build_engine
 from ..nn.model import Network
+from ..winograd.numerical import ErrorStats
 from ..winograd.op_count import TransformOpCounts, count_transform_ops
+from ..winograd.quantized import calibrated_error
 
 __all__ = ["CacheStats", "EvaluationCache", "network_fingerprint", "global_cache"]
 
@@ -97,7 +99,9 @@ class EvaluationCache:
       depend on it; the config is re-attached per request);
     * ``latency`` — :func:`repro.core.throughput.network_latency` reports;
     * ``op_counts`` / ``complexity`` — transform operator counts per
-      ``(m, r)`` and the Section III workload terms.
+      ``(m, r)`` and the Section III workload terms;
+    * ``accuracy`` — the per-``(m, r, bit_width)`` numerical-error
+      calibration table (:func:`repro.winograd.quantized.calibrated_error`).
     """
 
     DEFAULT_MAX_POINTS = 16384
@@ -123,10 +127,13 @@ class EvaluationCache:
         self._spatial: Dict[str, int] = {}
         self._mults: Dict[Tuple, float] = {}
         self._impl_transform: Dict[Tuple, float] = {}
+        self._accuracy: Dict[Tuple, ErrorStats] = {}
         self._points: Dict[Tuple, Tuple[str, Any]] = {}
         self.stats: Dict[str, CacheStats] = {
             name: CacheStats()
-            for name in ("points", "engines", "latency", "op_counts", "complexity")
+            for name in (
+                "points", "engines", "latency", "op_counts", "complexity", "accuracy",
+            )
         }
 
     # ------------------------------------------------------------------ #
@@ -262,6 +269,20 @@ class EvaluationCache:
             compute,
         )
 
+    def tile_error_stats(self, m: int, r: int, bit_width: Optional[int]) -> ErrorStats:
+        """Calibrated numerical error of the ``(m, r, bit_width)`` cell.
+
+        Backed by the deterministic module-level calibration table, so
+        concurrent misses (and separate caches) always observe
+        bit-identical statistics.
+        """
+        return self._memo(
+            self._accuracy,
+            (m, r, bit_width),
+            "accuracy",
+            lambda: calibrated_error(m, r, bit_width),
+        )
+
     # ------------------------------------------------------------------ #
     def lookup_point(self, key: Tuple) -> Optional[Tuple[str, Any]]:
         """Raw design-point lookup: ``("ok", point)``, ``("err", msg)`` or None."""
@@ -314,6 +335,7 @@ class EvaluationCache:
             + len(self._spatial)
             + len(self._mults)
             + len(self._impl_transform)
+            + len(self._accuracy)
             + len(self._points)
         )
 
@@ -326,6 +348,7 @@ class EvaluationCache:
             self._spatial,
             self._mults,
             self._impl_transform,
+            self._accuracy,
             self._points,
         ):
             store.clear()

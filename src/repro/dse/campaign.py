@@ -49,6 +49,8 @@ METRIC_DIRECTIONS: Dict[str, bool] = {
     "multiplier_efficiency": True,
     "total_latency_ms": False,
     "power_watts": False,
+    "max_rel_error": False,
+    "mean_rel_error": False,
 }
 
 #: Default campaign objectives: the paper's throughput / power-efficiency

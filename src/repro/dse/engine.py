@@ -181,6 +181,7 @@ def evaluate_design_cached(
     name: Optional[str] = None,
     cache: CacheLike = None,
     fingerprint: Optional[str] = None,
+    bit_width: Optional[int] = None,
 ) -> DesignPoint:
     """Memoised twin of :func:`repro.core.design_point.evaluate_design`.
 
@@ -204,6 +205,7 @@ def evaluate_design_cached(
             calibration=calibration,
             include_pipeline_depth=include_pipeline_depth,
             name=name,
+            bit_width=bit_width,
         )
     cache = cache if cache is not None else global_cache()
     device = device or virtex7_485t()
@@ -220,6 +222,7 @@ def evaluate_design_cached(
         shared_data_transform,
         include_pipeline_depth,
         name,
+        bit_width,
     )
     entry = cache.lookup_point(key)
     if entry is not None:
@@ -245,6 +248,7 @@ def evaluate_design_cached(
             include_pipeline_depth=include_pipeline_depth,
             name=name,
             components=_CachedComponents(cache, fingerprint),
+            bit_width=bit_width,
         )
     except ValueError as error:
         cache.store_point(key, ("err", (type(error), error.args)))
@@ -305,6 +309,10 @@ class _CachedComponents:
             self._fingerprint, network, m, parallel_pes
         )
 
+    def tile_error_stats(self, m, r, bit_width):
+        """Memoised calibration-table entry for ``(m, r, bit_width)``."""
+        return self._cache.tile_error_stats(m, r, bit_width)
+
 
 # --------------------------------------------------------------------- #
 # Grid evaluation (serial and chunked-parallel)
@@ -331,12 +339,19 @@ def _evaluate_entry(
             calibration=calibration,
             cache=cache,
             fingerprint=fingerprint,
+            bit_width=entry.bit_width,
         )
     except ValueError:
         if skip_infeasible:
             return None
         raise
     if skip_infeasible and not point.resources.fits(device):
+        return None
+    if (
+        skip_infeasible
+        and entry.error_budget is not None
+        and point.max_rel_error > entry.error_budget
+    ):
         return None
     return point
 

@@ -50,13 +50,27 @@ from ..hw.engine import EngineCellModel, EngineConfig, EngineModel, engine_cell_
 from ..hw.power import PowerModel
 from ..hw.resources import ResourceEstimate, batch_fits, batch_linear_resources
 from ..nn.model import Network
+from ..winograd.quantized import calibrated_error, validate_bit_width
 
-__all__ = ["numpy_available", "BatchResult", "evaluate_cell_batch", "DOES_NOT_FIT"]
+__all__ = [
+    "numpy_available",
+    "BatchResult",
+    "evaluate_cell_batch",
+    "DOES_NOT_FIT",
+    "EXCEEDS_ERROR_BUDGET",
+]
 
 #: Skip reason for designs that evaluate but exceed the device budget
 #: (the scalar path has no message for this case — it silently drops the
 #: point — so batch consumers share this one).
 DOES_NOT_FIT = "design does not fit device {device!r}"
+
+#: Skip reason for designs whose calibrated error exceeds the sweep's
+#: ``error_budget`` — the accuracy twin of :data:`DOES_NOT_FIT`, shared
+#: verbatim by the scalar request path and the vectorized engine.
+EXCEEDS_ERROR_BUDGET = (
+    "design max_rel_error {error:.6g} exceeds error budget {budget:.6g}"
+)
 
 
 def numpy_available() -> bool:
@@ -84,6 +98,8 @@ class _Group:
     pes: List[int] = field(default_factory=list)
     frequencies: List[float] = field(default_factory=list)
     budget_given: List[bool] = field(default_factory=list)
+    bit_widths: List[Optional[int]] = field(default_factory=list)
+    error_budgets: List[Optional[float]] = field(default_factory=list)
 
 
 @dataclass
@@ -120,13 +136,18 @@ def _entry_pes(
 
     ``get_model`` lazily returns the entry's :class:`EngineCellModel` (or
     the ``ValueError`` its build raised).  Mirrors the scalar check order
-    exactly: an explicit multiplier budget is validated first (in
-    ``evaluate_design``, before the engine config exists), then the
-    ``EngineConfig`` field validations, then the engine build (transform
-    generation), and only then the whole-device budget of Eq. (8).  Entries
-    from a validated ``SweepSpec`` can only hit the two budget checks, but
-    hand-made entries fail identically to the scalar path too.
+    exactly: the ``bit_width`` domain check comes first (the first thing
+    ``evaluate_design`` does), then an explicit multiplier budget (still
+    before the engine config exists), then the ``EngineConfig`` field
+    validations, then the engine build (transform generation), and only
+    then the whole-device budget of Eq. (8).  Entries from a validated
+    ``SweepSpec`` can only hit the budget checks, but hand-made entries
+    fail identically to the scalar path too.
     """
+    try:
+        validate_bit_width(entry.bit_width)
+    except ValueError as error:
+        return None, error
     pes: Optional[int] = None
     if entry.multiplier_budget is not None:
         per_pe = (entry.m + entry.r - 1) ** 2
@@ -209,6 +230,15 @@ def evaluate_cell_batch(
             return model
 
         pes, error = _entry_pes(entry, get_model, device)
+        if error is None:
+            # The scalar path measures the calibration-table entry inside
+            # ``evaluate_design`` (after the engine build, before the fit
+            # check); an unsupported quantized transform raises the same
+            # ``ValueError`` here, in the same relative order.
+            try:
+                calibrated_error(entry.m, entry.r, entry.bit_width)
+            except ValueError as stats_error:
+                error = stats_error
         if error is not None:
             if skip_infeasible:
                 if errors is not None:
@@ -225,6 +255,8 @@ def evaluate_cell_batch(
         group.pes.append(pes)
         group.frequencies.append(entry.frequency_mhz)
         group.budget_given.append(entry.multiplier_budget is not None)
+        group.bit_widths.append(entry.bit_width)
+        group.error_budgets.append(entry.error_budget)
 
     # ---- pass 2: stacked array evaluation per group ---------------------- #
     power_model = PowerModel(calibration.power)
@@ -249,6 +281,20 @@ def evaluate_cell_batch(
             for j, index in enumerate(group.indexes):
                 if not keep[j]:
                     errors[index] = DOES_NOT_FIT.format(device=device.name)
+        if skip_infeasible:
+            # Accuracy twin of the fit check, in the same scalar order:
+            # a design that fits but misses its error budget is skipped.
+            for j, index in enumerate(group.indexes):
+                budget = group.error_budgets[j]
+                if not keep[j] or budget is None:
+                    continue
+                stats = calibrated_error(group.m, group.r, group.bit_widths[j])
+                if stats.max_rel > budget:
+                    keep[j] = False
+                    if errors is not None:
+                        errors[index] = EXCEEDS_ERROR_BUDGET.format(
+                            error=stats.max_rel, budget=budget
+                        )
         if not keep.any():
             continue
 
@@ -284,6 +330,8 @@ def evaluate_cell_batch(
                 continue
             point_pes = group.pes[j]
             frequency = group.frequencies[j]
+            bit_width = group.bit_widths[j]
+            error_stats = calibrated_error(m, r, bit_width)
             latency = LatencyReport(
                 m=m,
                 r=r,
@@ -320,8 +368,11 @@ def evaluate_cell_batch(
                 pipeline_depth=model.pipeline_depth,
                 op_counts=model.op_counts,
             )
+            point_name = f"F({m}x{m},{r}x{r})-P{point_pes}"
+            if bit_width is not None:
+                point_name = f"{point_name}-Q{bit_width}"
             results[index] = DesignPoint(
-                name=f"F({m}x{m},{r}x{r})-P{point_pes}",
+                name=point_name,
                 m=m,
                 r=r,
                 parallel_pes=point_pes,
@@ -341,6 +392,9 @@ def evaluate_cell_batch(
                 implementation_transform_ops=transform_ops_list[j],
                 engine=engine,
                 workload_name=network.name,
+                bit_width=bit_width,
+                max_rel_error=error_stats.max_rel,
+                mean_rel_error=error_stats.mean_rel,
             )
 
     return BatchResult(points=results, pending_error=pending_error, errors=errors)

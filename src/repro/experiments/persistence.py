@@ -76,6 +76,9 @@ def point_to_dict(point: DesignPoint) -> dict:
         "winograd_multiplications": point.winograd_multiplications,
         "implementation_transform_ops": point.implementation_transform_ops,
         "workload_name": point.workload_name,
+        "bit_width": point.bit_width,
+        "max_rel_error": point.max_rel_error,
+        "mean_rel_error": point.mean_rel_error,
     }
 
 
@@ -121,6 +124,10 @@ def point_from_dict(data: dict) -> DesignPoint:
             implementation_transform_ops=data["implementation_transform_ops"],
             engine=None,
             workload_name=data["workload_name"],
+            # Accuracy fields postdate the schema; absent in old payloads.
+            bit_width=data.get("bit_width"),
+            max_rel_error=data.get("max_rel_error", 0.0),
+            mean_rel_error=data.get("mean_rel_error", 0.0),
         )
     except KeyError as error:
         raise ValueError(f"design point is missing field {error.args[0]!r}") from None

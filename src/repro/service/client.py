@@ -347,6 +347,8 @@ class ServiceClient:
         frequency_mhz: float = 200.0,
         shared_data_transform: bool = True,
         device: str = "xc7vx485t",
+        bit_width: Optional[int] = None,
+        error_budget: Optional[float] = None,
     ) -> DesignPoint:
         """Evaluate one ad-hoc design point through the batching server.
 
@@ -364,6 +366,8 @@ class ServiceClient:
             multiplier_budget=multiplier_budget,
             frequency_mhz=frequency_mhz,
             shared_data_transform=shared_data_transform,
+            bit_width=bit_width,
+            error_budget=error_budget,
         )
         if not payload["feasible"]:
             raise InfeasibleDesignError(payload["error"])

@@ -78,6 +78,7 @@ POINT_KEYS: Tuple[str, ...] = (
     "throughput_gops", "multiplier_efficiency", "resources", "power_watts",
     "power_efficiency", "spatial_multiplications", "winograd_multiplications",
     "implementation_transform_ops", "workload_name",
+    "bit_width", "max_rel_error", "mean_rel_error",
 )
 LATENCY_KEYS: Tuple[str, ...] = (
     "m", "r", "parallel_pes", "frequency_mhz", "pipeline_depth",
@@ -100,6 +101,7 @@ _SCALAR_PATHS: Tuple[str, ...] = (
     "throughput_gops", "multiplier_efficiency", "power_watts",
     "power_efficiency", "spatial_multiplications", "winograd_multiplications",
     "implementation_transform_ops", "workload_name",
+    "bit_width", "max_rel_error", "mean_rel_error",
 )
 
 _INT64_MIN, _INT64_MAX = -(2**63), 2**63 - 1
@@ -124,17 +126,23 @@ def _classify(path: str, values: List[Any]) -> str:
     if path == "latency.group_latency_ms":
         return "json"
     all_str = all_bool = all_int = all_num = True
+    all_optint = True
     for value in values:
-        if not isinstance(value, str):
-            all_str = False
-        if not isinstance(value, bool):
-            all_bool = False
-        is_bool = isinstance(value, bool)
-        if is_bool or not isinstance(value, int):
-            all_int = False
-        if is_bool or not isinstance(value, (int, float)):
-            all_num = False
-        if not (all_str or all_bool or all_int or all_num):
+        if value is None:
+            # None is only representable by the nullable-int kind.
+            all_str = all_bool = all_int = all_num = False
+        else:
+            if not isinstance(value, str):
+                all_str = False
+            if not isinstance(value, bool):
+                all_bool = False
+            is_bool = isinstance(value, bool)
+            if is_bool or not isinstance(value, int):
+                all_int = False
+                all_optint = False
+            if is_bool or not isinstance(value, (int, float)):
+                all_num = False
+        if not (all_str or all_bool or all_int or all_num or all_optint):
             raise ColumnarEncodeError(
                 f"column {path!r} mixes unsupported value types"
             )
@@ -146,6 +154,14 @@ def _classify(path: str, values: List[Any]) -> str:
         if any(not (_INT64_MIN <= v <= _INT64_MAX) for v in values):
             raise ColumnarEncodeError(f"column {path!r} has an int beyond int64")
         return "int"
+    if all_optint:
+        # ints with Nones interleaved (e.g. ``bit_width``): an int64
+        # column plus a companion was-null mask.
+        if any(
+            v is not None and not (_INT64_MIN <= v <= _INT64_MAX) for v in values
+        ):
+            raise ColumnarEncodeError(f"column {path!r} has an int beyond int64")
+        return "optint"
     if all_num:
         if any(isinstance(v, float) for v in values):
             if all(isinstance(v, float) for v in values):
@@ -174,6 +190,8 @@ def _column_dtype(name: str, kind: str) -> List[Tuple[str, str]]:
         return [(name, "<f8")]
     if kind == "mixed":
         return [(name, "<f8"), (name + "#int", "u1")]
+    if kind == "optint":
+        return [(name, "<i8"), (name + "#null", "u1")]
     raise ValueError(f"unknown column kind {kind!r}")  # pragma: no cover
 
 
@@ -243,6 +261,13 @@ def _encode_columns(
             encoded[path] = np.array(values, dtype=np.int64)
         elif kind == "float":
             encoded[path] = np.array(values, dtype=np.float64)
+        elif kind == "optint":
+            encoded[path] = np.array(
+                [0 if v is None else v for v in values], dtype=np.int64
+            )
+            encoded[path + "#null"] = np.array(
+                [v is None for v in values], dtype=np.uint8
+            )
         else:  # mixed
             encoded[path] = np.array([float(v) for v in values], dtype=np.float64)
             encoded[path + "#int"] = np.array(
@@ -510,6 +535,10 @@ class ColumnarBlock:
         """The companion was-an-int mask of a mixed column."""
         return self._row_array()[path + "#int"]
 
+    def null_mask(self, path: str) -> np.ndarray:
+        """The companion was-null mask of a nullable-int column."""
+        return self._row_array()[path + "#null"]
+
     def pool_id(self, text: str) -> int:
         """Pool index of ``text``, or ``-1`` when the block never stores it."""
         try:
@@ -540,6 +569,9 @@ class ColumnarBlock:
         if kind == "mixed":
             mask = self.int_mask(path).tolist()
             return [int(v) if is_int else v for v, is_int in zip(values, mask)]
+        if kind == "optint":
+            mask = self.null_mask(path).tolist()
+            return [None if is_null else v for v, is_null in zip(values, mask)]
         return values  # int64/float64 .tolist() already yields int/float
 
     def row_dicts(self, indices) -> List[Dict[str, Any]]:
@@ -569,6 +601,11 @@ class ColumnarBlock:
                     int(column[i]) if mask[i] else float(column[i])
                     for i in index_list
                 ]
+            elif kind == "optint":
+                mask = arr[path + "#null"]
+                decoded[path] = [
+                    None if mask[i] else int(column[i]) for i in index_list
+                ]
             elif kind == "int":
                 decoded[path] = [int(column[i]) for i in index_list]
             else:
@@ -587,8 +624,10 @@ class ColumnarBlock:
                     point[key] = latency
                 elif key == "resources":
                     point[key] = resources
-                else:
+                elif key in decoded:
                     point[key] = decoded[key][row]
+                # else: the block predates this key (schema grew by
+                # appending columns); reproduce the old payload verbatim.
             points.append(point)
         return points
 

@@ -177,6 +177,8 @@ def _entry_sweep(entry: GridEntry) -> SweepSpec:
         frequencies_mhz=(entry.frequency_mhz,),
         shared_data_transform=(entry.shared_data_transform,),
         r=entry.r,
+        bit_widths=(entry.bit_width,),
+        error_budget=entry.error_budget,
     )
 
 

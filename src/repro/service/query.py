@@ -51,6 +51,16 @@ def _non_numeric(path: str) -> ValueError:
     return ValueError(f"column {path!r} holds non-numeric values")
 
 
+def _not_stored(path: str) -> ValueError:
+    return ValueError(f"column {path!r} is not stored in this result")
+
+
+def _numeric_sort_key(value: Any) -> Tuple[bool, Any]:
+    """Total-order sort key matching NumPy's (NaN sorts greatest)."""
+    is_nan = isinstance(value, float) and math.isnan(value)
+    return (is_nan, 0.0 if is_nan else value)
+
+
 # --------------------------------------------------------------------- #
 # Columnar engine
 # --------------------------------------------------------------------- #
@@ -72,8 +82,15 @@ class ColumnarEngine:
                     denominator
                 ).astype(np.float64)
         stored = self.block.columns().get(path)
+        if stored is None:
+            # A schema-evolution gap: the block predates this column.
+            raise _not_stored(path)
         if stored in ("str", "json"):
             raise _non_numeric(path)
+        if stored == "optint":
+            values = self.block.column(path).astype(np.float64)
+            values[self.block.null_mask(path).astype(bool)] = np.nan
+            return values
         return self.block.column(path)
 
     def _float_values(self, metric: str) -> "np.ndarray":
@@ -96,6 +113,8 @@ class ColumnarEngine:
             path, kind = resolve_metric(metric)
             stored = None if path.startswith("derived:") else self.block.columns().get(path)
             if kind == "str":
+                if self.block.columns().get(path) is None:
+                    raise _not_stored(path)
                 ids = self.block.column(path)
                 clause = _OPS[op](ids, self.block.pool_id(value))
             else:
@@ -113,6 +132,8 @@ class ColumnarEngine:
         """``indices`` stably sorted by ``metric``, descending if maximize."""
         path, kind = resolve_metric(metric)
         stored = None if path.startswith("derived:") else self.block.columns().get(path)
+        if not path.startswith("derived:") and stored is None:
+            raise _not_stored(path)
         if kind == "str" or stored in ("str", "json"):
             if kind != "str":
                 raise _non_numeric(path)
@@ -201,6 +222,8 @@ class ColumnarEngine:
                 projected[metric] = [float(v) for v in values]
                 continue
             stored = self.block.columns().get(path)
+            if stored is None:
+                raise _not_stored(path)
             if stored in ("str", "json"):
                 pool = self.block.pool()
                 column = self.block.column(path)
@@ -208,6 +231,12 @@ class ColumnarEngine:
             elif stored == "bool":
                 column = self.block.column(path)
                 projected[metric] = [bool(column[i]) for i in indices]
+            elif stored == "optint":
+                column = self.block.column(path)
+                mask = self.block.null_mask(path)
+                projected[metric] = [
+                    None if mask[i] else int(column[i]) for i in indices
+                ]
             elif stored == "mixed":
                 column = self.block.column(path)
                 mask = self.block.int_mask(path)
@@ -248,7 +277,11 @@ class ReferenceEngine:
             return self.value(index, numerator) / self.value(index, denominator)
         value: Any = point
         for part in path.split("."):
-            value = value[part]
+            try:
+                value = value[part]
+            except KeyError:
+                # Payloads written before this column existed lack the key.
+                raise _not_stored(path) from None
         return value
 
     def _numeric_value(self, index: int, metric: str) -> Any:
@@ -256,6 +289,10 @@ class ReferenceEngine:
         if isinstance(value, str) or isinstance(value, dict):
             path, _ = resolve_metric(metric)
             raise _non_numeric(path)
+        if value is None:
+            # Nullable numeric columns (``bit_width``): compare as NaN,
+            # like the columnar engine's null mask.
+            return float("nan")
         return value
 
     def name_at(self, index: int) -> str:
@@ -292,7 +329,7 @@ class ReferenceEngine:
         if kind == "str":
             key = lambda i: self.value(i, metric)  # noqa: E731
         else:
-            key = lambda i: self._numeric_value(i, metric)  # noqa: E731
+            key = lambda i: _numeric_sort_key(self._numeric_value(i, metric))  # noqa: E731
         return sorted(indices, key=key, reverse=maximize)
 
     # -- grouping / pareto --------------------------------------------- #

@@ -94,6 +94,9 @@ SCALAR_COLUMNS: Tuple[Tuple[str, str], ...] = (
     ("winograd_multiplications", "num"),
     ("implementation_transform_ops", "num"),
     ("workload_name", "str"),
+    ("bit_width", "num"),
+    ("max_rel_error", "num"),
+    ("mean_rel_error", "num"),
 )
 
 #: Design-point attribute names that are aliases of a nested column (the

@@ -909,7 +909,7 @@ class ResultServer:
         _check_fields(
             body,
             {"network", "device", "m", "r", "multiplier_budget", "frequency_mhz",
-             "shared_data_transform"},
+             "shared_data_transform", "bit_width", "error_budget"},
             "evaluate",
         )
         m = _field(body, "m", (int,), None, required=True)
@@ -932,6 +932,8 @@ class ResultServer:
                 multiplier_budget=_field(body, "multiplier_budget", (int,), None),
                 frequency_mhz=_field(body, "frequency_mhz", (float,), 200.0),
                 shared_data_transform=_field(body, "shared_data_transform", (bool,), True),
+                bit_width=_field(body, "bit_width", (int,), None),
+                error_budget=_field(body, "error_budget", (float,), None),
             ),
         )
         # Unknown registry names must fail as a 400 before reaching the

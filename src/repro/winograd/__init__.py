@@ -20,6 +20,18 @@ from .op_count import (
     spatial_tile_ops,
 )
 from .points import POINT_STRATEGIES, chebyshev_like_points, default_points, integer_points
+from .quantized import (
+    DEFAULT_BIT_WIDTHS,
+    QuantizedTensor,
+    calibrated_error,
+    clear_calibration,
+    quantize_tensor,
+    quantized_conv2d,
+    quantized_tile_error,
+    quantized_winograd_tile,
+    tile_error_bound,
+    validate_bit_width,
+)
 from .strength_reduction import (
     ConstantCost,
     ConstantOp,
@@ -79,6 +91,16 @@ __all__ = [
     "tile_error",
     "conv_error",
     "error_sweep",
+    "DEFAULT_BIT_WIDTHS",
+    "QuantizedTensor",
+    "quantize_tensor",
+    "quantized_winograd_tile",
+    "quantized_conv2d",
+    "quantized_tile_error",
+    "tile_error_bound",
+    "calibrated_error",
+    "clear_calibration",
+    "validate_bit_width",
     "default_points",
     "integer_points",
     "chebyshev_like_points",

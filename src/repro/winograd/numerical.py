@@ -40,6 +40,9 @@ class ErrorStats:
     max_abs: float
     mean_abs: float
     max_rel: float
+    #: Mean absolute error relative to the largest reference magnitude.
+    #: Defaulted so pre-existing call sites (and pickles) stay valid.
+    mean_rel: float = 0.0
 
     def acceptable(self, threshold: float = 1e-3) -> bool:
         """Whether the relative error is below ``threshold``."""
@@ -91,6 +94,7 @@ def tile_error(
         count += error.size
     mean_abs = sum_abs / count
     max_rel = max_abs / max_ref if max_ref > 0 else 0.0
+    mean_rel = mean_abs / max_ref if max_ref > 0 else 0.0
     return ErrorStats(
         m=m,
         r=r,
@@ -98,6 +102,7 @@ def tile_error(
         max_abs=max_abs,
         mean_abs=mean_abs,
         max_rel=max_rel,
+        mean_rel=mean_rel,
     )
 
 
@@ -128,6 +133,7 @@ def conv_error(
         max_abs=float(error.max()),
         mean_abs=float(error.mean()),
         max_rel=float(error.max()) / max_ref if max_ref > 0 else 0.0,
+        mean_rel=float(error.mean()) / max_ref if max_ref > 0 else 0.0,
     )
 
 

@@ -45,3 +45,41 @@ class TestErrorSweep:
         sweep = error_sweep([2, 4, 6], trials=4)
         assert [stats.m for stats in sweep] == [2, 4, 6]
         assert all(stats.r == 3 for stats in sweep)
+
+    @pytest.mark.parametrize("r", [2, 3, 5])
+    def test_sweep_covers_kernel_sizes(self, r):
+        sweep = error_sweep([2, 3, 4], r=r, trials=16, seed=7)
+        assert [stats.m for stats in sweep] == [2, 3, 4]
+        assert all(stats.r == r for stats in sweep)
+        assert all(stats.max_rel < 1e-6 for stats in sweep)
+        assert all(0.0 < stats.mean_rel <= stats.max_rel for stats in sweep)
+
+    # Seeded float32 sweep values (trials=16, seed=7): golden numbers that
+    # pin the measurement protocol — any change to the RNG draws, the cast
+    # points or the error normalization shows up here first.
+    @pytest.mark.parametrize(
+        "r, golden_max_rel",
+        [
+            (2, [7.3641487506050395e-08, 4.5337457935479659e-08, 4.9909108529948078e-08]),
+            (3, [3.0653416684558883e-08, 3.7069676456513227e-08, 4.3956015832134996e-08]),
+            (5, [5.2206109873017181e-08, 5.6283445444487727e-08, 5.4159730358835764e-08]),
+        ],
+    )
+    def test_sweep_golden_values(self, r, golden_max_rel):
+        sweep = error_sweep([2, 3, 4], r=r, trials=16, seed=7)
+        for stats, expected in zip(sweep, golden_max_rel):
+            assert stats.max_rel == pytest.approx(expected, rel=1e-9)
+
+
+class TestMeanRel:
+    def test_defaults_to_zero_for_legacy_construction(self):
+        stats = ErrorStats(m=2, r=3, dtype="float32", max_abs=1.0, mean_abs=0.1, max_rel=1e-4)
+        assert stats.mean_rel == 0.0
+
+    def test_tile_error_populates_mean_rel(self):
+        stats = tile_error(3, 3, dtype=np.float32, trials=8)
+        assert 0.0 < stats.mean_rel <= stats.max_rel
+
+    def test_conv_error_populates_mean_rel(self):
+        stats = conv_error(2, channels=2, kernels=2, height=8, width=8)
+        assert 0.0 < stats.mean_rel <= stats.max_rel

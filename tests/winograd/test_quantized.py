@@ -1,0 +1,182 @@
+"""Tests for the fixed-point Winograd numeric backend."""
+
+import numpy as np
+import pytest
+
+from repro.nn.reference import direct_conv2d
+from repro.winograd.matrices import get_transform
+from repro.winograd.numerical import _direct_tile
+from repro.winograd.quantized import (
+    DEFAULT_BIT_WIDTHS,
+    MAX_BIT_WIDTH,
+    MIN_BIT_WIDTH,
+    QuantizedTensor,
+    calibrated_error,
+    clear_calibration,
+    quantize_tensor,
+    quantized_conv2d,
+    quantized_tile_error,
+    quantized_winograd_tile,
+    rounding_shift,
+    saturate,
+    tile_error_bound,
+    validate_bit_width,
+)
+
+
+class TestValidateBitWidth:
+    def test_none_is_the_float_datapath(self):
+        validate_bit_width(None)
+
+    @pytest.mark.parametrize("bit_width", [MIN_BIT_WIDTH, 8, 12, MAX_BIT_WIDTH])
+    def test_supported_widths(self, bit_width):
+        validate_bit_width(bit_width)
+
+    @pytest.mark.parametrize(
+        "bit_width", [MIN_BIT_WIDTH - 1, MAX_BIT_WIDTH + 1, 0, -8, 8.0, "8", True]
+    )
+    def test_rejects_out_of_domain(self, bit_width):
+        with pytest.raises(ValueError, match="bit_width must be None or an integer"):
+            validate_bit_width(bit_width)
+
+    def test_default_sweep_widths_are_valid(self):
+        assert DEFAULT_BIT_WIDTHS == (8, 12, 16)
+        for bit_width in DEFAULT_BIT_WIDTHS:
+            validate_bit_width(bit_width)
+
+
+class TestPrimitives:
+    def test_saturate_clamps_to_signed_range(self):
+        values = np.array([-300, -128, 0, 127, 300], dtype=np.int64)
+        out = saturate(values, 8)
+        assert out.tolist() == [-128, -128, 0, 127, 127]
+
+    def test_rounding_shift_rounds_to_nearest(self):
+        values = np.array([5, 6, 7, 8, -5, -6], dtype=np.int64)
+        # >> 2 with +2 pre-bias: 5->2 (1.25), 6->2 (1.5), 7->2 (1.75), 8->2
+        assert rounding_shift(values, 2).tolist() == [1, 2, 2, 2, -1, -1]
+
+    def test_rounding_shift_zero_is_identity(self):
+        values = np.array([3, -7], dtype=np.int64)
+        assert rounding_shift(values, 0).tolist() == [3, -7]
+
+    def test_quantize_tensor_round_trip(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((4, 4))
+        quantized = quantize_tensor(data, 12)
+        assert isinstance(quantized, QuantizedTensor)
+        assert quantized.bit_width == 12
+        limit = 2 ** 11 - 1
+        assert np.abs(quantized.values).max() <= limit
+        restored = quantized.dequantize()
+        assert np.abs(restored - data).max() <= 1.0 / quantized.scale
+
+    def test_integer_tensors_keep_unit_scale(self):
+        data = np.array([[-3.0, 5.0], [7.0, -1.0]])
+        quantized = quantize_tensor(data, 8)
+        assert quantized.scale == 1.0
+        assert np.array_equal(quantized.dequantize(), data)
+
+
+class TestQuantizedTile:
+    @pytest.mark.parametrize("m", [1, 2, 3, 4, 5, 6])
+    @pytest.mark.parametrize("r", [2, 3])
+    @pytest.mark.parametrize("bit_width", DEFAULT_BIT_WIDTHS)
+    def test_error_within_derived_bound(self, m, r, bit_width):
+        try:
+            stats = quantized_tile_error(m, r, bit_width=bit_width, trials=8, seed=3)
+        except ValueError:
+            pytest.skip("headroom-infeasible corner of the grid")
+        assert stats.max_rel <= tile_error_bound(m, r, bit_width=bit_width)
+        assert stats.dtype == f"int{bit_width}"
+        assert stats.mean_rel <= stats.max_rel
+
+    def test_exact_for_integer_inputs_at_wide_width(self):
+        # F(2x2, 3x3) has dyadic transform constants: with unit-scale
+        # integer inputs the 16-bit pipeline commits no rounding at all.
+        rng = np.random.default_rng(11)
+        d = rng.integers(-8, 9, size=(4, 4)).astype(np.float64)
+        g = rng.integers(-4, 5, size=(3, 3)).astype(np.float64)
+        out = quantized_winograd_tile(get_transform(2, 3), d, g, bit_width=16)
+        assert np.array_equal(out, _direct_tile(d, g, 2, 3))
+
+    def test_conv2d_exact_for_integer_inputs(self):
+        rng = np.random.default_rng(11)
+        feature_map = rng.integers(-5, 6, size=(1, 2, 8, 8)).astype(np.float64)
+        kernels = rng.integers(-3, 4, size=(2, 2, 3, 3)).astype(np.float64)
+        out = quantized_conv2d(feature_map, kernels, 2, padding=1, bit_width=16)
+        ref = direct_conv2d(feature_map, kernels, padding=1)
+        assert out.shape == ref.shape
+        assert np.array_equal(out, ref)
+
+    def test_conv2d_approximates_float_reference(self):
+        rng = np.random.default_rng(4)
+        feature_map = rng.standard_normal((1, 3, 12, 12))
+        kernels = rng.standard_normal((4, 3, 3, 3))
+        out = quantized_conv2d(feature_map, kernels, 2, padding=1, bit_width=16)
+        ref = direct_conv2d(feature_map, kernels, padding=1)
+        scale = np.abs(ref).max()
+        assert np.abs(out - ref).max() / scale < 1e-3
+
+    def test_one_by_one_tile_degenerate(self):
+        stats = quantized_tile_error(1, 3, bit_width=16, trials=4, seed=1)
+        assert stats.m == 1
+        assert stats.max_rel < 1e-3
+
+    def test_headroom_exhaustion_raises(self):
+        with pytest.raises(ValueError, match="headroom exhausted"):
+            quantized_tile_error(7, 3, bit_width=16, trials=2, seed=0)
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("m", [2, 4, 6])
+    @pytest.mark.parametrize("r", [2, 3])
+    def test_mean_error_shrinks_with_bit_width(self, m, r):
+        errors = [
+            quantized_tile_error(m, r, bit_width=bit_width, trials=16, seed=5).mean_rel
+            for bit_width in DEFAULT_BIT_WIDTHS
+        ]
+        for narrow, wide in zip(errors, errors[1:]):
+            # 5% slack: the comparison is between two Monte-Carlo
+            # estimates, not the true expectations.
+            assert wide <= narrow * 1.05
+
+    @pytest.mark.parametrize("bit_width", DEFAULT_BIT_WIDTHS)
+    def test_error_grows_from_smallest_to_largest_tile(self, bit_width):
+        small = quantized_tile_error(2, 3, bit_width=bit_width, trials=16, seed=5)
+        large = quantized_tile_error(6, 3, bit_width=bit_width, trials=16, seed=5)
+        assert large.mean_rel > small.mean_rel
+
+    def test_bound_grows_from_smallest_to_largest_tile(self):
+        assert tile_error_bound(6, 3, bit_width=8) > tile_error_bound(2, 3, bit_width=8)
+        assert tile_error_bound(4, 3, bit_width=16) < tile_error_bound(4, 3, bit_width=8)
+
+
+class TestCalibration:
+    def test_memoised_entry_is_the_same_object(self):
+        clear_calibration()
+        first = calibrated_error(3, 3, 8)
+        second = calibrated_error(3, 3, 8)
+        assert first is second
+
+    def test_float_datapath_golden(self):
+        # Seeded float32 tile error of F(4x4, 3x3); pins the calibration
+        # protocol (trials=16, seed=2019) across refactors.
+        stats = calibrated_error(4, 3, None)
+        assert stats.max_rel == pytest.approx(4.2142847692566103e-08, rel=1e-9)
+        assert stats.mean_rel == pytest.approx(7.7241614597669545e-09, rel=1e-9)
+
+    def test_quantized_golden(self):
+        stats = calibrated_error(2, 3, 8)
+        assert stats.max_rel == pytest.approx(0.024320459795900508, rel=1e-9)
+
+    def test_invalid_width_propagates(self):
+        with pytest.raises(ValueError, match="bit_width must be None or an integer"):
+            calibrated_error(2, 3, 64)
+
+    def test_clear_calibration_forgets(self):
+        first = calibrated_error(2, 3, 12)
+        clear_calibration()
+        second = calibrated_error(2, 3, 12)
+        assert first is not second
+        assert first == second
